@@ -1,0 +1,32 @@
+//! Microbenchmarks of the circuit-breaker substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcs_breaker::{CircuitBreaker, TripCurve};
+use dcs_units::{Power, Ratio, Seconds};
+
+fn bench_trip_time(c: &mut Criterion) {
+    let curve = TripCurve::bulletin_1489();
+    c.bench_function("trip_curve/trip_time", |b| {
+        b.iter(|| curve.trip_time(black_box(Ratio::new(1.37))))
+    });
+    c.bench_function("trip_curve/inverse", |b| {
+        b.iter(|| curve.max_ratio_for_trip_time(black_box(Seconds::new(75.0))))
+    });
+}
+
+fn bench_breaker_step(c: &mut Criterion) {
+    c.bench_function("breaker/apply_load", |b| {
+        let mut cb = CircuitBreaker::new("b", Power::from_kilowatts(13.75), TripCurve::bulletin_1489());
+        let load = Power::from_kilowatts(15.0);
+        b.iter(|| {
+            let _ = cb.apply_load(black_box(load), Seconds::new(0.001));
+        })
+    });
+    c.bench_function("breaker/max_load_with_reserve", |b| {
+        let cb = CircuitBreaker::new("b", Power::from_kilowatts(13.75), TripCurve::bulletin_1489());
+        b.iter(|| cb.max_load_with_reserve(black_box(Seconds::new(60.0))))
+    });
+}
+
+criterion_group!(benches, bench_trip_time, bench_breaker_step);
+criterion_main!(benches);

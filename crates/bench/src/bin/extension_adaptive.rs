@@ -1,0 +1,77 @@
+//! Extension (the paper's future work): the Adaptive strategy, which
+//! learns burst statistics online instead of requiring the a-priori
+//! estimates the Prediction and Heuristic strategies need.
+//!
+//! Compares all five strategies on a train of repeated long bursts, the
+//! setting where learning pays: by the second burst Adaptive has the
+//! duration and constrains the degree like the Oracle, with no operator
+//! input at all.
+
+use dcs_bench::{print_header, print_row, standard_table, unit_cell_spec};
+use dcs_core::{Adaptive, ControllerConfig, Greedy, Heuristic, Prediction};
+use dcs_sim::{oracle_search, run, run_no_sprint, Scenario};
+use dcs_units::Seconds;
+use dcs_workload::{Estimate, Trace};
+
+fn burst_train(bursts: usize, burst_secs: usize, gap_secs: usize, degree: f64) -> Trace {
+    let mut samples = vec![0.6; 60];
+    for _ in 0..bursts {
+        samples.extend(std::iter::repeat_n(degree, burst_secs));
+        samples.extend(std::iter::repeat_n(0.6, gap_secs));
+    }
+    Trace::new(Seconds::new(1.0), samples).expect("valid samples")
+}
+
+fn main() {
+    let config = ControllerConfig::default();
+    eprintln!("building the Oracle upper-bound table...");
+    let table = standard_table(&config);
+
+    println!("# Extension — online-learning Adaptive strategy\n");
+    println!("Workload: trains of repeated bursts at degree 3.2 with 4-minute gaps.\n");
+    print_header(&[
+        "burst length (min)",
+        "bursts",
+        "Greedy",
+        "Prediction*",
+        "Heuristic*",
+        "Adaptive",
+        "Oracle",
+    ]);
+    for (minutes, count) in [(2.0, 5usize), (8.0, 3), (12.0, 3)] {
+        let trace = burst_train(count, (minutes * 60.0) as usize, 240, 3.2);
+        let scenario = Scenario::new(unit_cell_spec(), config.clone(), trace);
+        let base = run_no_sprint(&scenario);
+        let factor = |r: &dcs_sim::SimResult| r.burst_improvement_over(&base, 1.0);
+
+        let greedy = run(&scenario, Box::new(Greedy));
+        let oracle = oracle_search(&scenario);
+        let prediction = run(
+            &scenario,
+            Box::new(Prediction::new(
+                // * Prediction gets the aggregate burst time, as in Fig. 9.
+                Estimate::exact(minutes * 60.0 * count as f64),
+                table.clone(),
+            )),
+        );
+        let heuristic = run(
+            &scenario,
+            Box::new(Heuristic::with_paper_flexibility(Estimate::exact(
+                oracle.best.average_sprint_degree(),
+            ))),
+        );
+        let adaptive = run(&scenario, Box::new(Adaptive::new(table.clone(), 1.0, 0.5)));
+
+        print_row(&[
+            format!("{minutes:.0}"),
+            format!("{count}"),
+            format!("{:.3}", factor(&greedy)),
+            format!("{:.3}", factor(&prediction)),
+            format!("{:.3}", factor(&heuristic)),
+            format!("{:.3}", factor(&adaptive)),
+            format!("{:.3}", factor(&oracle.best)),
+        ]);
+    }
+    println!("\n(* Prediction and Heuristic receive zero-error a-priori estimates; Adaptive \
+              receives nothing and learns online)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 10: average performance of the four strategies on the Yahoo trace
+//! for burst degrees 2.6–3.6 at 5-minute (panel a) and 15-minute (panel b)
+//! burst durations, with zero estimation error.
+//!
+//! Expected shape (the paper's): at 5 minutes Greedy matches the Oracle
+//! (stored energy is not binding); at 15 minutes Greedy falls behind the
+//! strategies that constrain the sprinting degree.
+
+use dcs_bench::{paper_spec, print_header, print_row, standard_table};
+use dcs_core::{ControllerConfig, Greedy, Heuristic, Prediction};
+use dcs_sim::{oracle_search, run, run_no_sprint, Scenario};
+use dcs_units::Seconds;
+use dcs_workload::{yahoo_trace, Estimate};
+
+fn main() {
+    let config = ControllerConfig::default();
+    let spec = paper_spec();
+    eprintln!("building the Oracle upper-bound table (unit-cell scale)...");
+    let table = standard_table(&config);
+
+    for minutes in [5.0, 15.0] {
+        println!("# Fig. 10 — {minutes:.0}-min burst duration (Yahoo trace)\n");
+        print_header(&["burst degree", "G", "P", "H", "O", "oracle bound"]);
+        let mut degree = 2.6;
+        while degree <= 3.6 + 1e-9 {
+            let trace = yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes));
+            let scenario = Scenario::new(spec.clone(), config.clone(), trace);
+            let base = run_no_sprint(&scenario);
+            let greedy = run(&scenario, Box::new(Greedy));
+            let oracle = oracle_search(&scenario);
+            let prediction = run(
+                &scenario,
+                Box::new(Prediction::new(
+                    Estimate::exact(minutes * 60.0),
+                    table.clone(),
+                )),
+            );
+            let heuristic = run(
+                &scenario,
+                Box::new(Heuristic::with_paper_flexibility(Estimate::exact(
+                    oracle.best.average_sprint_degree(),
+                ))),
+            );
+            print_row(&[
+                format!("{degree:.1}"),
+                format!("{:.3}", greedy.burst_improvement_over(&base, 1.0)),
+                format!("{:.3}", prediction.burst_improvement_over(&base, 1.0)),
+                format!("{:.3}", heuristic.burst_improvement_over(&base, 1.0)),
+                format!("{:.3}", oracle.best.burst_improvement_over(&base, 1.0)),
+                format!("{:.2}", oracle.best_bound.as_f64()),
+            ]);
+            degree += 0.2;
+        }
+        println!();
+    }
+    println!(
+        "(the paper: improvement 1.75x-2.45x on the Yahoo trace; Greedy = Oracle at 5 min, \
+         Greedy degraded at 15 min, Prediction > Heuristic at zero error)"
+    );
+}

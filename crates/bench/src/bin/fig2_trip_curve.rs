@@ -1,0 +1,34 @@
+//! Fig. 2: the trip curve of a typical (Bulletin 1489-A class) circuit
+//! breaker — trip time versus overload, with the not-tripped and
+//! instantaneous (short-circuit) regions.
+
+use dcs_bench::{print_header, print_row};
+use dcs_breaker::TripCurve;
+use dcs_units::Ratio;
+
+fn main() {
+    let curve = TripCurve::bulletin_1489();
+    println!("# Fig. 2 — circuit breaker trip curve (Bulletin 1489-A fit)\n");
+    println!(
+        "No-trip region: overload <= {:.1}%  |  instantaneous region: load >= {:.0}% of rating\n",
+        curve.pickup_overload() * 100.0,
+        curve.instantaneous_ratio() * 100.0
+    );
+    print_header(&["overload (%)", "load (% of rating)", "trip time"]);
+    for (overload, trip) in curve.sample(0.02, 6.0, 24) {
+        print_row(&[
+            format!("{:.1}", overload * 100.0),
+            format!("{:.1}", (1.0 + overload) * 100.0),
+            format!("{}", trip),
+        ]);
+    }
+    println!("\nPaper calibration points:");
+    println!(
+        "  60% overload -> {} (paper: 1 minute)",
+        curve.trip_time(Ratio::new(1.6))
+    );
+    println!(
+        "  30% overload -> {} (paper: 4 minutes)",
+        curve.trip_time(Ratio::new(1.3))
+    );
+}

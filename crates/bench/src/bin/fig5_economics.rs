@@ -1,0 +1,50 @@
+//! Fig. 5: average monthly cost and revenue of Data Center Sprinting with
+//! three 5-minute workload bursts per month, versus the maximum sprinting
+//! degree, for burst magnitudes utilizing 50/75/100 % of the extra cores
+//! and for total user bases of 4×U₀ (panel a) and 6×U₀ (panel b).
+
+use dcs_bench::{print_header, print_row};
+use dcs_econ::{fig5_rows, EconModel};
+
+fn main() {
+    let model = EconModel::paper_default();
+    let degrees = [1.5, 2.0, 2.5, 3.0, 3.5, 4.0];
+
+    for (panel, ut) in [("a", 4.0), ("b", 6.0)] {
+        println!(
+            "# Fig. 5({panel}) — cost & revenue, U_t = {ut}x U_0 (three 5-min bursts/month)\n"
+        );
+        print_header(&[
+            "max degree N",
+            "cost C ($M/mo)",
+            "R50 ($M/mo)",
+            "R75 ($M/mo)",
+            "R100 ($M/mo)",
+            "profit@R100 ($M/mo)",
+        ]);
+        for row in fig5_rows(&model, ut, &degrees) {
+            print_row(&[
+                format!("{:.1}", row.n),
+                format!("{:.3}", row.cost / 1e6),
+                format!("{:.3}", row.r50 / 1e6),
+                format!("{:.3}", row.r75 / 1e6),
+                format!("{:.3}", row.r100 / 1e6),
+                format!("{:.3}", (row.r100 - row.cost) / 1e6),
+            ]);
+        }
+        println!();
+    }
+
+    // The §V-D worked examples.
+    println!("Worked examples from §V-D:");
+    println!(
+        "  monthly cost of extra cores at N=4: ${:.0} (paper: $468,750 = $156,250 x 3)",
+        model.monthly_core_cost(4.0)
+    );
+    println!(
+        "  retention pool: ${:.0}/month (paper: $682,560)",
+        model.monthly_retention_pool()
+    );
+    let profit = model.monthly_profit(4.0, 1.0, 5.0, 3, 4.0);
+    println!("  profit at N=4, 100% bursts, U_t=4U_0: ${profit:.0} (paper: > $0.4 M)");
+}

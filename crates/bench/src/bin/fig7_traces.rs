@@ -1,0 +1,49 @@
+//! Fig. 1 / Fig. 7: the workload traces. Prints minute-resolution series
+//! of the reconstructed MS trace (7a) and the Yahoo trace with the
+//! figure's burst (degree 3.2, 15 minutes) (7b), plus their burst
+//! statistics against the paper's published facts.
+
+use dcs_bench::{print_header, print_row};
+use dcs_units::Seconds;
+use dcs_workload::{ms_trace, yahoo_trace, BurstStats, Trace};
+
+fn print_series(name: &str, trace: &Trace) {
+    println!("# {name}\n");
+    print_header(&["minute", "demand (% of no-sprint capacity)"]);
+    for m in 0..30 {
+        let d = trace.demand_at(Seconds::from_minutes(f64::from(m) + 0.5));
+        print_row(&[format!("{m}"), format!("{:.1}", d * 100.0)]);
+    }
+    let stats = BurstStats::from_trace(trace, 1.0);
+    println!("\n{stats}\n");
+}
+
+fn main() {
+    let ms = ms_trace::paper_default();
+    print_series("Fig. 7(a) — MS trace (synthetic reconstruction)", &ms);
+    let s = BurstStats::from_trace(&ms, 1.0);
+    println!(
+        "paper facts: 30 min, consecutive bursts, peak ~300%, time above capacity 16.2 min"
+    );
+    println!(
+        "measured:    {} min, {} bursts, peak {:.0}%, time above capacity {:.1} min\n",
+        ms.duration().as_minutes(),
+        s.burst_count,
+        s.max_degree * 100.0,
+        s.time_above.as_minutes()
+    );
+
+    let yahoo = yahoo_trace::with_burst(3, 3.2, Seconds::from_minutes(15.0));
+    print_series(
+        "Fig. 7(b) — Yahoo trace, burst degree 3.2, duration 15 min",
+        &yahoo,
+    );
+    let s = BurstStats::from_trace(&yahoo, 1.0);
+    println!("paper facts: single burst from minute 5, degree 3.2, 15 min");
+    println!(
+        "measured:    {} burst(s), degree {:.2}, {:.1} min above capacity",
+        s.burst_count,
+        s.max_degree,
+        s.time_above.as_minutes()
+    );
+}

@@ -1,0 +1,70 @@
+//! Fig. 9: average performance of the four strategies on the MS trace as
+//! a function of the estimation error (−100 % … +100 %).
+//!
+//! Greedy and Oracle need no estimates and are flat; Prediction (predicted
+//! burst duration) and Heuristic (estimated best average sprinting degree,
+//! flexibility K % = 10 %) degrade with error, but tolerate overestimated
+//! durations / underestimated degrees better than the opposite.
+
+use dcs_bench::{paper_spec, print_header, print_row, standard_table};
+use dcs_core::{ControllerConfig, Greedy, Heuristic, Prediction};
+use dcs_sim::{oracle_search, run, run_no_sprint, Scenario};
+use dcs_workload::{ms_trace, BurstStats, Estimate};
+
+fn main() {
+    let config = ControllerConfig::default();
+    let trace = ms_trace::paper_default();
+    let stats = BurstStats::from_trace(&trace, 1.0);
+    let scenario = Scenario::new(paper_spec(), config.clone(), trace.clone());
+
+    eprintln!("building the Oracle upper-bound table (unit-cell scale)...");
+    let table = standard_table(&config);
+
+    let base = run_no_sprint(&scenario);
+    let greedy = run(&scenario, Box::new(Greedy));
+    eprintln!("running the Oracle search...");
+    let oracle = oracle_search(&scenario);
+    // The real burst duration (16.2 min) and the real best average
+    // sprinting degree (from the Oracle's run) anchor the estimates.
+    let real_duration = stats.time_above.as_secs();
+    let real_best_degree = oracle.best.average_sprint_degree();
+    eprintln!(
+        "real burst duration {:.1} min, real best average degree {:.2}, oracle bound {:.2}",
+        real_duration / 60.0,
+        real_best_degree,
+        oracle.best_bound.as_f64()
+    );
+
+    println!("# Fig. 9 — average performance vs estimation error (MS trace)\n");
+    print_header(&["error (%)", "Greedy", "Prediction", "Heuristic", "Oracle"]);
+    let mut err = -1.0;
+    while err <= 1.0 + 1e-9 {
+        let prediction = run(
+            &scenario,
+            Box::new(Prediction::new(
+                Estimate::with_error(real_duration, err),
+                table.clone(),
+            )),
+        );
+        let heuristic = run(
+            &scenario,
+            Box::new(Heuristic::with_paper_flexibility(Estimate::with_error(
+                real_best_degree,
+                err,
+            ))),
+        );
+        print_row(&[
+            format!("{:+.0}", err * 100.0),
+            format!("{:.3}", greedy.burst_improvement_over(&base, 1.0)),
+            format!("{:.3}", prediction.burst_improvement_over(&base, 1.0)),
+            format!("{:.3}", heuristic.burst_improvement_over(&base, 1.0)),
+            format!("{:.3}", oracle.best.burst_improvement_over(&base, 1.0)),
+        ]);
+        err += 0.2;
+    }
+    println!(
+        "\n(the paper: overall improvement 1.62x-1.76x on the MS trace; Prediction and \
+         Heuristic near-Oracle at zero error, degrading when the duration is \
+         underestimated or the degree overestimated)"
+    );
+}

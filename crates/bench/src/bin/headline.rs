@@ -1,0 +1,66 @@
+//! The headline result: "our solution can improve the average computing
+//! performance of a data center by a factor of 1.62 to 2.45 for 5 to 30
+//! minutes" — the spread of burst-window improvement factors across the MS
+//! trace and the Yahoo burst sweep.
+
+use dcs_bench::{paper_spec, print_header, print_row};
+use dcs_core::{ControllerConfig, Greedy};
+use dcs_sim::{oracle_search, run, run_no_sprint, run_power_capped, Scenario};
+use dcs_units::Seconds;
+use dcs_workload::{ms_trace, yahoo_trace};
+
+fn main() {
+    let config = ControllerConfig::default();
+    let spec = paper_spec();
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+
+    println!("# Headline — average performance improvement factors\n");
+    print_header(&["workload", "power capped (§II)", "Greedy", "Oracle"]);
+
+    let ms = Scenario::new(spec.clone(), config.clone(), ms_trace::paper_default());
+    let base = run_no_sprint(&ms);
+    let capped = run_power_capped(&ms).burst_improvement_over(&base, 1.0);
+    let greedy = run(&ms, Box::new(Greedy));
+    let oracle = oracle_search(&ms);
+    let g = greedy.burst_improvement_over(&base, 1.0);
+    let o = oracle.best.burst_improvement_over(&base, 1.0);
+    lo = lo.min(g).min(o);
+    hi = hi.max(g).max(o);
+    print_row(&[
+        "MS trace".into(),
+        format!("{capped:.2}"),
+        format!("{g:.2}"),
+        format!("{o:.2}"),
+    ]);
+
+    for (degree, minutes) in [(2.6, 5.0), (3.2, 5.0), (2.6, 15.0), (3.2, 15.0), (3.6, 15.0)] {
+        let s = Scenario::new(
+            spec.clone(),
+            config.clone(),
+            yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes)),
+        );
+        let base = run_no_sprint(&s);
+        let capped = run_power_capped(&s).burst_improvement_over(&base, 1.0);
+        let g = run(&s, Box::new(Greedy)).burst_improvement_over(&base, 1.0);
+        let o = oracle_search(&s)
+            .best
+            .burst_improvement_over(&base, 1.0);
+        lo = lo.min(g).min(o);
+        hi = hi.max(g).max(o);
+        print_row(&[
+            format!("Yahoo deg {degree:.1} / {minutes:.0} min"),
+            format!("{capped:.2}"),
+            format!("{g:.2}"),
+            format!("{o:.2}"),
+        ]);
+    }
+
+    println!(
+        "\nmeasured improvement range: {lo:.2}x - {hi:.2}x  (paper: 1.62x - 2.45x for 5-30 min)"
+    );
+    println!(
+        "(the power-capped column is the §II DVFS baseline: it may never exceed the rated \
+         limits, so the NEC headroom's ~1.4x degree is all it gets)"
+    );
+}

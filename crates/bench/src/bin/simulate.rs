@@ -1,0 +1,240 @@
+//! Config-driven simulation runner: the entry point a downstream operator
+//! would use to evaluate their own facility and workload without writing
+//! Rust.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin simulate -- <config.json> [out.json]
+//! cargo run --release -p dcs-bench --bin simulate -- --print-default-config
+//! ```
+//!
+//! The config selects the facility, the controller settings, a workload
+//! (a named synthetic trace or inline samples) and a strategy; the binary
+//! prints a run summary and, optionally, writes the full per-step
+//! telemetry as JSON.
+
+use dcs_core::{ControllerConfig, FixedBound, Greedy, Heuristic, Prediction, SprintStrategy};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{oracle_search, run, run_no_sprint, Scenario, SimResult};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::{ms_trace, yahoo_trace, Estimate, Trace};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// The workload section of a config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WorkloadConfig {
+    /// The reconstructed MS trace.
+    MsTrace {
+        /// Noise seed.
+        seed: u64,
+    },
+    /// A Yahoo-style trace with one injected burst.
+    YahooBurst {
+        /// Noise seed.
+        seed: u64,
+        /// Burst degree (normalized demand).
+        degree: f64,
+        /// Burst duration in minutes.
+        minutes: f64,
+    },
+    /// Inline demand samples at a fixed step.
+    Inline {
+        /// Step length in seconds.
+        step_secs: f64,
+        /// Normalized demand samples.
+        samples: Vec<f64>,
+    },
+}
+
+/// The strategy section of a config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum StrategyConfig {
+    /// The Greedy strategy.
+    Greedy,
+    /// A constant degree bound.
+    FixedBound {
+        /// The bound (≥ 1).
+        bound: f64,
+    },
+    /// Oracle: exhaustive offline search (slow — one run per grid point).
+    Oracle,
+    /// Heuristic with an estimated best average degree.
+    Heuristic {
+        /// The `SDe_p` estimate.
+        sde_p: f64,
+        /// Flexibility factor `K` (fraction; the paper uses 0.10).
+        flexibility: f64,
+    },
+    /// Prediction with a predicted burst duration and an auto-built table.
+    Prediction {
+        /// Predicted burst duration in minutes.
+        minutes: f64,
+    },
+}
+
+/// A full simulation config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulateConfig {
+    /// PDU count (the paper's facility has 900).
+    pub pdus: usize,
+    /// Servers per PDU (200 in the paper).
+    pub servers_per_pdu: usize,
+    /// DC-level headroom as a percent (10 in the paper).
+    pub dc_headroom_percent: f64,
+    /// Facility PUE (1.53 in the paper).
+    pub pue: f64,
+    /// Controller settings (`null` for the paper defaults).
+    pub controller: Option<ControllerConfig>,
+    /// The workload to serve.
+    pub workload: WorkloadConfig,
+    /// The sprinting-degree strategy.
+    pub strategy: StrategyConfig,
+}
+
+impl SimulateConfig {
+    fn example() -> SimulateConfig {
+        SimulateConfig {
+            pdus: 4,
+            servers_per_pdu: 200,
+            dc_headroom_percent: 10.0,
+            pue: 1.53,
+            controller: None,
+            workload: WorkloadConfig::YahooBurst {
+                seed: 1,
+                degree: 3.2,
+                minutes: 15.0,
+            },
+            strategy: StrategyConfig::Greedy,
+        }
+    }
+}
+
+fn build_trace(w: &WorkloadConfig) -> Result<Trace, String> {
+    match w {
+        WorkloadConfig::MsTrace { seed } => Ok(ms_trace::generate(*seed)),
+        WorkloadConfig::YahooBurst {
+            seed,
+            degree,
+            minutes,
+        } => Ok(yahoo_trace::with_burst(
+            *seed,
+            *degree,
+            Seconds::from_minutes(*minutes),
+        )),
+        WorkloadConfig::Inline { step_secs, samples } => {
+            Trace::new(Seconds::new(*step_secs), samples.clone()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String> {
+    let spec = DataCenterSpec::paper_default()
+        .with_scale(config.pdus, config.servers_per_pdu)
+        .with_dc_headroom(Ratio::from_percent(config.dc_headroom_percent))
+        .with_pue(config.pue);
+    let controller = config.controller.clone().unwrap_or_default();
+    let trace = build_trace(&config.workload)?;
+    let scenario = Scenario::new(spec.clone(), controller.clone(), trace);
+    let baseline = run_no_sprint(&scenario);
+
+    let result = match &config.strategy {
+        StrategyConfig::Greedy => run(&scenario, Box::new(Greedy)),
+        StrategyConfig::FixedBound { bound } => {
+            if *bound < 1.0 {
+                return Err("fixed bound must be at least 1".into());
+            }
+            run(&scenario, Box::new(FixedBound::new(Ratio::new(*bound))))
+        }
+        StrategyConfig::Oracle => oracle_search(&scenario).best,
+        StrategyConfig::Heuristic { sde_p, flexibility } => run(
+            &scenario,
+            Box::new(Heuristic::new(Estimate::exact(*sde_p), *flexibility)),
+        ),
+        StrategyConfig::Prediction { minutes } => {
+            let table = dcs_sim::build_upper_bound_table(
+                &spec,
+                &controller,
+                &[1.0, 5.0, 10.0, 15.0, 20.0, 30.0],
+                &[2.0, 2.5, 3.0, 3.5, 4.0],
+            );
+            let strategy: Box<dyn SprintStrategy> =
+                Box::new(Prediction::new(Estimate::exact(minutes * 60.0), table));
+            run(&scenario, strategy)
+        }
+    };
+    Ok((result, baseline))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--print-default-config") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&SimulateConfig::example()).expect("serializable")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(config_path) = args.first() else {
+        eprintln!("usage: simulate <config.json> [out.json] | --print-default-config");
+        return ExitCode::FAILURE;
+    };
+    let config: SimulateConfig = match std::fs::read_to_string(config_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load {config_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (result, baseline) = match run_config(&config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("strategy:            {}", result.strategy);
+    println!("average performance: {:.3}", result.average_performance());
+    println!("burst performance:   {:.3}", result.burst_performance(1.0));
+    println!(
+        "improvement:         {:.3}x (burst window {:.3}x)",
+        result.improvement_over(&baseline),
+        result.burst_improvement_over(&baseline, 1.0),
+    );
+    println!("dropped requests:    {:.1}%", result.admission.drop_fraction() * 100.0);
+    let (cb, ups, tes) = result.energy_shares();
+    println!(
+        "energy split:        CB {:.0}% / UPS {:.0}% / TES {:.0}%",
+        cb * 100.0,
+        ups * 100.0,
+        tes * 100.0
+    );
+    println!(
+        "safety:              tripped={} overheated={}",
+        result.any_tripped(),
+        result.any_overheated()
+    );
+
+    if let Some(out) = args.get(1) {
+        match serde_json::to_string(&result) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out, json) {
+                    eprintln!("failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("full telemetry written to {out}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,72 @@
+//! The §VI-A provisioning sweeps the paper describes but does not plot:
+//! "We set the default headroom to be 10% of the peak normal power, and
+//! test it from 0 to 20% in the simulation" and "We assume the PUE is 1.53
+//! ... and test different PUE values".
+//!
+//! Reports the Greedy burst-window improvement on the reference Yahoo
+//! burst (degree 3.2, 10 minutes) as each knob varies.
+
+use dcs_bench::{print_header, print_row};
+use dcs_core::{ControllerConfig, Greedy};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{parallel_map, run, run_no_sprint, Scenario};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::yahoo_trace;
+
+fn measure(spec: DataCenterSpec) -> (f64, f64) {
+    let scenario = Scenario::new(
+        spec,
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(7, 3.2, Seconds::from_minutes(10.0)),
+    );
+    let base = run_no_sprint(&scenario);
+    let sprint = run(&scenario, Box::new(Greedy));
+    (
+        sprint.burst_performance(1.0),
+        sprint.burst_improvement_over(&base, 1.0),
+    )
+}
+
+fn main() {
+    println!("# Sweep — DC-level headroom (paper default 10%, range 0-20%)\n");
+    print_header(&["headroom (%)", "DC rating (MW)", "burst perf", "improvement"]);
+    let headrooms = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0];
+    let rows = parallel_map(&headrooms, |&h| {
+        let spec = DataCenterSpec::paper_default().with_dc_headroom(Ratio::from_percent(h));
+        let rated = spec.dc_rated();
+        let (perf, factor) = measure(spec);
+        (h, rated, perf, factor)
+    });
+    for (h, rated, perf, factor) in rows {
+        print_row(&[
+            format!("{h:.0}"),
+            format!("{:.2}", rated.as_megawatts()),
+            format!("{perf:.3}"),
+            format!("{factor:.3}"),
+        ]);
+    }
+
+    println!("\n# Sweep — PUE (paper default 1.53)\n");
+    print_header(&["PUE", "facility peak (MW)", "burst perf", "improvement"]);
+    let pues = [1.1, 1.3, 1.53, 1.7, 2.0];
+    let rows = parallel_map(&pues, |&pue| {
+        let spec = DataCenterSpec::paper_default().with_pue(pue);
+        let peak = spec.peak_normal_total_power();
+        let (perf, factor) = measure(spec);
+        (pue, peak, perf, factor)
+    });
+    for (pue, peak, perf, factor) in rows {
+        print_row(&[
+            format!("{pue:.2}"),
+            format!("{:.2}", peak.as_megawatts()),
+            format!("{perf:.3}"),
+            format!("{factor:.3}"),
+        ]);
+    }
+    println!(
+        "\n(more headroom feeds Phase 1 directly, saturating once the PDU level binds; \
+         the PUE effect is subtler — the DC breaker is provisioned proportionally to \
+         PUE, so a higher-PUE facility carries a larger absolute breaker and larger \
+         TES-fundable chiller savings, mildly increasing the sprint improvement)"
+    );
+}

@@ -1,0 +1,78 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper and prints the same rows/series the paper reports; see
+//! `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
+//! record. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin fig8_uncontrolled
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcs_core::{ControllerConfig, UpperBoundTable};
+use dcs_power::DataCenterSpec;
+use dcs_sim::build_upper_bound_table;
+
+/// The paper's full-scale facility: 900 PDUs × 200 servers (≈10 MW peak
+/// normal IT power).
+#[must_use]
+pub fn paper_spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default()
+}
+
+/// A reduced "unit cell" of the same facility (4 PDUs × 200 servers).
+///
+/// Every store and rating scales linearly with the server count, so
+/// per-server dynamics — and therefore all normalized performance numbers —
+/// are identical to the full facility's. The expensive exhaustive searches
+/// (Oracle table building) run at this scale.
+#[must_use]
+pub fn unit_cell_spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default().with_scale(4, 200)
+}
+
+/// Builds the §V-A upper-bound table on the standard grid (burst durations
+/// 1–30 minutes, burst degrees 1.5–4), at unit-cell scale.
+#[must_use]
+pub fn standard_table(config: &ControllerConfig) -> UpperBoundTable {
+    build_upper_bound_table(
+        &unit_cell_spec(),
+        config,
+        &[1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+        &[1.5, 2.0, 2.5, 3.0, 3.5, 4.0],
+    )
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_have_expected_scales() {
+        assert_eq!(paper_spec().total_servers(), 180_000);
+        assert_eq!(unit_cell_spec().total_servers(), 800);
+    }
+
+    #[test]
+    fn unit_cell_preserves_per_server_ratios() {
+        let full = paper_spec();
+        let cell = unit_cell_spec();
+        let per_server_dc = |s: &DataCenterSpec| s.dc_rated().as_watts() / s.total_servers() as f64;
+        assert!((per_server_dc(&full) - per_server_dc(&cell)).abs() < 1e-9);
+        assert_eq!(full.pdu_rated(), cell.pdu_rated());
+    }
+}

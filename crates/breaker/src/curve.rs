@@ -1,0 +1,343 @@
+//! Overload → trip-time characteristics.
+
+use dcs_units::{Ratio, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The inverse-time trip characteristic of a thermal-magnetic breaker.
+///
+/// The curve has three regions, matching Fig. 2 of the paper:
+///
+/// * **Not tripped** — overloads at or below [`TripCurve::pickup_overload`]
+///   never trip (a breaker must carry its rated current indefinitely, and
+///   real breakers have a small tolerance band above it);
+/// * **Long-delay (conventional tripping)** — the trip time follows an
+///   inverse power law `t(ov) = t_ref · (ov_ref / ov)^exponent`. The paper
+///   quotes the Bulletin 1489-A points *60 % overload → 1 min* and
+///   *30 % → 4 min*, i.e. an exponent of 2;
+/// * **Short-circuit (instantaneous)** — load ratios at or above
+///   [`TripCurve::instantaneous_ratio`] trip in
+///   [`TripCurve::instantaneous_time`] regardless of thermal state.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_breaker::TripCurve;
+/// use dcs_units::Ratio;
+///
+/// let curve = TripCurve::bulletin_1489();
+/// // 60% overload trips in one minute, 30% in four (the paper's points).
+/// assert!((curve.trip_time(Ratio::new(1.6)).as_secs() - 60.0).abs() < 1e-9);
+/// assert!((curve.trip_time(Ratio::new(1.3)).as_minutes() - 4.0).abs() < 1e-9);
+/// // At or below the rating the breaker never trips.
+/// assert!(curve.trip_time(Ratio::new(1.0)).is_never());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripCurve {
+    /// Reference overload fraction for the long-delay law (e.g. `0.6`).
+    ref_overload: f64,
+    /// Trip time at the reference overload.
+    ref_time: Seconds,
+    /// Exponent of the inverse power law (2 for the Bulletin 1489-A fit).
+    exponent: f64,
+    /// Overload fraction at or below which the breaker never trips.
+    pickup_overload: f64,
+    /// Load ratio (not overload) at which the magnetic element trips
+    /// instantaneously.
+    instantaneous_ratio: f64,
+    /// Trip time in the instantaneous region.
+    instantaneous_time: Seconds,
+}
+
+impl TripCurve {
+    /// The Bulletin 1489-A curve the paper uses, fit through the two points
+    /// it quotes: 60 % overload → 1 minute and 30 % overload → 4 minutes
+    /// (an inverse-square law), with instantaneous tripping above 5× rated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// use dcs_units::Ratio;
+    /// let c = TripCurve::bulletin_1489();
+    /// assert!(c.trip_time(Ratio::new(6.0)).as_secs() <= 0.02);
+    /// ```
+    #[must_use]
+    pub fn bulletin_1489() -> TripCurve {
+        TripCurve {
+            ref_overload: 0.6,
+            ref_time: Seconds::new(60.0),
+            exponent: 2.0,
+            pickup_overload: 0.01,
+            instantaneous_ratio: 5.0,
+            instantaneous_time: Seconds::new(0.02),
+        }
+    }
+
+    /// Creates a custom inverse-power-law curve.
+    ///
+    /// `ref_overload` is the overload fraction (e.g. `0.6` for 60 %) at which
+    /// the breaker trips after `ref_time`; `exponent` controls how fast the
+    /// trip time grows as the overload shrinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ref_overload` or `exponent` are not strictly positive, if
+    /// `ref_time` is not strictly positive and finite, if `pickup_overload`
+    /// is negative or not below `ref_overload`, or if `instantaneous_ratio`
+    /// is not greater than `1 + ref_overload`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// use dcs_units::{Ratio, Seconds};
+    /// let c = TripCurve::inverse_power(0.5, Seconds::new(120.0), 2.0, 0.02, 4.0);
+    /// assert!((c.trip_time(Ratio::new(1.5)).as_secs() - 120.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn inverse_power(
+        ref_overload: f64,
+        ref_time: Seconds,
+        exponent: f64,
+        pickup_overload: f64,
+        instantaneous_ratio: f64,
+    ) -> TripCurve {
+        assert!(
+            ref_overload > 0.0 && ref_overload.is_finite(),
+            "reference overload must be positive"
+        );
+        assert!(
+            ref_time > Seconds::ZERO && !ref_time.is_never(),
+            "reference trip time must be positive and finite"
+        );
+        assert!(exponent > 0.0 && exponent.is_finite(), "exponent must be positive");
+        assert!(
+            (0.0..ref_overload).contains(&pickup_overload),
+            "pickup overload must be in [0, ref_overload)"
+        );
+        assert!(
+            instantaneous_ratio > 1.0 + ref_overload,
+            "instantaneous ratio must exceed the long-delay region"
+        );
+        TripCurve {
+            ref_overload,
+            ref_time,
+            exponent,
+            pickup_overload,
+            instantaneous_ratio,
+            instantaneous_time: Seconds::new(0.02),
+        }
+    }
+
+    /// Returns the overload fraction at or below which the breaker never
+    /// trips.
+    #[must_use]
+    pub fn pickup_overload(&self) -> f64 {
+        self.pickup_overload
+    }
+
+    /// Returns the load ratio at which the instantaneous (magnetic) element
+    /// trips.
+    #[must_use]
+    pub fn instantaneous_ratio(&self) -> f64 {
+        self.instantaneous_ratio
+    }
+
+    /// Returns the trip time in the instantaneous region.
+    #[must_use]
+    pub fn instantaneous_time(&self) -> Seconds {
+        self.instantaneous_time
+    }
+
+    /// Returns the time a *constant* load at `ratio` (load ÷ rating) takes to
+    /// trip a cold breaker, or [`Seconds::NEVER`] if the load is inside the
+    /// no-trip region.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// use dcs_units::Ratio;
+    /// let c = TripCurve::bulletin_1489();
+    /// // Halving the overload quadruples the trip time (inverse square).
+    /// let t60 = c.trip_time(Ratio::new(1.6));
+    /// let t30 = c.trip_time(Ratio::new(1.3));
+    /// assert!((t30.as_secs() / t60.as_secs() - 4.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn trip_time(&self, ratio: Ratio) -> Seconds {
+        if ratio.as_f64() >= self.instantaneous_ratio {
+            return self.instantaneous_time;
+        }
+        let ov = ratio.overload_fraction();
+        if ov <= self.pickup_overload {
+            return Seconds::NEVER;
+        }
+        let t = self.ref_time.as_secs() * (self.ref_overload / ov).powf(self.exponent);
+        // The long-delay thermal element can never act faster than the
+        // instantaneous element.
+        Seconds::new(t.max(self.instantaneous_time.as_secs()))
+    }
+
+    /// Returns the largest load ratio whose trip time is at least `time`,
+    /// i.e. the inverse of [`TripCurve::trip_time`] on the long-delay region.
+    ///
+    /// This is the controller's main planning query: "how hard may I load
+    /// this breaker if I must stay at least `time` away from a trip?". For
+    /// unbounded `time` (or a `time` longer than any overload in the
+    /// long-delay region can cause) the answer is the top of the no-trip
+    /// region, `1 + pickup_overload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// use dcs_units::{Ratio, Seconds};
+    /// let c = TripCurve::bulletin_1489();
+    /// let r = c.max_ratio_for_trip_time(Seconds::new(60.0));
+    /// assert!((r.as_f64() - 1.6).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn max_ratio_for_trip_time(&self, time: Seconds) -> Ratio {
+        assert!(time > Seconds::ZERO, "time must be positive");
+        if time.is_never() {
+            return Ratio::new(1.0 + self.pickup_overload);
+        }
+        // Invert t = t_ref (ov_ref / ov)^e  =>  ov = ov_ref (t_ref/t)^(1/e).
+        let ov = self.ref_overload * (self.ref_time.as_secs() / time.as_secs()).powf(1.0 / self.exponent);
+        let ov = ov.max(self.pickup_overload);
+        // Never report a ratio inside the instantaneous region.
+        Ratio::new((1.0 + ov).min(self.instantaneous_ratio * (1.0 - 1e-9)))
+    }
+
+    /// Samples the curve at `n` log-spaced overload points between `lo` and
+    /// `hi` (overload fractions), returning `(overload, trip_time)` pairs.
+    ///
+    /// Used by the Fig. 2 reproduction to print the trip curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` or `hi` are not positive, `lo >= hi`, or `n < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// let pts = TripCurve::bulletin_1489().sample(0.1, 4.0, 16);
+    /// assert_eq!(pts.len(), 16);
+    /// assert!(pts.windows(2).all(|w| w[0].1 >= w[1].1));
+    /// ```
+    #[must_use]
+    pub fn sample(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, Seconds)> {
+        assert!(lo > 0.0 && hi > lo, "invalid overload range");
+        assert!(n >= 2, "need at least two samples");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        (0..n)
+            .map(|i| {
+                let ov = (llo + (lhi - llo) * i as f64 / (n - 1) as f64).exp();
+                (ov, self.trip_time(Ratio::new(1.0 + ov)))
+            })
+            .collect()
+    }
+}
+
+impl Default for TripCurve {
+    fn default() -> TripCurve {
+        TripCurve::bulletin_1489()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_points() {
+        let c = TripCurve::bulletin_1489();
+        assert!((c.trip_time(Ratio::new(1.6)).as_secs() - 60.0).abs() < 1e-9);
+        assert!((c.trip_time(Ratio::new(1.3)).as_secs() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_trip_at_or_below_rating() {
+        let c = TripCurve::bulletin_1489();
+        assert!(c.trip_time(Ratio::new(0.5)).is_never());
+        assert!(c.trip_time(Ratio::new(1.0)).is_never());
+        assert!(c.trip_time(Ratio::new(1.005)).is_never());
+    }
+
+    #[test]
+    fn instantaneous_above_short_circuit_multiple() {
+        let c = TripCurve::bulletin_1489();
+        assert_eq!(c.trip_time(Ratio::new(5.0)), c.instantaneous_time());
+        assert_eq!(c.trip_time(Ratio::new(20.0)), c.instantaneous_time());
+    }
+
+    #[test]
+    fn trip_time_is_monotone_decreasing() {
+        let c = TripCurve::bulletin_1489();
+        let mut prev = Seconds::NEVER;
+        for i in 1..400 {
+            let r = Ratio::new(1.0 + i as f64 * 0.01);
+            let t = c.trip_time(r);
+            assert!(t <= prev, "trip time increased at ratio {r:?}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let c = TripCurve::bulletin_1489();
+        for &t in &[10.0, 30.0, 60.0, 240.0, 1000.0] {
+            let r = c.max_ratio_for_trip_time(Seconds::new(t));
+            let back = c.trip_time(r);
+            assert!(
+                (back.as_secs() - t).abs() < 1e-6 * t,
+                "round trip failed for {t}: got {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_to_pickup_for_huge_times() {
+        let c = TripCurve::bulletin_1489();
+        let r = c.max_ratio_for_trip_time(Seconds::from_hours(1e6));
+        assert!((r.as_f64() - (1.0 + c.pickup_overload())).abs() < 1e-6);
+        let r2 = c.max_ratio_for_trip_time(Seconds::NEVER);
+        assert_eq!(r2.as_f64(), 1.0 + c.pickup_overload());
+    }
+
+    #[test]
+    fn inverse_clamps_below_instantaneous_for_tiny_times() {
+        let c = TripCurve::bulletin_1489();
+        let r = c.max_ratio_for_trip_time(Seconds::new(1e-9));
+        assert!(r.as_f64() < c.instantaneous_ratio());
+    }
+
+    #[test]
+    fn sample_covers_range() {
+        let pts = TripCurve::bulletin_1489().sample(0.05, 5.0, 32);
+        assert!((pts[0].0 - 0.05).abs() < 1e-12);
+        assert!((pts[31].0 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pickup overload")]
+    fn invalid_pickup_panics() {
+        let _ = TripCurve::inverse_power(0.5, Seconds::new(60.0), 2.0, 0.6, 4.0);
+    }
+
+    #[test]
+    fn paper_ratio_example_holds() {
+        // §VII-D: "when the CB overload decreases from 60% to 30% (2 times),
+        // the trip time increases from 1 minute to 4 minutes (4 times)".
+        let c = TripCurve::default();
+        let t1 = c.trip_time(Ratio::new(1.6));
+        let t2 = c.trip_time(Ratio::new(1.3));
+        assert!((t2.as_secs() / t1.as_secs() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! NEC-style breaker sizing helpers.
+//!
+//! Per the National Electric Code, a branch circuit serving a *continuous*
+//! load must be rated at no less than 125 % of that load (equivalently, the
+//! continuous load may use at most 80 % of the rating). The paper leans on
+//! this conservatism: a PDU that feeds 200 servers at a 55 W peak normal
+//! power sits behind a breaker rated `55 W × 200 × 1.25 = 13.75 kW`, so the
+//! infrastructure has headroom *by construction* that sprinting can exploit.
+
+use dcs_units::{Power, Ratio};
+
+/// The NEC continuous-load factor: ratings are at least 125 % of the
+/// continuous load.
+pub const NEC_CONTINUOUS_FACTOR: f64 = 1.25;
+
+/// Returns the minimum NEC-compliant breaker rating for a continuous load.
+///
+/// # Panics
+///
+/// Panics if `continuous_load` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_breaker::sizing::nec_rating;
+/// use dcs_units::Power;
+///
+/// // The paper's PDU: 200 servers x 55 W peak normal power.
+/// let rating = nec_rating(Power::from_watts(55.0) * 200.0);
+/// assert_eq!(rating.as_kilowatts(), 13.75);
+/// ```
+#[must_use]
+pub fn nec_rating(continuous_load: Power) -> Power {
+    assert!(continuous_load > Power::ZERO, "load must be positive");
+    continuous_load * NEC_CONTINUOUS_FACTOR
+}
+
+/// Returns a breaker rating with an explicit headroom fraction over the
+/// peak load, modeling an *under-provisioned* facility.
+///
+/// The paper's default data-center-level headroom is 10 % (instead of the
+/// NEC's 25 %), swept from 0 to 20 % in the evaluation.
+///
+/// # Panics
+///
+/// Panics if `peak_load` is not strictly positive or `headroom` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_breaker::sizing::rating_with_headroom;
+/// use dcs_units::{Power, Ratio};
+///
+/// let rated = rating_with_headroom(Power::from_megawatts(15.3), Ratio::from_percent(10.0));
+/// assert!((rated.as_megawatts() - 16.83).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn rating_with_headroom(peak_load: Power, headroom: Ratio) -> Power {
+    assert!(peak_load > Power::ZERO, "load must be positive");
+    assert!(headroom.as_f64() >= 0.0, "headroom must be non-negative");
+    peak_load * (1.0 + headroom.as_f64())
+}
+
+/// Returns the headroom fraction implied by a rating over a peak load
+/// (the inverse of [`rating_with_headroom`]).
+///
+/// # Panics
+///
+/// Panics if `peak_load` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_breaker::sizing::implied_headroom;
+/// use dcs_units::Power;
+///
+/// let h = implied_headroom(Power::from_kilowatts(13.75), Power::from_kilowatts(11.0));
+/// assert!((h.as_f64() - 0.25).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn implied_headroom(rating: Power, peak_load: Power) -> Ratio {
+    assert!(peak_load > Power::ZERO, "load must be positive");
+    Ratio::new(rating.as_watts() / peak_load.as_watts() - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nec_is_125_percent() {
+        let r = nec_rating(Power::from_watts(100.0));
+        assert_eq!(r.as_watts(), 125.0);
+    }
+
+    #[test]
+    fn paper_pdu_rating() {
+        let r = nec_rating(Power::from_watts(55.0) * 200.0);
+        assert_eq!(r.as_watts(), 13_750.0);
+    }
+
+    #[test]
+    fn headroom_round_trip() {
+        let peak = Power::from_megawatts(15.3);
+        for pct in [0.0, 5.0, 10.0, 20.0, 25.0] {
+            let rated = rating_with_headroom(peak, Ratio::from_percent(pct));
+            let h = implied_headroom(rated, peak);
+            assert!((h.as_percent() - pct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be positive")]
+    fn zero_load_panics() {
+        let _ = nec_rating(Power::ZERO);
+    }
+}

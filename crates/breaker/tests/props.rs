@@ -1,0 +1,86 @@
+//! Property-based tests for the circuit-breaker models.
+
+use dcs_breaker::{CircuitBreaker, TripCurve};
+use dcs_units::{Power, Ratio, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    /// The trip curve is monotone: a larger overload never trips more slowly.
+    #[test]
+    fn trip_time_monotone(a in 1.02..8.0f64, b in 1.02..8.0f64) {
+        let c = TripCurve::bulletin_1489();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(c.trip_time(Ratio::new(hi)) <= c.trip_time(Ratio::new(lo)));
+    }
+
+    /// The inverse query really produces a load with at least the asked-for
+    /// trip time.
+    #[test]
+    fn inverse_is_safe(reserve in 0.1..10_000.0f64) {
+        let c = TripCurve::bulletin_1489();
+        let ratio = c.max_ratio_for_trip_time(Seconds::new(reserve));
+        let t = c.trip_time(ratio);
+        prop_assert!(t.is_never() || t.as_secs() >= reserve * (1.0 - 1e-9));
+    }
+
+    /// Splitting a constant-overload interval into two steps accumulates the
+    /// same trip progress as applying it in one step.
+    #[test]
+    fn accumulation_is_additive(ov in 0.05..1.5f64, total in 1.0..50.0f64, split in 0.1..0.9f64) {
+        let rated = Power::from_watts(1000.0);
+        let load = rated * (1.0 + ov);
+        let mk = || CircuitBreaker::new("p", rated, TripCurve::bulletin_1489());
+
+        let mut one = mk();
+        let r1 = one.apply_load(load, Seconds::new(total)).unwrap();
+
+        let mut two = mk();
+        let r2a = two.apply_load(load, Seconds::new(total * split)).unwrap();
+        if r2a.is_none() {
+            let _ = two.apply_load(load, Seconds::new(total * (1.0 - split))).unwrap();
+        }
+        prop_assert_eq!(one.is_tripped(), two.is_tripped());
+        if !one.is_tripped() {
+            prop_assert!((one.trip_progress() - two.trip_progress()).abs() < 1e-9);
+        }
+        let _ = r1;
+    }
+
+    /// Holding exactly the reserve-rule cap keeps the breaker at least the
+    /// reserve away from tripping, from any starting thermal state.
+    #[test]
+    fn reserve_cap_is_honored(warmup in 0.0..55.0f64, reserve in 1.0..600.0f64) {
+        let rated = Power::from_watts(100.0);
+        let mut cb = CircuitBreaker::new("p", rated, TripCurve::bulletin_1489());
+        if warmup > 0.0 {
+            // Warm the breaker with a 60%-overload (60 s budget) prefix.
+            let _ = cb.apply_load(rated * 1.6, Seconds::new(warmup)).unwrap();
+        }
+        prop_assume!(!cb.is_tripped());
+        let cap = cb.max_load_with_reserve(Seconds::new(reserve));
+        let rem = cb.remaining_time_at(cap);
+        prop_assert!(rem.is_never() || rem.as_secs() >= reserve * (1.0 - 1e-6));
+    }
+
+    /// Loads at or below rating never trip a cold breaker, for any duration.
+    #[test]
+    fn rated_load_never_trips(frac in 0.0..1.0f64, hours in 0.1..1000.0f64) {
+        let rated = Power::from_watts(500.0);
+        let mut cb = CircuitBreaker::new("p", rated, TripCurve::bulletin_1489());
+        let ev = cb.apply_load(rated * frac, Seconds::from_hours(hours)).unwrap();
+        prop_assert!(ev.is_none());
+        prop_assert!(!cb.is_tripped());
+    }
+
+    /// Cooling never increases trip progress.
+    #[test]
+    fn cooling_is_monotone(warm in 1.0..50.0f64, cool in 1.0..1000.0f64) {
+        let rated = Power::from_watts(100.0);
+        let mut cb = CircuitBreaker::new("p", rated, TripCurve::bulletin_1489());
+        let _ = cb.apply_load(rated * 1.6, Seconds::new(warm)).unwrap();
+        prop_assume!(!cb.is_tripped());
+        let before = cb.trip_progress();
+        cb.apply_load(rated * 0.8, Seconds::new(cool)).unwrap();
+        prop_assert!(cb.trip_progress() <= before + 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sprint energy-budget estimation.
+
+use crate::PowerCurve;
+use dcs_breaker::CircuitBreaker;
+use dcs_units::{Energy, Power, Ratio, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Returns the extra energy a single breaker can deliver above its rating
+/// while the controller's reserve rule is honored, starting from the
+/// breaker's current thermal state.
+///
+/// Under the reserve rule the controller holds the remaining trip time at
+/// `R`, i.e. `(1 − h) · t(ov) = R`. With the linear-accumulation breaker
+/// model this gives `1 − h = e^{−t/R}` and, for an inverse-square curve,
+/// an overload decaying as `ov(t) = ov(0) · e^{−t/(2R)}`. Integrating the
+/// extra power `rated × ov(t)` yields a closed form
+///
+/// ```text
+/// E_extra = 2 · R · rated · ov(0),   ov(0) = ov_ref · sqrt(t_ref · (1−h) / R)
+/// ```
+///
+/// which this function evaluates numerically (so it remains correct for
+/// non-square trip-curve exponents) by stepping the reserve-rule cap.
+///
+/// # Panics
+///
+/// Panics if `reserve` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_breaker::{CircuitBreaker, TripCurve};
+/// use dcs_core::cb_overload_energy;
+/// use dcs_units::{Power, Seconds};
+///
+/// let cb = CircuitBreaker::new("pdu", Power::from_kilowatts(13.75), TripCurve::bulletin_1489());
+/// let e = cb_overload_energy(&cb, Seconds::new(60.0));
+/// // Closed form: 2 x 60 s x 13.75 kW x 0.6 = 990 kJ (2% discretization).
+/// assert!((e.as_joules() - 990_000.0).abs() < 20_000.0);
+/// ```
+#[must_use]
+pub fn cb_overload_energy(breaker: &CircuitBreaker, reserve: Seconds) -> Energy {
+    assert!(reserve > Seconds::ZERO, "reserve must be positive");
+    if breaker.is_tripped() {
+        return Energy::ZERO;
+    }
+    // Numerically follow the reserve-rule trajectory on a clone.
+    let mut cb = breaker.clone();
+    let dt = reserve * 0.01;
+    let mut total = Energy::ZERO;
+    // The decay is exponential with time constant 2R; 20 reserves covers
+    // e^-10 of the tail.
+    let steps = 2000;
+    for _ in 0..steps {
+        let cap = cb.max_load_with_reserve(reserve);
+        let extra = (cap - breaker.rated()).max_zero();
+        if extra.as_watts() < breaker.rated().as_watts() * 1e-6 {
+            break;
+        }
+        total += extra * dt;
+        cb.apply_load(cap, dt).expect("reserve rule prevents trips");
+    }
+    total
+}
+
+/// The additional-energy budget of one sprint and its consumption state.
+///
+/// `EB_tot` (the paper's total energy budget) sums, at sprint start:
+///
+/// * the UPS fleet's deliverable energy,
+/// * the CB-overload energy of every breaker level under the reserve rule,
+/// * the chiller savings the TES tank can fund (heat capacity × the
+///   chiller share of the cooling unit cost).
+///
+/// The controller debits the budget with the additional energy actually
+/// spent each step; `RE(t) = remaining / total` feeds the Heuristic
+/// strategy (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBudget {
+    total: Energy,
+    spent: Energy,
+}
+
+impl EnergyBudget {
+    /// Creates a budget with the given total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is negative.
+    #[must_use]
+    pub fn new(total: Energy) -> EnergyBudget {
+        assert!(total >= Energy::ZERO, "budget must be non-negative");
+        EnergyBudget {
+            total,
+            spent: Energy::ZERO,
+        }
+    }
+
+    /// Returns the total budget (`EB_tot`).
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.total
+    }
+
+    /// Returns the energy spent so far.
+    #[must_use]
+    pub fn spent(&self) -> Energy {
+        self.spent
+    }
+
+    /// Returns the remaining budget, floored at zero.
+    #[must_use]
+    pub fn remaining(&self) -> Energy {
+        (self.total - self.spent).max_zero()
+    }
+
+    /// Returns the remaining fraction `RE(t)` in `[0, 1]` (1 for an empty
+    /// total budget, i.e. nothing to exhaust).
+    #[must_use]
+    pub fn remaining_fraction(&self) -> Ratio {
+        if self.total.is_zero() {
+            Ratio::ONE
+        } else {
+            self.remaining().ratio_of(self.total).clamp(Ratio::ZERO, Ratio::ONE)
+        }
+    }
+
+    /// Debits `power` drawn for `dt` from the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or `dt` is not strictly positive and
+    /// finite.
+    pub fn debit(&mut self, power: Power, dt: Seconds) {
+        assert!(power >= Power::ZERO, "power must be non-negative");
+        assert!(
+            dt > Seconds::ZERO && !dt.is_never(),
+            "time step must be positive and finite"
+        );
+        self.spent += power * dt;
+    }
+
+    /// Returns the predicted sprint duration `SDu_p = EB_tot / P_add(d)`
+    /// for sprinting at degree `d` (the paper's definition, with `P_add`
+    /// the additional facility power at that degree). Returns
+    /// [`Seconds::NEVER`] when the degree draws no additional power.
+    #[must_use]
+    pub fn predicted_duration(&self, curve: &PowerCurve, degree: Ratio) -> Seconds {
+        let p = curve.additional_power(degree);
+        if p.is_zero() {
+            Seconds::NEVER
+        } else {
+            self.total / p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_breaker::TripCurve;
+    use dcs_server::ServerSpec;
+
+    #[test]
+    fn cb_energy_matches_closed_form() {
+        let cb = CircuitBreaker::new(
+            "x",
+            Power::from_kilowatts(10.0),
+            TripCurve::bulletin_1489(),
+        );
+        for reserve_s in [30.0, 60.0, 120.0] {
+            let reserve = Seconds::new(reserve_s);
+            let e = cb_overload_energy(&cb, reserve);
+            // ov(0) = 0.6 * sqrt(60 / R); E = 2 R rated ov(0).
+            let ov0 = 0.6 * (60.0 / reserve_s).sqrt();
+            let expect = 2.0 * reserve_s * 10_000.0 * ov0;
+            assert!(
+                (e.as_joules() - expect).abs() < expect * 0.02,
+                "R={reserve_s}: {} vs {}",
+                e.as_joules(),
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn warm_breaker_has_less_cb_energy() {
+        let mut cb = CircuitBreaker::new(
+            "x",
+            Power::from_kilowatts(10.0),
+            TripCurve::bulletin_1489(),
+        );
+        let cold = cb_overload_energy(&cb, Seconds::new(60.0));
+        cb.apply_load(Power::from_kilowatts(16.0), Seconds::new(30.0))
+            .unwrap();
+        let warm = cb_overload_energy(&cb, Seconds::new(60.0));
+        assert!(warm < cold);
+    }
+
+    #[test]
+    fn tripped_breaker_has_zero_cb_energy() {
+        let mut cb = CircuitBreaker::new(
+            "x",
+            Power::from_kilowatts(1.0),
+            TripCurve::bulletin_1489(),
+        );
+        cb.apply_load(Power::from_kilowatts(10.0), Seconds::new(1.0))
+            .unwrap();
+        assert_eq!(cb_overload_energy(&cb, Seconds::new(60.0)), Energy::ZERO);
+    }
+
+    #[test]
+    fn budget_debit_and_fraction() {
+        let mut b = EnergyBudget::new(Energy::from_joules(1000.0));
+        assert_eq!(b.remaining_fraction(), Ratio::ONE);
+        b.debit(Power::from_watts(250.0), Seconds::new(2.0));
+        assert_eq!(b.remaining().as_joules(), 500.0);
+        assert_eq!(b.remaining_fraction().as_f64(), 0.5);
+        b.debit(Power::from_watts(1000.0), Seconds::new(2.0));
+        assert_eq!(b.remaining(), Energy::ZERO);
+        assert_eq!(b.remaining_fraction(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn empty_budget_fraction_is_one() {
+        assert_eq!(EnergyBudget::new(Energy::ZERO).remaining_fraction(), Ratio::ONE);
+    }
+
+    #[test]
+    fn predicted_duration_scales_inversely() {
+        let curve = PowerCurve::new(ServerSpec::paper_default(), 1000);
+        let b = EnergyBudget::new(Energy::from_kilowatt_hours(10.0));
+        let short = b.predicted_duration(&curve, Ratio::new(4.0));
+        let long = b.predicted_duration(&curve, Ratio::new(2.0));
+        assert!(short < long);
+        assert!(b.predicted_duration(&curve, Ratio::ONE).is_never());
+    }
+}

@@ -1,0 +1,851 @@
+//! The three-phase sprinting controller.
+
+use crate::budget::{cb_overload_energy, EnergyBudget};
+use crate::{PowerCurve, SprintInfo, SprintStrategy, StrategyContext};
+use dcs_power::{DataCenterSpec, PowerTopology};
+use dcs_thermal::{CoolingPlant, RoomModel, TesTank};
+use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds};
+use dcs_ups::{Chemistry, UpsFleet};
+use serde::{Deserialize, Serialize};
+
+/// Which phase of the methodology the facility is in (for telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Not sprinting.
+    Normal,
+    /// Phase 1: sprinting on CB overload tolerance alone.
+    CbOnly,
+    /// Phase 2: UPS batteries are carrying part of the load.
+    Ups,
+    /// Phase 3: the TES tank is absorbing heat (UPS may still be active).
+    Tes,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Normal => write!(f, "normal"),
+            Phase::CbOnly => write!(f, "phase 1 (CB)"),
+            Phase::Ups => write!(f, "phase 2 (UPS)"),
+            Phase::Tes => write!(f, "phase 3 (TES)"),
+        }
+    }
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Minimum remaining-time-before-trip the controller preserves on every
+    /// breaker (the paper's user-defined "1 minute" parameter).
+    pub reserve: Seconds,
+    /// UPS battery chemistry.
+    pub ups_chemistry: Chemistry,
+    /// Per-server UPS battery rating (the paper's 0.5 Ah default).
+    pub ups_rating: Charge,
+    /// TES sizing: minutes of full cooling load at peak normal server power
+    /// (the paper's 12 minutes).
+    pub tes_minutes: f64,
+    /// Demand level above which a burst (and sprint) begins.
+    pub burst_threshold: f64,
+    /// Recharge UPS/TES when the facility is quiet.
+    pub recharge_when_quiet: bool,
+    /// Per-server UPS recharge power when quiet.
+    pub ups_recharge_per_server: Power,
+    /// TES recharge heat rate as a fraction of the chiller design capacity.
+    pub tes_recharge_fraction: f64,
+    /// During Phase 3, the fraction of the *chiller-servable* heat the TES
+    /// additionally takes over (on top of the sprint's heat gap, which it
+    /// must cover entirely) to cut chiller power and relieve the DC-level
+    /// breaker.
+    pub tes_replace_fraction: f64,
+    /// Phase 3 engages when the room's time-to-threshold at the current
+    /// heat gap falls to this horizon. On a fresh room with a full gap
+    /// this reproduces the paper's "activate TES at the 5th minute" rule
+    /// (the calibrated room hits the threshold at 6 minutes); unlike the
+    /// paper's open-loop schedule it stays safe when consecutive bursts
+    /// leave residual heat.
+    pub thermal_horizon: Seconds,
+    /// §V-C's strict rule: "If the TES capacity is used up, we need to
+    /// terminate the sprinting process ... decreasing the number of active
+    /// cores to the normal level". When `false` (the default) the
+    /// controller instead sheds cores only as far as thermal and power
+    /// feasibility require, which strictly dominates — see the
+    /// `ablation_termination` bench for the comparison.
+    pub terminate_on_tes_exhaustion: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            reserve: Seconds::new(60.0),
+            ups_chemistry: Chemistry::LithiumIronPhosphate,
+            ups_rating: Charge::from_amp_hours(0.5),
+            tes_minutes: 12.0,
+            burst_threshold: 1.0,
+            recharge_when_quiet: true,
+            ups_recharge_per_server: Power::from_watts(5.0),
+            tes_recharge_fraction: 0.1,
+            tes_replace_fraction: 0.25,
+            thermal_horizon: Seconds::new(60.0),
+            terminate_on_tes_exhaustion: false,
+        }
+    }
+}
+
+/// Telemetry produced by one controller step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Simulation time at the *start* of the step.
+    pub time: Seconds,
+    /// Offered normalized demand.
+    pub demand: f64,
+    /// Served normalized demand (the paper's instantaneous performance).
+    pub served: f64,
+    /// Active cores per server.
+    pub cores: u32,
+    /// Sprinting degree actually running.
+    pub degree: Ratio,
+    /// The strategy's upper bound this period.
+    pub upper_bound: Ratio,
+    /// Facility IT power.
+    pub it_power: Power,
+    /// Facility cooling electric power.
+    pub cooling_power: Power,
+    /// Power carried by UPS batteries (removed from the PDUs).
+    pub ups_power: Power,
+    /// Heat absorbed by the TES tank.
+    pub tes_heat: Power,
+    /// PDU-delivered power above the facility's peak normal IT power.
+    pub cb_extra_power: Power,
+    /// Current methodology phase.
+    pub phase: Phase,
+    /// Room air temperature after the step.
+    pub temperature: Celsius,
+    /// `true` while a sprint is active.
+    pub sprinting: bool,
+    /// `true` if any breaker tripped this step (a safety violation — the
+    /// controlled sprint is designed to make this impossible).
+    pub tripped: bool,
+    /// `true` if the room reached its thermal threshold this step.
+    pub overheated: bool,
+}
+
+/// A candidate cooling assignment for one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CoolingPlan {
+    via_tes: Power,
+    via_chiller: Power,
+    electric: Power,
+    /// `false` when the sprint's heat gap cannot be absorbed (TES depleted
+    /// or flow-limited) — the core count must shrink.
+    feasible: bool,
+}
+
+/// Cumulative sprint bookkeeping across consecutive bursts.
+///
+/// The paper's burst statistics are aggregates: the MS trace's "real burst
+/// duration" of 16.2 minutes sums over four consecutive bursts, and the
+/// energy stores drain across all of them. The strategies therefore see
+/// cumulative sprint time, cumulative average degree, and one energy
+/// budget fixed when the first burst arrives.
+#[derive(Debug, Clone)]
+struct RunState {
+    degree_integral: f64,
+    sprint_elapsed: f64,
+    budget: EnergyBudget,
+    /// Whether Phase 3 has ever engaged (for the strict termination rule).
+    tes_engaged: bool,
+}
+
+/// The Data Center Sprinting controller: owns the plant and runs the
+/// three-phase methodology each control period.
+///
+/// See the [crate documentation](crate) for an example.
+pub struct SprintController {
+    spec: DataCenterSpec,
+    config: ControllerConfig,
+    strategy: Box<dyn SprintStrategy>,
+    topo: PowerTopology,
+    ups: UpsFleet,
+    plant: CoolingPlant,
+    tes: TesTank,
+    room: RoomModel,
+    now: Seconds,
+    sprint_active: bool,
+    run_state: Option<RunState>,
+    /// Highest demand seen so far across the whole run: consecutive bursts
+    /// share one demand history (the strategies' burst-degree estimate).
+    max_demand_seen: f64,
+    terminated: bool,
+    /// Strict §V-C termination latch: sprinting stays off until the
+    /// current burst has passed.
+    hold_until_quiet: bool,
+    /// Exogenous DC-level load (e.g. an unexpected utility power spike,
+    /// §IV-A); subtracted from the DC breaker budget every step.
+    external_load: Power,
+    // Lifetime additional-energy accounting, for the §VII-A split.
+    ups_energy: Energy,
+    tes_heat_energy: Energy,
+    tes_savings_energy: Energy,
+    cb_extra_energy: Energy,
+}
+
+impl std::fmt::Debug for SprintController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SprintController")
+            .field("strategy", &self.strategy.name())
+            .field("now", &self.now)
+            .field("sprinting", &self.sprint_active)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SprintController {
+    /// Builds a controller for a facility, with every store full and every
+    /// breaker cold.
+    #[must_use]
+    pub fn new(
+        spec: DataCenterSpec,
+        config: ControllerConfig,
+        strategy: Box<dyn SprintStrategy>,
+    ) -> SprintController {
+        let topo = PowerTopology::new(&spec);
+        let ups = UpsFleet::new(spec.total_servers(), config.ups_chemistry, config.ups_rating);
+        let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
+        let tes = TesTank::sized_for(
+            spec.peak_normal_it_power(),
+            Seconds::from_minutes(config.tes_minutes),
+        );
+        let room = RoomModel::calibrated(spec.peak_normal_it_power());
+        SprintController {
+            spec,
+            config,
+            strategy,
+            topo,
+            ups,
+            plant,
+            tes,
+            room,
+            now: Seconds::ZERO,
+            sprint_active: false,
+            run_state: None,
+            max_demand_seen: 0.0,
+            terminated: false,
+            hold_until_quiet: false,
+            external_load: Power::ZERO,
+            ups_energy: Energy::ZERO,
+            tes_heat_energy: Energy::ZERO,
+            tes_savings_energy: Energy::ZERO,
+            cb_extra_energy: Energy::ZERO,
+        }
+    }
+
+    /// Returns the facility spec.
+    #[must_use]
+    pub fn spec(&self) -> &DataCenterSpec {
+        &self.spec
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Returns the strategy name.
+    #[must_use]
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
+    }
+
+    /// Returns the current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Returns the UPS fleet state.
+    #[must_use]
+    pub fn ups(&self) -> &UpsFleet {
+        &self.ups
+    }
+
+    /// Returns the TES tank state.
+    #[must_use]
+    pub fn tes(&self) -> &TesTank {
+        &self.tes
+    }
+
+    /// Returns the room model state.
+    #[must_use]
+    pub fn room(&self) -> &RoomModel {
+        &self.room
+    }
+
+    /// Returns the breaker topology state.
+    #[must_use]
+    pub fn topology(&self) -> &PowerTopology {
+        &self.topo
+    }
+
+    /// Sets an exogenous DC-level load that persists until changed.
+    ///
+    /// §IV-A: *"some special cases that occur during the sprinting
+    /// process, such as unexpected power spikes in the utility power
+    /// supply. When these issues lead to higher CB overload, which can be
+    /// detected with real-time power measurement, we immediately lower the
+    /// sprinting degree or end sprinting."* The allocator subtracts this
+    /// load from the DC budget, so the next step's feasibility search
+    /// sheds cores automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative.
+    pub fn set_external_load(&mut self, load: Power) {
+        assert!(load >= Power::ZERO, "external load must be non-negative");
+        self.external_load = load;
+    }
+
+    /// Returns the current exogenous DC-level load.
+    #[must_use]
+    pub fn external_load(&self) -> Power {
+        self.external_load
+    }
+
+    /// Returns the lifetime additional-energy split
+    /// `(cb_extra, ups, tes_savings)` — the quantities behind the paper's
+    /// "the UPS and TES provide 54 % and 13 % of the additional energy".
+    ///
+    /// All three are *electric* energies: the TES term is the chiller
+    /// power its discharge saved (heat absorbed × the chiller share of the
+    /// cooling unit cost), which is how the paper counts the TES
+    /// contribution at the DC level. The raw heat ledger is available via
+    /// [`SprintController::tes_heat_total`].
+    #[must_use]
+    pub fn energy_split(&self) -> (Energy, Energy, Energy) {
+        (self.cb_extra_energy, self.ups_energy, self.tes_savings_energy)
+    }
+
+    /// Returns the total heat the TES tank absorbed (for energy-conservation
+    /// checks against the tank's state of charge).
+    #[must_use]
+    pub fn tes_heat_total(&self) -> Energy {
+        self.tes_heat_energy
+    }
+
+    /// Computes the sprint's total additional-energy budget (`EB_tot`):
+    /// UPS deliverable energy, plus CB-overload energy under the reserve
+    /// rule (the tighter of the PDU and DC levels), plus the chiller
+    /// savings the TES store can fund.
+    #[must_use]
+    pub fn total_energy_budget(&self) -> Energy {
+        let ups = self.ups.deliverable();
+        let pdu_cb = if self.topo.pdu_count() > 0 {
+            cb_overload_energy(&self.topo.pdu_breakers()[0], self.config.reserve)
+                * self.topo.pdu_count() as f64
+        } else {
+            Energy::ZERO
+        };
+        let dc_cb = cb_overload_energy(self.topo.dc_breaker(), self.config.reserve);
+        let cb = pdu_cb.min(dc_cb);
+        let tes_savings = self.tes.stored() * (self.plant.unit_cost() * dcs_thermal::CHILLER_SHARE
+            / 1.0);
+        ups + cb + tes_savings
+    }
+
+    fn power_curve(&self) -> PowerCurve {
+        PowerCurve::new(self.spec.server().clone(), self.spec.total_servers())
+    }
+
+    /// The cooling plan for a candidate heat load.
+    ///
+    /// In phases 1–2 the extra heat rides on the room's thermal
+    /// capacitance. Phase 3 engages once the room's time-to-threshold at
+    /// the candidate gap falls to the configured horizon — on a fresh room
+    /// with a full gap that is the paper's "activate TES at the 5th
+    /// minute" rule. Once engaged, the TES **must** absorb the entire gap
+    /// (or the plan is infeasible and the controller sheds cores — the
+    /// paper's "terminate on TES exhaustion"), and it additionally
+    /// replaces part of the chiller load to cut cooling power.
+    fn plan_cooling(&self, heat: Power, sprinting_extra: bool, dt: Seconds) -> CoolingPlan {
+        let design = self.plant.design_capacity();
+        let gap = (heat - design).max_zero();
+        let mut via_tes = Power::ZERO;
+        let mut feasible = true;
+        if sprinting_extra && gap > Power::ZERO {
+            let tes_engaged = self.room.time_to_threshold(gap) <= self.config.thermal_horizon;
+            if tes_engaged {
+                let available = self.tes.available_rate(dt);
+                let replace = heat.min(design) * self.config.tes_replace_fraction;
+                via_tes = (gap + replace).min(available);
+                feasible = via_tes + Power::from_watts(1e-6) >= gap;
+            }
+        }
+        let mut via_chiller = (heat - via_tes).max_zero().min(design);
+        // Re-cool the room at full chiller blast when it is above setpoint
+        // and there is no sprint-induced gap to honor.
+        if !sprinting_extra && self.room.temperature() > self.room.setpoint() && heat <= design {
+            via_chiller = design;
+        }
+        CoolingPlan {
+            via_tes,
+            via_chiller,
+            electric: self.plant.electric_power(via_chiller, via_tes),
+            feasible,
+        }
+    }
+
+    /// Advances the controller by one period with the given normalized
+    /// demand, returning the step's telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step(&mut self, demand: f64, dt: Seconds) -> StepRecord {
+        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
+        assert!(
+            dt > Seconds::ZERO && !dt.is_never(),
+            "time step must be positive and finite"
+        );
+        let time = self.now;
+        let server = self.spec.server().clone();
+        let normal_cores = server.normal_cores();
+        let n_servers = self.spec.total_servers() as f64;
+        let peak_normal_it = self.spec.peak_normal_it_power();
+        if demand <= self.config.burst_threshold {
+            self.hold_until_quiet = false;
+        }
+        let in_burst =
+            demand > self.config.burst_threshold && !self.terminated && !self.hold_until_quiet;
+
+        self.strategy.observe(demand, dt);
+
+        // --- Sprint lifecycle -------------------------------------------
+        if in_burst && !self.sprint_active && self.run_state.is_none() {
+            // First burst of the run: fix the energy budget and brief the
+            // strategy. Consecutive bursts share budget and stats.
+            let budget = EnergyBudget::new(self.total_energy_budget());
+            let info = SprintInfo {
+                total_energy_budget: budget.total(),
+                power_curve: self.power_curve(),
+                max_degree: server.max_degree(),
+            };
+            self.strategy.on_sprint_start(&info);
+            self.run_state = Some(RunState {
+                degree_integral: 0.0,
+                sprint_elapsed: 0.0,
+                budget,
+                tes_engaged: false,
+            });
+        }
+        self.sprint_active = in_burst;
+
+        // --- Strategy bound ----------------------------------------------
+        self.max_demand_seen = self.max_demand_seen.max(demand);
+        let upper_bound = if self.sprint_active {
+            let run = self.run_state.as_ref().expect("run state exists while sprinting");
+            // Before any sprint time has elapsed the average degree is
+            // undefined; the paper's Eq. 1 then reads BDu_e = BDu_p, i.e.
+            // SDe_avg starts at SDe_max.
+            let avg_degree = if run.sprint_elapsed > 0.0 {
+                Ratio::new((run.degree_integral / run.sprint_elapsed).max(1.0))
+            } else {
+                server.max_degree()
+            };
+            let ctx = StrategyContext {
+                since_burst_start: Seconds::new(run.sprint_elapsed),
+                demand,
+                max_demand_seen: self.max_demand_seen,
+                max_degree: server.max_degree(),
+                avg_degree,
+                remaining_energy: run.budget.remaining_fraction(),
+            };
+            self.strategy
+                .upper_bound(&ctx)
+                .clamp(Ratio::ONE, server.max_degree())
+        } else {
+            Ratio::ONE
+        };
+
+        // --- Core selection under power and thermal feasibility -----------
+        let bound_cores = server.cores_at_degree(upper_bound).max(normal_cores);
+        let needed_cores = server.cores_for_demand(Ratio::new(demand)).max(normal_cores);
+        let desired_cores = needed_cores.min(bound_cores);
+
+        // Feasibility is monotone in the core count, so walk down from the
+        // desired count; the normal count is always feasible.
+        let mut chosen = normal_cores;
+        let mut per_server = server.power_serving(normal_cores, Ratio::new(demand));
+        let mut plan = self.plan_cooling(per_server * n_servers, false, dt);
+        // Breaker caps depend only on thermal state and the reserve, not on
+        // the candidate core count — compute them once per step.
+        let caps = self.topo.caps(self.config.reserve);
+        // Even the normal core count can need UPS relief (zero headroom, or
+        // an exogenous load eating the DC budget): compute its deficit too.
+        let mut deficit_total = {
+            let dc_it_budget = (caps.dc_total - plan.electric - self.external_load).max_zero();
+            let allowed_per_pdu = caps
+                .per_pdu
+                .min(dc_it_budget / self.topo.pdu_count() as f64);
+            let per_pdu_desired = per_server * self.spec.servers_per_pdu() as f64;
+            (per_pdu_desired - allowed_per_pdu).max_zero() * self.topo.pdu_count() as f64
+        };
+        for cores in (normal_cores + 1..=desired_cores.max(normal_cores)).rev() {
+            let cand_per_server = server.power_serving(cores, Ratio::new(demand));
+            let it_total = cand_per_server * n_servers;
+            let cand_plan = self.plan_cooling(it_total, true, dt);
+            if !cand_plan.feasible {
+                continue;
+            }
+            let dc_it_budget =
+                (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
+            let allowed_per_pdu = caps
+                .per_pdu
+                .min(dc_it_budget / self.topo.pdu_count() as f64);
+            let per_pdu_desired = cand_per_server * self.spec.servers_per_pdu() as f64;
+            let cand_deficit =
+                (per_pdu_desired - allowed_per_pdu).max_zero() * self.topo.pdu_count() as f64;
+            let ups_max = (self.ups.deliverable() / dt).min(cand_per_server * n_servers);
+            if cand_deficit <= ups_max + Power::from_watts(1e-6) {
+                chosen = cores;
+                per_server = cand_per_server;
+                plan = cand_plan;
+                deficit_total = cand_deficit;
+                break;
+            }
+        }
+
+        let it_total = per_server * n_servers;
+
+        // --- Actuation ----------------------------------------------------
+        // Phase 2: offload the CB deficit onto UPS batteries.
+        let ups_got = if deficit_total > Power::ZERO {
+            self.ups.offload(deficit_total, per_server, dt)
+        } else {
+            self.ups
+                .offload(Power::ZERO, per_server.max(Power::from_watts(1.0)), dt)
+        };
+        // Phase 3: discharge the TES per the plan.
+        let tes_got = if plan.via_tes > Power::ZERO {
+            self.tes.discharge(plan.via_tes, dt)
+        } else {
+            Power::ZERO
+        };
+        let via_chiller = plan.via_chiller;
+
+        // Quiet-time recharge rides under the breaker ratings.
+        let mut recharge_power = Power::ZERO;
+        if self.config.recharge_when_quiet
+            && !self.sprint_active
+            && demand < 0.9 * self.config.burst_threshold
+        {
+            let accepted = self.ups.recharge(
+                self.config.ups_recharge_per_server * n_servers,
+                dt,
+            );
+            recharge_power += accepted;
+            let tes_rate = self.plant.design_capacity() * self.config.tes_recharge_fraction;
+            let tes_accepted = self.tes.recharge(tes_rate, dt);
+            // Re-chilling costs chiller power for the extra heat capacity.
+            recharge_power += tes_accepted * self.plant.unit_cost();
+        }
+
+        let cooling_power = self.plant.electric_power(via_chiller, tes_got);
+        let net_it_through_pdus = (it_total - ups_got).max_zero() + recharge_power;
+        let per_pdu_net = net_it_through_pdus / self.topo.pdu_count() as f64;
+        let events =
+            self.topo
+                .step_uniform(per_pdu_net, cooling_power + self.external_load, dt);
+        let tripped = !events.is_empty();
+
+        // --- Thermal ------------------------------------------------------
+        self.room.step(it_total, via_chiller + tes_got, dt);
+        let overheated = self.room.is_over_threshold();
+        if let Some(run) = self.run_state.as_mut() {
+            if tes_got > Power::ZERO {
+                run.tes_engaged = true;
+            }
+            // §V-C strict mode: once the TES a sprint relied on is used up,
+            // the sprint terminates until the burst has passed.
+            if self.config.terminate_on_tes_exhaustion
+                && run.tes_engaged
+                && self.tes.is_depleted()
+            {
+                self.sprint_active = false;
+                self.hold_until_quiet = true;
+            }
+        }
+        if overheated || tripped {
+            // Safety: terminate the sprint permanently. With the TES
+            // deadline rule this should be unreachable; it guards against
+            // misconfiguration.
+            self.sprint_active = false;
+            self.terminated = true;
+        }
+
+        // --- Accounting ----------------------------------------------------
+        let cb_extra = (net_it_through_pdus - peak_normal_it).max_zero();
+        // The finite part of the CB contribution is only the power *above
+        // the breaker ratings*: the NEC band between peak normal and rated
+        // is sustainable indefinitely and must not drain the sprint budget.
+        let pdu_rated_total = self.spec.pdu_rated() * self.topo.pdu_count() as f64;
+        let cb_above_rated = (net_it_through_pdus - pdu_rated_total).max_zero();
+        let tes_savings = self.plant.tes_savings(tes_got);
+        self.ups_energy += ups_got * dt;
+        self.tes_heat_energy += tes_got * dt;
+        self.tes_savings_energy += tes_savings * dt;
+        self.cb_extra_energy += cb_extra * dt;
+        let degree = server.degree_of_cores(chosen);
+        if self.sprint_active {
+            let run = self.run_state.as_mut().expect("run state exists while sprinting");
+            run.degree_integral += degree.as_f64() * dt.as_secs();
+            run.sprint_elapsed += dt.as_secs();
+            run.budget
+                .debit(ups_got + cb_above_rated + tes_savings, dt);
+        }
+
+        let served = demand.min(server.capacity_at_cores(chosen));
+        let phase = if !self.sprint_active || chosen == normal_cores && ups_got.is_zero() && tes_got.is_zero() {
+            Phase::Normal
+        } else if tes_got > Power::ZERO {
+            Phase::Tes
+        } else if ups_got > Power::ZERO {
+            Phase::Ups
+        } else {
+            Phase::CbOnly
+        };
+
+        self.now += dt;
+        StepRecord {
+            time,
+            demand,
+            served,
+            cores: chosen,
+            degree,
+            upper_bound,
+            it_power: it_total,
+            cooling_power,
+            ups_power: ups_got,
+            tes_heat: tes_got,
+            cb_extra_power: cb_extra,
+            phase,
+            temperature: self.room.temperature(),
+            sprinting: self.sprint_active,
+            tripped,
+            overheated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Greedy;
+
+    fn small() -> SprintController {
+        let spec = DataCenterSpec::paper_default().with_scale(4, 200);
+        SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy))
+    }
+
+    #[test]
+    fn quiet_demand_served_with_normal_cores() {
+        let mut c = small();
+        for _ in 0..60 {
+            let r = c.step(0.7, Seconds::new(1.0));
+            assert_eq!(r.cores, 12);
+            assert_eq!(r.served, 0.7);
+            assert_eq!(r.phase, Phase::Normal);
+            assert!(!r.tripped);
+        }
+    }
+
+    #[test]
+    fn burst_activates_sprint() {
+        let mut c = small();
+        let r = c.step(2.5, Seconds::new(1.0));
+        assert!(r.sprinting);
+        assert!(r.cores > 12);
+        assert!(r.served > 1.0);
+    }
+
+    #[test]
+    fn controlled_sprint_never_trips_breakers() {
+        let mut c = small();
+        // A brutal 30-minute demand-4 burst.
+        for _ in 0..1800 {
+            let r = c.step(4.0, Seconds::new(1.0));
+            assert!(!r.tripped, "tripped at {}", r.time);
+        }
+    }
+
+    #[test]
+    fn controlled_sprint_never_overheats() {
+        let mut c = small();
+        for _ in 0..1800 {
+            let r = c.step(4.0, Seconds::new(1.0));
+            assert!(!r.overheated, "overheated at {} ({})", r.time, r.temperature);
+        }
+    }
+
+    #[test]
+    fn phases_progress_in_order() {
+        let mut c = small();
+        let mut seen = Vec::new();
+        // A moderate burst: Phase 1 can initially carry it on CB tolerance
+        // alone, then UPS joins as the overload bound decays, then TES.
+        for _ in 0..1200 {
+            let r = c.step(2.0, Seconds::new(1.0));
+            if seen.last() != Some(&r.phase) {
+                seen.push(r.phase);
+            }
+        }
+        // Phase 1 must come before phase 2, which must come before phase 3.
+        let p1 = seen.iter().position(|p| *p == Phase::CbOnly);
+        let p2 = seen.iter().position(|p| *p == Phase::Ups);
+        let p3 = seen.iter().position(|p| *p == Phase::Tes);
+        assert!(p1.is_some() && p2.is_some() && p3.is_some(), "phases seen: {seen:?}");
+        assert!(p1 < p2 && p2 < p3, "phases out of order: {seen:?}");
+    }
+
+    #[test]
+    fn sprint_ends_when_burst_ends() {
+        let mut c = small();
+        for _ in 0..60 {
+            c.step(2.0, Seconds::new(1.0));
+        }
+        let r = c.step(0.8, Seconds::new(1.0));
+        assert!(!r.sprinting);
+        assert_eq!(r.cores, 12);
+    }
+
+    #[test]
+    fn long_sprint_degrades_gracefully() {
+        let mut c = small();
+        let mut final_served = 0.0;
+        for _ in 0..1800 {
+            final_served = c.step(4.0, Seconds::new(1.0)).served;
+        }
+        // After resources drain the sprint degree collapses toward normal,
+        // but the facility keeps serving at least the normal capacity.
+        assert!(final_served >= 1.0 - 1e-9);
+        // And the stores are indeed drained: the UPS is effectively empty.
+        assert!(c.ups().state_of_charge().as_f64() < 0.05);
+    }
+
+    #[test]
+    fn recharge_refills_stores_when_quiet() {
+        let mut c = small();
+        for _ in 0..300 {
+            c.step(3.5, Seconds::new(1.0));
+        }
+        let soc_after_burst = c.ups().state_of_charge();
+        for _ in 0..600 {
+            let r = c.step(0.5, Seconds::new(1.0));
+            assert!(!r.tripped);
+        }
+        assert!(c.ups().state_of_charge() > soc_after_burst);
+    }
+
+    #[test]
+    fn energy_split_accumulates() {
+        let mut c = small();
+        for _ in 0..900 {
+            c.step(3.5, Seconds::new(1.0));
+        }
+        let (cb, ups, tes) = c.energy_split();
+        assert!(cb > Energy::ZERO);
+        assert!(ups > Energy::ZERO);
+        assert!(tes > Energy::ZERO);
+    }
+
+    #[test]
+    fn budget_is_positive_and_finite() {
+        let c = small();
+        let eb = c.total_energy_budget();
+        assert!(eb > Energy::ZERO);
+        // The UPS share alone: 800 servers x ~5.7 Wh of deliverable energy.
+        assert!(eb > Energy::from_watt_hours(800.0 * 5.0));
+    }
+
+    #[test]
+    fn power_spike_sheds_degree_immediately() {
+        // §IV-A: an unexpected utility power spike must lower the sprinting
+        // degree at the next control period without tripping anything.
+        // Sprint long enough to drain the UPS first — while batteries hold,
+        // the controller absorbs spikes by shifting servers onto them.
+        let mut c = small();
+        for _ in 0..900 {
+            c.step(2.5, Seconds::new(1.0));
+        }
+        let before = c.step(2.5, Seconds::new(1.0));
+        assert!(before.cores > 12);
+        // A spike the drained UPS cannot absorb (but small enough that
+        // normal operation still fits under the breaker rating).
+        c.set_external_load(c.spec().dc_rated() * 0.04);
+        let after = c.step(2.5, Seconds::new(1.0));
+        assert!(
+            after.cores < before.cores,
+            "degree must drop: {} -> {}",
+            before.cores,
+            after.cores
+        );
+        assert!(!after.tripped);
+        // Spike clears: the sprint recovers.
+        c.set_external_load(Power::ZERO);
+        let recovered = c.step(2.5, Seconds::new(1.0));
+        assert!(recovered.cores >= after.cores);
+    }
+
+    #[test]
+    fn sustained_spike_never_trips() {
+        // A spike that still leaves room for normal operation: the
+        // controller must ride it indefinitely without a trip, shedding
+        // the sprint as needed.
+        let mut c = small();
+        c.set_external_load(c.spec().dc_rated() * 0.05);
+        for _ in 0..1800 {
+            let r = c.step(3.0, Seconds::new(1.0));
+            assert!(!r.tripped, "tripped at {}", r.time);
+        }
+    }
+
+    #[test]
+    fn strict_termination_ends_sprint_until_quiet() {
+        let spec = DataCenterSpec::paper_default().with_scale(4, 200);
+        let config = ControllerConfig {
+            terminate_on_tes_exhaustion: true,
+            // A tiny TES that exhausts quickly.
+            tes_minutes: 0.5,
+            ..ControllerConfig::default()
+        };
+        let mut c = SprintController::new(spec, config, Box::new(Greedy));
+        let mut terminated_seen = false;
+        let mut prev_sprinting = false;
+        for _ in 0..1500 {
+            let r = c.step(4.0, Seconds::new(1.0));
+            assert!(!r.tripped && !r.overheated);
+            // Skip the transitional step where termination latched mid-step.
+            if !r.sprinting && !prev_sprinting && r.demand > 1.0 && terminated_seen {
+                assert_eq!(r.cores, 12, "terminated sprint must run normal cores");
+            }
+            if !r.sprinting && r.demand > 1.0 {
+                terminated_seen = true;
+            }
+            prev_sprinting = r.sprinting;
+        }
+        assert!(terminated_seen, "strict mode never terminated");
+        // Quiet demand clears the latch; a new burst sprints again.
+        for _ in 0..30 {
+            c.step(0.5, Seconds::new(1.0));
+        }
+        let r = c.step(2.0, Seconds::new(1.0));
+        assert!(r.sprinting, "sprinting must resume after the burst passed");
+    }
+
+    #[test]
+    fn debug_impl_mentions_strategy() {
+        let c = small();
+        assert!(format!("{c:?}").contains("Greedy"));
+    }
+}

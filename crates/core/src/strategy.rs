@@ -1,0 +1,172 @@
+//! The sprinting-degree strategy interface, plus the Greedy and fixed-bound
+//! strategies.
+
+use crate::{SprintInfo, StrategyContext};
+use dcs_units::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// A strategy that bounds the sprinting degree each control period (§V-A).
+///
+/// The controller calls [`SprintStrategy::on_sprint_start`] when demand
+/// first exceeds capacity, then [`SprintStrategy::upper_bound`] every
+/// period while the burst lasts. The returned bound caps how many cores
+/// may be activated; the *real* degree can be lower if the demand does not
+/// need them, or if power/cooling run out (those limits are enforced by
+/// the controller, not the strategy).
+pub trait SprintStrategy {
+    /// Called when a burst begins; gives the strategy the sprint's energy
+    /// budget and the facility power curve.
+    fn on_sprint_start(&mut self, info: &SprintInfo) {
+        let _ = info;
+    }
+
+    /// Called every control period (burst or not) with the offered demand,
+    /// before any bound is requested. Lets online strategies learn burst
+    /// statistics from the demand stream — the paper's future-work hook
+    /// ("integrating some recently proposed solutions for burst
+    /// prediction"). The default does nothing.
+    fn observe(&mut self, demand: f64, dt: dcs_units::Seconds) {
+        let _ = (demand, dt);
+    }
+
+    /// Returns this period's upper bound on the sprinting degree, in
+    /// `[1, ctx.max_degree]` (the controller clamps it regardless).
+    fn upper_bound(&mut self, ctx: &StrategyContext) -> Ratio;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The Greedy strategy: activate just enough cores for the demand, with no
+/// bound below the hardware maximum.
+///
+/// Optimal for short bursts (the stored energy is never exhausted) but
+/// wasteful for long ones — the paper's Fig. 10(b).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::{Greedy, SprintStrategy, StrategyContext};
+/// use dcs_units::{Ratio, Seconds};
+///
+/// let mut g = Greedy;
+/// let ctx = StrategyContext {
+///     since_burst_start: Seconds::ZERO,
+///     demand: 2.5,
+///     max_demand_seen: 2.5,
+///     max_degree: Ratio::new(4.0),
+///     avg_degree: Ratio::ONE,
+///     remaining_energy: Ratio::ONE,
+/// };
+/// assert_eq!(g.upper_bound(&ctx), Ratio::new(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Greedy;
+
+impl SprintStrategy for Greedy {
+    fn upper_bound(&mut self, ctx: &StrategyContext) -> Ratio {
+        ctx.max_degree
+    }
+
+    fn name(&self) -> &str {
+        "Greedy"
+    }
+}
+
+/// A constant upper bound on the sprinting degree.
+///
+/// The Oracle strategy is realized by exhaustively simulating `FixedBound`
+/// runs over the degree grid and keeping the best (the simulation layer's
+/// `oracle_search`), exactly as §V-A describes: *"The Oracle strategy finds
+/// the optimal upper bound by exhaustive search"*.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::FixedBound;
+/// use dcs_units::Ratio;
+///
+/// let b = FixedBound::new(Ratio::new(2.5));
+/// assert_eq!(b.bound(), Ratio::new(2.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedBound {
+    bound: Ratio,
+}
+
+impl FixedBound {
+    /// Creates a fixed bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is below 1 (a bound under 1 would forbid even
+    /// normal operation).
+    #[must_use]
+    pub fn new(bound: Ratio) -> FixedBound {
+        assert!(bound >= Ratio::ONE, "bound must be at least 1");
+        FixedBound { bound }
+    }
+
+    /// Returns the bound.
+    #[must_use]
+    pub fn bound(&self) -> Ratio {
+        self.bound
+    }
+}
+
+impl SprintStrategy for FixedBound {
+    fn upper_bound(&mut self, ctx: &StrategyContext) -> Ratio {
+        self.bound.min(ctx.max_degree)
+    }
+
+    fn name(&self) -> &str {
+        "FixedBound"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_units::Seconds;
+
+    fn ctx(max_degree: f64) -> StrategyContext {
+        StrategyContext {
+            since_burst_start: Seconds::ZERO,
+            demand: 2.0,
+            max_demand_seen: 2.0,
+            max_degree: Ratio::new(max_degree),
+            avg_degree: Ratio::ONE,
+            remaining_energy: Ratio::ONE,
+        }
+    }
+
+    #[test]
+    fn greedy_always_returns_max() {
+        let mut g = Greedy;
+        assert_eq!(g.upper_bound(&ctx(4.0)), Ratio::new(4.0));
+        assert_eq!(g.upper_bound(&ctx(2.0)), Ratio::new(2.0));
+        assert_eq!(g.name(), "Greedy");
+    }
+
+    #[test]
+    fn fixed_bound_clamps_to_max_degree() {
+        let mut f = FixedBound::new(Ratio::new(3.0));
+        assert_eq!(f.upper_bound(&ctx(4.0)), Ratio::new(3.0));
+        assert_eq!(f.upper_bound(&ctx(2.0)), Ratio::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be at least 1")]
+    fn sub_one_bound_panics() {
+        let _ = FixedBound::new(Ratio::new(0.5));
+    }
+
+    #[test]
+    fn strategies_are_object_safe() {
+        let strategies: Vec<Box<dyn SprintStrategy>> = vec![
+            Box::new(Greedy),
+            Box::new(FixedBound::new(Ratio::new(2.0))),
+        ];
+        assert_eq!(strategies.len(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Oracle-built upper-bound table used by the Prediction strategy.
+
+use dcs_units::{Ratio, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A table of optimal sprinting-degree upper bounds indexed by burst
+/// duration and burst degree.
+///
+/// §V-A: *"We can also use the Oracle strategy to make an upper bound
+/// table, listing the optimal upper bounds for different burst durations
+/// and maximum burst degree."* The simulation layer builds this table by
+/// exhaustive `FixedBound` search over synthetic plateau bursts; the
+/// [`Prediction`](crate::Prediction) strategy then looks up the bound for
+/// its (dynamically corrected) equivalent burst duration.
+///
+/// Lookups clamp to the grid edges and bilinearly interpolate inside it.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_core::UpperBoundTable;
+/// use dcs_units::{Ratio, Seconds};
+///
+/// let table = UpperBoundTable::new(
+///     vec![5.0, 15.0],            // burst durations, minutes
+///     vec![2.0, 4.0],             // burst degrees
+///     vec![
+///         Ratio::new(4.0), Ratio::new(4.0), // short bursts: no constraint
+///         Ratio::new(2.0), Ratio::new(3.0), // long bursts: constrained
+///     ],
+/// ).unwrap();
+/// let b = table.lookup(Seconds::from_minutes(10.0), 3.0);
+/// assert!(b > Ratio::new(2.0) && b < Ratio::new(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpperBoundTable {
+    /// Burst durations in minutes, strictly ascending.
+    durations_min: Vec<f64>,
+    /// Burst degrees, strictly ascending.
+    degrees: Vec<f64>,
+    /// Row-major bounds: `bounds[dur_idx * degrees.len() + deg_idx]`.
+    bounds: Vec<Ratio>,
+}
+
+/// Error returned when constructing an invalid table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::enum_variant_names)] // `Bad` is the natural common prefix
+pub enum TableError {
+    /// An axis was empty or not strictly ascending.
+    BadAxis,
+    /// The bound count does not equal `durations × degrees`.
+    BadShape,
+    /// A bound was below 1.
+    BadBound,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::BadAxis => write!(f, "axes must be non-empty and strictly ascending"),
+            TableError::BadShape => write!(f, "bounds must have durations x degrees entries"),
+            TableError::BadBound => write!(f, "bounds must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+fn strictly_ascending(v: &[f64]) -> bool {
+    !v.is_empty() && v.windows(2).all(|w| w[0] < w[1]) && v.iter().all(|x| x.is_finite())
+}
+
+impl UpperBoundTable {
+    /// Creates a table from its axes and row-major bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError`] if an axis is empty or not strictly
+    /// ascending, the shape mismatches, or a bound is below 1.
+    pub fn new(
+        durations_min: Vec<f64>,
+        degrees: Vec<f64>,
+        bounds: Vec<Ratio>,
+    ) -> Result<UpperBoundTable, TableError> {
+        if !strictly_ascending(&durations_min) || !strictly_ascending(&degrees) {
+            return Err(TableError::BadAxis);
+        }
+        if bounds.len() != durations_min.len() * degrees.len() {
+            return Err(TableError::BadShape);
+        }
+        if bounds.iter().any(|b| *b < Ratio::ONE) {
+            return Err(TableError::BadBound);
+        }
+        Ok(UpperBoundTable {
+            durations_min,
+            degrees,
+            bounds,
+        })
+    }
+
+    /// Returns the duration axis in minutes.
+    #[must_use]
+    pub fn durations_min(&self) -> &[f64] {
+        &self.durations_min
+    }
+
+    /// Returns the degree axis.
+    #[must_use]
+    pub fn degrees(&self) -> &[f64] {
+        &self.degrees
+    }
+
+    fn at(&self, di: usize, gi: usize) -> f64 {
+        self.bounds[di * self.degrees.len() + gi].as_f64()
+    }
+
+    /// Looks up (with clamping and bilinear interpolation) the optimal
+    /// upper bound for a burst of the given duration and degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is not finite or `duration` is negative.
+    #[must_use]
+    pub fn lookup(&self, duration: Seconds, degree: f64) -> Ratio {
+        assert!(degree.is_finite(), "degree must be finite");
+        assert!(duration >= Seconds::ZERO, "duration must be non-negative");
+        let minutes = if duration.is_never() {
+            f64::MAX
+        } else {
+            duration.as_minutes()
+        };
+        let (d0, d1, dt) = Self::bracket(&self.durations_min, minutes);
+        let (g0, g1, gt) = Self::bracket(&self.degrees, degree);
+        let lo = self.at(d0, g0) * (1.0 - gt) + self.at(d0, g1) * gt;
+        let hi = self.at(d1, g0) * (1.0 - gt) + self.at(d1, g1) * gt;
+        Ratio::new(lo * (1.0 - dt) + hi * dt)
+    }
+
+    /// Returns the bracketing indices and interpolation weight of `x` on an
+    /// ascending axis, clamped to the ends.
+    fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+        if x <= axis[0] {
+            return (0, 0, 0.0);
+        }
+        if x >= axis[axis.len() - 1] {
+            let last = axis.len() - 1;
+            return (last, last, 0.0);
+        }
+        let hi = axis.partition_point(|&a| a < x).max(1);
+        let lo = hi - 1;
+        let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
+        (lo, hi, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> UpperBoundTable {
+        UpperBoundTable::new(
+            vec![5.0, 10.0, 15.0],
+            vec![2.0, 3.0, 4.0],
+            vec![
+                Ratio::new(4.0),
+                Ratio::new(4.0),
+                Ratio::new(4.0),
+                Ratio::new(3.0),
+                Ratio::new(3.2),
+                Ratio::new(3.4),
+                Ratio::new(2.0),
+                Ratio::new(2.4),
+                Ratio::new(2.8),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert_eq!(t.lookup(Seconds::from_minutes(5.0), 2.0).as_f64(), 4.0);
+        assert_eq!(t.lookup(Seconds::from_minutes(15.0), 4.0).as_f64(), 2.8);
+    }
+
+    #[test]
+    fn clamps_outside_grid() {
+        let t = table();
+        assert_eq!(t.lookup(Seconds::from_minutes(1.0), 2.0).as_f64(), 4.0);
+        assert_eq!(t.lookup(Seconds::from_minutes(100.0), 5.0).as_f64(), 2.8);
+        assert_eq!(t.lookup(Seconds::NEVER, 3.0).as_f64(), 2.4);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let t = table();
+        let b = t.lookup(Seconds::from_minutes(7.5), 2.0);
+        assert!((b.as_f64() - 3.5).abs() < 1e-12);
+        let b2 = t.lookup(Seconds::from_minutes(10.0), 2.5);
+        assert!((b2.as_f64() - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            UpperBoundTable::new(vec![], vec![2.0], vec![]).unwrap_err(),
+            TableError::BadAxis
+        );
+        assert_eq!(
+            UpperBoundTable::new(vec![5.0, 5.0], vec![2.0], vec![Ratio::ONE; 2]).unwrap_err(),
+            TableError::BadAxis
+        );
+        assert_eq!(
+            UpperBoundTable::new(vec![5.0], vec![2.0], vec![]).unwrap_err(),
+            TableError::BadShape
+        );
+        assert_eq!(
+            UpperBoundTable::new(vec![5.0], vec![2.0], vec![Ratio::new(0.5)]).unwrap_err(),
+            TableError::BadBound
+        );
+    }
+
+    #[test]
+    fn longer_bursts_get_tighter_bounds() {
+        let t = table();
+        let short = t.lookup(Seconds::from_minutes(5.0), 3.0);
+        let long = t.lookup(Seconds::from_minutes(15.0), 3.0);
+        assert!(long < short);
+    }
+}

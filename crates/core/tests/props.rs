@@ -1,0 +1,155 @@
+//! Property-based tests for strategies, tables and budgets.
+
+use dcs_breaker::{CircuitBreaker, TripCurve};
+use dcs_core::{
+    cb_overload_energy, EnergyBudget, FixedBound, Greedy, Heuristic, PowerCurve, Prediction,
+    SprintInfo, SprintStrategy, StrategyContext, UpperBoundTable,
+};
+use dcs_server::ServerSpec;
+use dcs_units::{Energy, Power, Ratio, Seconds};
+use dcs_workload::Estimate;
+use proptest::prelude::*;
+
+fn any_ctx() -> impl Strategy<Value = StrategyContext> {
+    (
+        0.0..3600.0f64,
+        0.0..5.0f64,
+        1.0..4.0f64,
+        0.0..1.0f64,
+        1.0..4.0f64,
+    )
+        .prop_map(|(t, demand, avg, re, max)| StrategyContext {
+            since_burst_start: Seconds::new(t),
+            demand,
+            max_demand_seen: demand,
+            max_degree: Ratio::new(max),
+            avg_degree: Ratio::new(avg.min(max)),
+            remaining_energy: Ratio::new(re),
+        })
+}
+
+fn small_table() -> UpperBoundTable {
+    UpperBoundTable::new(
+        vec![1.0, 10.0, 30.0],
+        vec![1.5, 3.0, 4.0],
+        vec![
+            Ratio::new(4.0),
+            Ratio::new(4.0),
+            Ratio::new(4.0),
+            Ratio::new(3.0),
+            Ratio::new(2.6),
+            Ratio::new(2.8),
+            Ratio::new(1.8),
+            Ratio::new(2.0),
+            Ratio::new(2.2),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Every strategy's bound lies in [1, max_degree] for any context.
+    #[test]
+    fn bounds_are_always_in_range(ctx in any_ctx(), sde_p in 1.0..4.0f64, bdu in 1.0..3600.0f64) {
+        let mut strategies: Vec<Box<dyn SprintStrategy>> = vec![
+            Box::new(Greedy),
+            Box::new(FixedBound::new(Ratio::new(2.0))),
+            Box::new(Prediction::new(Estimate::exact(bdu), small_table())),
+            Box::new(Heuristic::with_paper_flexibility(Estimate::exact(sde_p))),
+        ];
+        // Also exercise Heuristic after a sprint-start briefing.
+        let mut briefed = Heuristic::with_paper_flexibility(Estimate::exact(sde_p));
+        briefed.on_sprint_start(&SprintInfo {
+            total_energy_budget: Energy::from_kilowatt_hours(50.0),
+            power_curve: PowerCurve::new(ServerSpec::paper_default(), 1000),
+            max_degree: Ratio::new(4.0),
+        });
+        strategies.push(Box::new(briefed));
+
+        for s in &mut strategies {
+            let b = s.upper_bound(&ctx);
+            prop_assert!(b >= Ratio::ONE, "{} returned {b}", s.name());
+            prop_assert!(b <= ctx.max_degree, "{} returned {b}", s.name());
+        }
+    }
+
+    /// Table lookups stay within the table's own value range and clamp at
+    /// the grid edges.
+    #[test]
+    fn table_lookup_bounded(minutes in 0.0..100.0f64, degree in 0.0..8.0f64) {
+        let t = small_table();
+        let b = t.lookup(Seconds::from_minutes(minutes), degree);
+        prop_assert!(b >= Ratio::new(1.8) && b <= Ratio::new(4.0), "lookup {b}");
+    }
+
+    /// CB-overload energy grows with the reserve (a longer reserve means a
+    /// gentler overload trajectory that extracts more energy in total).
+    #[test]
+    fn cb_energy_monotone_in_reserve(r1 in 5.0..300.0f64, r2 in 5.0..300.0f64) {
+        let cb = CircuitBreaker::new("p", Power::from_kilowatts(10.0), TripCurve::bulletin_1489());
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let e_lo = cb_overload_energy(&cb, Seconds::new(lo));
+        let e_hi = cb_overload_energy(&cb, Seconds::new(hi));
+        prop_assert!(e_hi >= e_lo * 0.98, "E({lo})={e_lo}, E({hi})={e_hi}");
+    }
+
+    /// Budget bookkeeping: remaining fraction is in [0, 1] and decreases
+    /// monotonically as energy is debited.
+    #[test]
+    fn budget_fraction_monotone(total_kwh in 0.1..100.0f64, debits in prop::collection::vec((0.0..5e6f64, 0.1..60.0f64), 1..30)) {
+        let mut b = EnergyBudget::new(Energy::from_kilowatt_hours(total_kwh));
+        let mut prev = b.remaining_fraction();
+        for (w, s) in debits {
+            b.debit(Power::from_watts(w), Seconds::new(s));
+            let f = b.remaining_fraction();
+            prop_assert!(f <= prev);
+            prop_assert!((0.0..=1.0).contains(&f.as_f64()));
+            prev = f;
+        }
+    }
+
+    /// The Heuristic bound scales multiplicatively with remaining energy.
+    #[test]
+    fn heuristic_monotone_in_remaining_energy(re1 in 0.0..1.0f64, re2 in 0.0..1.0f64) {
+        let mut h = Heuristic::with_paper_flexibility(Estimate::exact(2.0));
+        h.on_sprint_start(&SprintInfo {
+            total_energy_budget: Energy::from_kilowatt_hours(50.0),
+            power_curve: PowerCurve::new(ServerSpec::paper_default(), 1000),
+            max_degree: Ratio::new(4.0),
+        });
+        let mut ctx = StrategyContext {
+            since_burst_start: Seconds::new(10.0),
+            demand: 3.0,
+            max_demand_seen: 3.0,
+            max_degree: Ratio::new(4.0),
+            avg_degree: Ratio::new(2.0),
+            remaining_energy: Ratio::new(re1),
+        };
+        let b1 = h.upper_bound(&ctx);
+        ctx.remaining_energy = Ratio::new(re2);
+        let b2 = h.upper_bound(&ctx);
+        if re1 <= re2 {
+            prop_assert!(b1 <= b2);
+        } else {
+            prop_assert!(b2 <= b1);
+        }
+    }
+
+    /// The Prediction bound never loosens when the predicted duration
+    /// grows (longer bursts never deserve a looser bound).
+    #[test]
+    fn prediction_monotone_in_duration(d1 in 30.0..3600.0f64, d2 in 30.0..3600.0f64) {
+        let ctx = StrategyContext {
+            since_burst_start: Seconds::new(5.0),
+            demand: 3.0,
+            max_demand_seen: 3.0,
+            max_degree: Ratio::new(4.0),
+            avg_degree: Ratio::new(3.0),
+            remaining_energy: Ratio::new(0.8),
+        };
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let mut p_short = Prediction::new(Estimate::exact(lo), small_table());
+        let mut p_long = Prediction::new(Estimate::exact(hi), small_table());
+        prop_assert!(p_long.upper_bound(&ctx) <= p_short.upper_bound(&ctx));
+    }
+}

@@ -1,0 +1,367 @@
+//! The stateful breaker hierarchy.
+
+use crate::DataCenterSpec;
+use dcs_breaker::{CircuitBreaker, TripEvent};
+use dcs_units::{Power, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Reserve-rule capacity caps across the hierarchy, produced by
+/// [`PowerTopology::caps`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyCaps {
+    /// Maximum power each PDU may carry while staying `reserve` from a trip.
+    pub per_pdu: Power,
+    /// Maximum total power the DC breaker may carry while staying `reserve`
+    /// from a trip (IT + cooling).
+    pub dc_total: Power,
+}
+
+/// A snapshot of topology state for telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStatus {
+    /// Trip progress of the DC-level breaker in `[0, 1]`.
+    pub dc_progress: f64,
+    /// Worst trip progress across PDU breakers.
+    pub max_pdu_progress: f64,
+    /// `true` if any breaker in the hierarchy has tripped.
+    pub any_tripped: bool,
+    /// Number of tripped PDU breakers.
+    pub tripped_pdus: usize,
+}
+
+/// The two-level breaker hierarchy: one DC-level breaker over `pdu_count`
+/// PDU breakers.
+///
+/// The facility's cooling load connects at the DC level (it does not flow
+/// through PDU breakers), matching Fig. 4: the PDU-level curve is servers
+/// only, while the DC-level curve is PDUs + cooling.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_power::{DataCenterSpec, PowerTopology};
+/// use dcs_units::{Power, Seconds};
+///
+/// let spec = DataCenterSpec::paper_default().with_scale(4, 200);
+/// let mut topo = PowerTopology::new(&spec);
+/// let caps = topo.caps(Seconds::new(60.0));
+/// // Cold breakers, 60 s reserve: the 60%-overload point.
+/// assert!((caps.per_pdu.as_watts() / spec.pdu_rated().as_watts() - 1.6).abs() < 1e-9);
+///
+/// // A normal-load step trips nothing.
+/// let events = topo.step_uniform(spec.peak_normal_pdu_power(), Power::ZERO, Seconds::new(1.0));
+/// assert!(events.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTopology {
+    dc: CircuitBreaker,
+    pdus: Vec<CircuitBreaker>,
+}
+
+impl PowerTopology {
+    /// Builds the hierarchy for a facility spec, with every breaker closed
+    /// and cold.
+    #[must_use]
+    pub fn new(spec: &DataCenterSpec) -> PowerTopology {
+        let curve = spec.trip_curve().clone();
+        let dc = CircuitBreaker::new("dc", spec.dc_rated(), curve.clone());
+        let pdus = (0..spec.pdu_count())
+            .map(|i| CircuitBreaker::new(format!("pdu-{i}"), spec.pdu_rated(), curve.clone()))
+            .collect();
+        PowerTopology { dc, pdus }
+    }
+
+    /// Returns the DC-level breaker.
+    #[must_use]
+    pub fn dc_breaker(&self) -> &CircuitBreaker {
+        &self.dc
+    }
+
+    /// Returns the PDU breakers.
+    #[must_use]
+    pub fn pdu_breakers(&self) -> &[CircuitBreaker] {
+        &self.pdus
+    }
+
+    /// Returns the number of PDUs.
+    #[must_use]
+    pub fn pdu_count(&self) -> usize {
+        self.pdus.len()
+    }
+
+    /// Returns the reserve-rule caps for both levels: how much power each
+    /// PDU, and the facility as a whole, may draw while staying at least
+    /// `reserve` from any trip (§V-B's dynamic overload upper bound).
+    ///
+    /// The per-PDU cap is the *minimum* across PDUs so a uniform allocation
+    /// against it is safe even if thermal states have diverged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve` is not strictly positive.
+    #[must_use]
+    pub fn caps(&self, reserve: Seconds) -> TopologyCaps {
+        let per_pdu = self
+            .pdus
+            .iter()
+            .map(|b| b.max_load_with_reserve(reserve))
+            .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min);
+        TopologyCaps {
+            per_pdu,
+            dc_total: self.dc.max_load_with_reserve(reserve),
+        }
+    }
+
+    /// Returns the maximum *uniform* per-PDU IT power that honors both the
+    /// PDU caps and the parent DC cap once `cooling` is accounted for —
+    /// the paper's invariant that child overloads never trip the parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve` is not strictly positive or `cooling` is
+    /// negative.
+    #[must_use]
+    pub fn allowed_uniform_pdu_power(&self, reserve: Seconds, cooling: Power) -> Power {
+        assert!(cooling >= Power::ZERO, "cooling must be non-negative");
+        let caps = self.caps(reserve);
+        let dc_it_budget = (caps.dc_total - cooling).max_zero();
+        caps.per_pdu.min(dc_it_budget / self.pdus.len() as f64)
+    }
+
+    /// Applies one interval of uniform load: every PDU carries
+    /// `per_pdu_it`, and the DC breaker carries the sum plus `cooling`.
+    /// Returns any trip events (already-tripped breakers are skipped — they
+    /// carry no load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cooling` is negative or `dt` is not strictly positive and
+    /// finite.
+    pub fn step_uniform(
+        &mut self,
+        per_pdu_it: Power,
+        cooling: Power,
+        dt: Seconds,
+    ) -> Vec<TripEvent> {
+        let loads = vec![per_pdu_it; self.pdus.len()];
+        self.step_loads(&loads, cooling, dt)
+    }
+
+    /// Applies one interval of per-PDU loads plus DC-level cooling.
+    /// Returns any trip events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` does not match the PDU count, `cooling` is
+    /// negative, or `dt` is not strictly positive and finite.
+    pub fn step_loads(&mut self, loads: &[Power], cooling: Power, dt: Seconds) -> Vec<TripEvent> {
+        assert_eq!(loads.len(), self.pdus.len(), "one load per PDU required");
+        assert!(cooling >= Power::ZERO, "cooling must be non-negative");
+        let mut events = Vec::new();
+        let mut delivered = Power::ZERO;
+        for (pdu, &load) in self.pdus.iter_mut().zip(loads) {
+            if pdu.is_tripped() {
+                continue;
+            }
+            match pdu.apply_load(load, dt).expect("non-tripped breaker") {
+                Some(ev) => events.push(ev),
+                None => delivered += load,
+            }
+        }
+        if !self.dc.is_tripped() {
+            if let Some(ev) = self
+                .dc
+                .apply_load(delivered + cooling, dt)
+                .expect("non-tripped breaker")
+            {
+                events.push(ev);
+            }
+        }
+        events
+    }
+
+    /// Returns a telemetry snapshot.
+    #[must_use]
+    pub fn status(&self) -> TopologyStatus {
+        let tripped_pdus = self.pdus.iter().filter(|b| b.is_tripped()).count();
+        TopologyStatus {
+            dc_progress: self.dc.trip_progress(),
+            max_pdu_progress: self
+                .pdus
+                .iter()
+                .map(CircuitBreaker::trip_progress)
+                .fold(0.0, f64::max),
+            any_tripped: self.dc.is_tripped() || tripped_pdus > 0,
+            tripped_pdus,
+        }
+    }
+
+    /// Balances heterogeneous per-PDU power requests against the
+    /// hierarchy's reserve-rule caps: each request is clamped to its own
+    /// breaker's cap, and if the sum (plus `cooling`) would exceed the
+    /// parent's cap, every grant above a fair share is scaled back until
+    /// the parent fits — §V-B's rule that *"a power increase on any of its
+    /// child CBs demands a power decrease on some other child CBs"*, so a
+    /// PDU-level overload can never trip the substation breaker.
+    ///
+    /// Returns the granted per-PDU powers (same order as the requests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` does not match the PDU count, `reserve` is not
+    /// strictly positive, or `cooling` is negative.
+    #[must_use]
+    pub fn balance_loads(
+        &self,
+        requests: &[Power],
+        reserve: Seconds,
+        cooling: Power,
+    ) -> Vec<Power> {
+        assert_eq!(requests.len(), self.pdus.len(), "one request per PDU required");
+        assert!(cooling >= Power::ZERO, "cooling must be non-negative");
+        // Clamp each child to its own cap.
+        let mut grants: Vec<Power> = self
+            .pdus
+            .iter()
+            .zip(requests)
+            .map(|(pdu, &want)| want.max_zero().min(pdu.max_load_with_reserve(reserve)))
+            .collect();
+        let dc_budget = (self.dc.max_load_with_reserve(reserve) - cooling).max_zero();
+        let total: Power = grants.iter().copied().sum();
+        if total <= dc_budget || total.is_zero() {
+            return grants;
+        }
+        // Parent bound binds: scale every grant proportionally. A uniform
+        // scale preserves each child's own feasibility (scaling down never
+        // violates a child cap).
+        let scale = dc_budget.as_watts() / total.as_watts();
+        for g in &mut grants {
+            *g = *g * scale;
+        }
+        grants
+    }
+
+    /// Resets every breaker (closed, cold).
+    pub fn reset(&mut self) {
+        self.dc.reset();
+        for pdu in &mut self.pdus {
+            pdu.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_units::Ratio;
+
+    fn small_spec() -> DataCenterSpec {
+        DataCenterSpec::paper_default().with_scale(4, 200)
+    }
+
+    #[test]
+    fn normal_load_never_trips() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        for _ in 0..3600 {
+            let ev = topo.step_uniform(
+                spec.peak_normal_pdu_power(),
+                spec.peak_normal_total_power() - spec.peak_normal_it_power(),
+                Seconds::new(1.0),
+            );
+            assert!(ev.is_empty());
+        }
+        assert!(!topo.status().any_tripped);
+    }
+
+    #[test]
+    fn sustained_overload_trips_pdus() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        let overload = spec.pdu_rated() * 1.6; // 60% overload: trips in ~60 s
+        let mut tripped_at = None;
+        for s in 0..180 {
+            let ev = topo.step_uniform(overload, Power::ZERO, Seconds::new(1.0));
+            if !ev.is_empty() {
+                tripped_at = Some(s);
+                break;
+            }
+        }
+        let t = tripped_at.expect("PDUs should trip");
+        assert!((58..=62).contains(&t), "tripped at {t}s");
+    }
+
+    #[test]
+    fn dc_breaker_sees_cooling() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        // Load PDUs at rated (no PDU overload) but add huge cooling: only
+        // the DC breaker should trip.
+        let cooling = spec.dc_rated() * 2.0;
+        let mut dc_tripped = false;
+        for _ in 0..600 {
+            let ev = topo.step_uniform(spec.pdu_rated() * 0.9, cooling, Seconds::new(1.0));
+            if ev.iter().any(|e| e.name == "dc") {
+                dc_tripped = true;
+                break;
+            }
+        }
+        assert!(dc_tripped);
+        assert_eq!(topo.status().tripped_pdus, 0);
+    }
+
+    #[test]
+    fn allowed_uniform_power_respects_parent() {
+        let spec = small_spec();
+        let topo = PowerTopology::new(&spec);
+        let reserve = Seconds::new(60.0);
+        let cooling = spec.peak_normal_total_power() - spec.peak_normal_it_power();
+        let allowed = topo.allowed_uniform_pdu_power(reserve, cooling);
+        let caps = topo.caps(reserve);
+        assert!(allowed <= caps.per_pdu);
+        assert!(
+            allowed * topo.pdu_count() as f64 + cooling
+                <= caps.dc_total + Power::from_watts(1e-6)
+        );
+    }
+
+    #[test]
+    fn parent_binds_when_headroom_is_zero() {
+        let spec = small_spec().with_dc_headroom(Ratio::ZERO);
+        let topo = PowerTopology::new(&spec);
+        let allowed = topo.allowed_uniform_pdu_power(
+            Seconds::new(60.0),
+            spec.peak_normal_total_power() - spec.peak_normal_it_power(),
+        );
+        // With zero headroom the DC constraint binds below the PDU cap.
+        assert!(allowed < topo.caps(Seconds::new(60.0)).per_pdu);
+    }
+
+    #[test]
+    fn tripped_pdu_sheds_load_from_dc() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        // Trip one PDU with a short circuit through heterogeneous loads.
+        let mut loads = vec![spec.pdu_rated() * 0.5; spec.pdu_count()];
+        loads[0] = spec.pdu_rated() * 10.0;
+        let ev = topo.step_loads(&loads, Power::ZERO, Seconds::new(1.0));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(topo.status().tripped_pdus, 1);
+        // Next step skips the tripped PDU without error.
+        let ev2 = topo.step_loads(&loads, Power::ZERO, Seconds::new(1.0));
+        assert!(ev2.is_empty());
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        topo.step_uniform(spec.pdu_rated() * 8.0, Power::ZERO, Seconds::new(1.0));
+        assert!(topo.status().any_tripped);
+        topo.reset();
+        let st = topo.status();
+        assert!(!st.any_tripped);
+        assert_eq!(st.dc_progress, 0.0);
+        assert_eq!(st.max_pdu_progress, 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the power-delivery topology.
+
+use dcs_power::{DataCenterSpec, PowerTopology};
+use dcs_units::{Power, Ratio, Seconds};
+use proptest::prelude::*;
+
+fn small_spec(headroom_pct: f64) -> DataCenterSpec {
+    DataCenterSpec::paper_default()
+        .with_scale(3, 200)
+        .with_dc_headroom(Ratio::from_percent(headroom_pct))
+}
+
+proptest! {
+    /// The uniform allocation rule's invariant (§V-B): loading every PDU at
+    /// the allowed power never brings any breaker — child or parent —
+    /// closer than the reserve to a trip.
+    #[test]
+    fn allowed_uniform_power_is_safe(
+        headroom in 0.0..25.0f64,
+        cooling_mw in 0.0..2.0f64,
+        reserve_s in 10.0..300.0f64,
+        steps in 1usize..60,
+    ) {
+        let spec = small_spec(headroom);
+        let mut topo = PowerTopology::new(&spec);
+        let reserve = Seconds::new(reserve_s);
+        let cooling = Power::from_megawatts(cooling_mw);
+        for _ in 0..steps {
+            let allowed = topo.allowed_uniform_pdu_power(reserve, cooling);
+            let events = topo.step_uniform(allowed, cooling.min(topo.caps(reserve).dc_total), Seconds::new(1.0));
+            prop_assert!(events.is_empty(), "tripped under the reserve rule");
+        }
+        prop_assert!(!topo.status().any_tripped);
+    }
+
+    /// Caps never go below the no-trip region and shrink as thermal state
+    /// accumulates.
+    #[test]
+    fn caps_shrink_under_sustained_overload(overload in 0.1..0.8f64, secs in 1.0..30.0f64) {
+        let spec = small_spec(10.0);
+        let mut topo = PowerTopology::new(&spec);
+        let reserve = Seconds::new(60.0);
+        let before = topo.caps(reserve);
+        let load = spec.pdu_rated() * (1.0 + overload);
+        let _ = topo.step_uniform(load, Power::ZERO, Seconds::new(secs));
+        let after = topo.caps(reserve);
+        prop_assert!(after.per_pdu <= before.per_pdu + Power::from_watts(1e-6));
+        prop_assert!(after.per_pdu >= spec.pdu_rated());
+    }
+
+    /// Heterogeneous loads: the DC breaker sees exactly the sum of the
+    /// non-tripped PDU loads plus cooling (checked via trip timing).
+    #[test]
+    fn dc_sees_sum_of_children(loads_kw in prop::collection::vec(1.0..13.0f64, 3), cooling_mw in 0.0..1.0f64) {
+        let spec = small_spec(10.0);
+        let mut topo = PowerTopology::new(&spec);
+        let loads: Vec<Power> = loads_kw.iter().map(|&k| Power::from_kilowatts(k)).collect();
+        let cooling = Power::from_megawatts(cooling_mw);
+        let events = topo.step_loads(&loads, cooling, Seconds::new(1.0));
+        let total: Power = loads.iter().copied().sum::<Power>() + cooling;
+        if total <= spec.dc_rated() {
+            prop_assert!(events.iter().all(|e| e.name != "dc"));
+        }
+    }
+
+    /// Reset always restores a cold, closed hierarchy.
+    #[test]
+    fn reset_restores_cold_state(abuse_ratio in 2.0..10.0f64) {
+        let spec = small_spec(10.0);
+        let mut topo = PowerTopology::new(&spec);
+        let _ = topo.step_uniform(spec.pdu_rated() * abuse_ratio, Power::ZERO, Seconds::from_minutes(10.0));
+        topo.reset();
+        let st = topo.status();
+        prop_assert!(!st.any_tripped);
+        prop_assert_eq!(st.dc_progress, 0.0);
+        prop_assert_eq!(st.max_pdu_progress, 0.0);
+    }
+}
+
+proptest! {
+    /// §V-B balancing: granted loads never exceed the requests, each
+    /// child's own cap, or (in sum, with cooling) the parent's cap — and
+    /// applying the grants trips nothing.
+    #[test]
+    fn balanced_loads_are_safe(
+        requests_kw in prop::collection::vec(0.0..40.0f64, 3),
+        cooling_mw in 0.0..1.0f64,
+    ) {
+        let spec = small_spec(10.0);
+        let mut topo = PowerTopology::new(&spec);
+        let reserve = Seconds::new(60.0);
+        let requests: Vec<Power> = requests_kw.iter().map(|&k| Power::from_kilowatts(k)).collect();
+        let cooling = Power::from_megawatts(cooling_mw).min(topo.caps(reserve).dc_total);
+        let grants = topo.balance_loads(&requests, reserve, cooling);
+        let caps = topo.caps(reserve);
+        let mut total = Power::ZERO;
+        for (g, r) in grants.iter().zip(&requests) {
+            prop_assert!(*g <= *r + Power::from_watts(1e-6), "grant above request");
+            prop_assert!(*g <= caps.per_pdu + Power::from_watts(1e-6), "grant above child cap");
+            total += *g;
+        }
+        prop_assert!(
+            total + cooling <= caps.dc_total + Power::from_watts(1e-3),
+            "grants bust the parent cap"
+        );
+        let events = topo.step_loads(&grants, cooling, Seconds::new(1.0));
+        prop_assert!(events.is_empty());
+    }
+
+    /// Balancing is work-conserving: when the requests already fit, they
+    /// are granted unchanged.
+    #[test]
+    fn balancing_grants_feasible_requests_fully(requests_kw in prop::collection::vec(0.0..10.0f64, 3)) {
+        let spec = small_spec(25.0);
+        let topo = PowerTopology::new(&spec);
+        let requests: Vec<Power> = requests_kw.iter().map(|&k| Power::from_kilowatts(k)).collect();
+        let grants = topo.balance_loads(&requests, Seconds::new(60.0), Power::ZERO);
+        for (g, r) in grants.iter().zip(&requests) {
+            prop_assert!((g.as_watts() - r.as_watts()).abs() < 1e-6);
+        }
+    }
+}

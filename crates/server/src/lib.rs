@@ -1,0 +1,42 @@
+//! Many-core server power and throughput models.
+//!
+//! The paper's simulated data center hosts servers built around Intel's
+//! 48-core Single-chip Cloud Computer: the chip draws 5 W with every core
+//! inactive and 2.5 W per fully utilized core (125 W with all 48 on), on top
+//! of a constant 20 W of non-CPU server power. In the dark-silicon regime
+//! only 12 of the 48 cores run normally, for a *peak normal* server power of
+//! 55 W; sprinting turns on up to all 48 (a sprinting degree of 4).
+//!
+//! Throughput does **not** scale linearly with active cores — the paper's
+//! SPECjbb2005 measurements show per-core throughput falling as cores are
+//! added, which is the entire reason constrained sprinting degrees can beat
+//! Greedy. [`ScalingModel`] captures that sub-linearity (power-law by
+//! default, with linear and Amdahl variants for ablations).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_server::ServerSpec;
+//! use dcs_units::Ratio;
+//!
+//! let spec = ServerSpec::paper_default();
+//! assert_eq!(spec.peak_normal_power().as_watts(), 55.0);
+//! assert_eq!(spec.max_power().as_watts(), 145.0);
+//! assert_eq!(spec.max_degree().as_f64(), 4.0);
+//!
+//! // Serving twice the normal-peak demand needs more than 2x the cores
+//! // because of sub-linear scaling.
+//! let cores = spec.cores_for_demand(Ratio::new(2.0));
+//! assert!(cores > 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod scaling;
+mod server;
+
+pub use chip::ChipSpec;
+pub use scaling::ScalingModel;
+pub use server::ServerSpec;

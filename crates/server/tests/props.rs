@@ -1,0 +1,74 @@
+//! Property-based tests for the server model.
+
+use dcs_server::{ScalingModel, ServerSpec};
+use dcs_units::{Power, Ratio};
+use proptest::prelude::*;
+
+fn any_scaling() -> impl Strategy<Value = ScalingModel> {
+    prop_oneof![
+        Just(ScalingModel::Linear),
+        (0.5..1.0f64).prop_map(|alpha| ScalingModel::PowerLaw { alpha }),
+        (0.0..0.2f64).prop_map(|serial_fraction| ScalingModel::Amdahl { serial_fraction }),
+    ]
+}
+
+proptest! {
+    /// Capacity is monotone non-decreasing in active cores.
+    #[test]
+    fn capacity_monotone(scaling in any_scaling(), a in 0u32..48, b in 0u32..48) {
+        let s = ServerSpec::paper_default().with_scaling(scaling);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(s.capacity_at_cores(lo) <= s.capacity_at_cores(hi) + 1e-12);
+    }
+
+    /// Power is monotone in both cores and utilization, and bounded by the
+    /// paper's envelope [25 W, 145 W].
+    #[test]
+    fn power_within_envelope(active in 0u32..=48, util in 0.0..=1.0f64) {
+        let s = ServerSpec::paper_default();
+        let p = s.power_at(active, util);
+        prop_assert!(p >= Power::from_watts(25.0) - Power::from_watts(1e-9));
+        prop_assert!(p <= Power::from_watts(145.0) + Power::from_watts(1e-9));
+    }
+
+    /// `cores_for_demand` always returns enough capacity (when the demand is
+    /// servable at all), and is minimal.
+    #[test]
+    fn cores_for_demand_minimal(scaling in any_scaling(), demand in 0.01..3.0f64) {
+        let s = ServerSpec::paper_default().with_scaling(scaling);
+        prop_assume!(s.capacity_at_cores(48) >= demand);
+        let c = s.cores_for_demand(Ratio::new(demand));
+        prop_assert!(s.capacity_at_cores(c) >= demand - 1e-9);
+        if c > 1 {
+            prop_assert!(s.capacity_at_cores(c - 1) < demand + 1e-9);
+        }
+    }
+
+    /// Serving power never exceeds the all-busy power for the same cores.
+    #[test]
+    fn serving_power_bounded(active in 1u32..=48, demand in 0.0..10.0f64) {
+        let s = ServerSpec::paper_default();
+        let p = s.power_serving(active, Ratio::new(demand));
+        prop_assert!(p <= s.power_at(active, 1.0) + Power::from_watts(1e-9));
+        prop_assert!(p >= s.power_at(active, 0.0) - Power::from_watts(1e-9));
+    }
+
+    /// Sub-linear models never show increasing per-core efficiency.
+    #[test]
+    fn per_core_efficiency_never_increases(alpha in 0.5..1.0f64) {
+        let m = ScalingModel::PowerLaw { alpha };
+        let mut prev = f64::INFINITY;
+        for c in 1..=48 {
+            let e = m.per_core_efficiency(f64::from(c));
+            prop_assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+
+    /// Degree/cores round trip through the whole grid.
+    #[test]
+    fn degree_round_trip(cores in 0u32..=48) {
+        let s = ServerSpec::paper_default();
+        prop_assert_eq!(s.cores_at_degree(s.degree_of_cores(cores)), cores);
+    }
+}

@@ -1,0 +1,143 @@
+//! The power-capping baseline the paper contrasts against (§II).
+//!
+//! Power-capping work (SHIP, ensemble-level management, …) keeps
+//! consumption *below* the rated limits at all times, typically by DVFS
+//! throttling. §II: *"In contrast, we propose to temporarily violate the
+//! power limits by turning on more cores than allowed ... our solution can
+//! result in much better performance for bursty workloads."* This runner
+//! quantifies that contrast: it serves each step with the most cores that
+//! fit under the rated PDU and DC limits — no CB overload, no UPS, no TES.
+
+use crate::{Scenario, SimResult};
+use dcs_core::StepRecord;
+use dcs_thermal::CoolingPlant;
+use dcs_units::{Celsius, Energy, Power, Ratio};
+use dcs_workload::AdmissionLog;
+
+/// Simulates a DVFS-style power-capped facility: every step activates the
+/// most cores whose IT-plus-cooling power fits *within the ratings* of
+/// both breaker levels. Nothing ever overloads, so nothing ever trips —
+/// but burst performance is capped at whatever the NEC headroom allows.
+#[must_use]
+pub fn run_power_capped(scenario: &Scenario) -> SimResult {
+    let spec = scenario.spec();
+    let server = spec.server();
+    let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
+    let n_servers = spec.total_servers() as f64;
+    let dt = scenario.trace().step();
+    let pdu_budget_per_server = spec.pdu_rated() / spec.servers_per_pdu() as f64;
+
+    let mut records = Vec::with_capacity(scenario.trace().len());
+    let mut admission = AdmissionLog::new();
+
+    for (time, demand) in scenario.trace().iter() {
+        let desired = server
+            .cores_for_demand(Ratio::new(demand))
+            .max(server.normal_cores());
+        // Walk down to the biggest core count within both rated limits.
+        let mut chosen = server.normal_cores();
+        for cores in (server.normal_cores()..=desired).rev() {
+            let per_server = server.power_serving(cores, Ratio::new(demand));
+            let it_total = per_server * n_servers;
+            let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+            if per_server <= pdu_budget_per_server && it_total + cooling <= spec.dc_rated() {
+                chosen = cores;
+                break;
+            }
+        }
+        let per_server = server.power_serving(chosen, Ratio::new(demand));
+        let it_total = per_server * n_servers;
+        let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+        let served = demand.min(server.capacity_at_cores(chosen));
+        admission.record(demand, served, dt);
+        records.push(StepRecord {
+            time,
+            demand,
+            served,
+            cores: chosen,
+            degree: server.degree_of_cores(chosen),
+            upper_bound: server.max_degree(),
+            it_power: it_total,
+            cooling_power: cooling,
+            ups_power: Power::ZERO,
+            tes_heat: Power::ZERO,
+            cb_extra_power: Power::ZERO,
+            phase: dcs_core::Phase::Normal,
+            temperature: Celsius::new(25.0),
+            sprinting: chosen > server.normal_cores(),
+            tripped: false,
+            overheated: false,
+        });
+    }
+
+    SimResult {
+        strategy: "PowerCapped".into(),
+        step: dt,
+        records,
+        admission,
+        cb_energy: Energy::ZERO,
+        ups_energy: Energy::ZERO,
+        tes_energy: Energy::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run, run_no_sprint};
+    use dcs_core::{ControllerConfig, Greedy};
+    use dcs_power::DataCenterSpec;
+    use dcs_units::Seconds;
+    use dcs_workload::yahoo_trace;
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            DataCenterSpec::paper_default().with_scale(2, 200),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(1, 3.0, Seconds::from_minutes(5.0)),
+        )
+    }
+
+    #[test]
+    fn capped_run_respects_the_ratings_always() {
+        let spec = scenario().spec().clone();
+        let result = run_power_capped(&scenario());
+        for r in &result.records {
+            let per_pdu = r.it_power / spec.pdu_count() as f64;
+            assert!(per_pdu <= spec.pdu_rated() + Power::from_watts(1e-6));
+            assert!(r.it_power + r.cooling_power <= spec.dc_rated() + Power::from_watts(1e-6));
+        }
+        assert!(!result.any_tripped());
+    }
+
+    #[test]
+    fn capping_beats_no_sprint_but_loses_to_sprinting() {
+        // The §II claim: the NEC headroom lets a capped facility do a
+        // little better than nothing, but sprinting's temporary violations
+        // serve far more of the burst.
+        let s = scenario();
+        let base = run_no_sprint(&s);
+        let capped = run_power_capped(&s);
+        let sprint = run(&s, Box::new(Greedy));
+        let b = base.burst_performance(1.0);
+        let c = capped.burst_performance(1.0);
+        let g = sprint.burst_performance(1.0);
+        assert!(c > b, "capping {c} must beat no-sprint {b}");
+        assert!(
+            g > 1.5 * c,
+            "sprinting {g} must far exceed capping {c} on bursts"
+        );
+    }
+
+    #[test]
+    fn capped_degree_is_limited_by_headroom() {
+        // With the paper's 25% NEC headroom at the PDU level, the capped
+        // facility can run 68.75 W/server: 17 cores, degree ~1.42.
+        let result = run_power_capped(&scenario());
+        let peak = result.peak_degree();
+        assert!(
+            (1.0..=1.5).contains(&peak),
+            "capped peak degree {peak} outside the headroom band"
+        );
+    }
+}

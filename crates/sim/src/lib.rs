@@ -1,0 +1,61 @@
+//! Datacenter-level simulation harness for Data Center Sprinting.
+//!
+//! This crate drives the [`dcs_core::SprintController`] with demand traces
+//! and computes the paper's metrics. It provides:
+//!
+//! * [`Scenario`] — a facility spec + controller config + demand trace;
+//! * [`run`] — simulate a scenario under any sprinting-degree strategy,
+//!   producing a [`SimResult`] with per-step telemetry, admission
+//!   accounting, and the additional-energy split;
+//! * [`run_no_sprint`] — the paper's normalization baseline (normal cores
+//!   only);
+//! * [`run_uncontrolled`] — §VII-A's *uncontrolled chip-level sprinting*
+//!   baseline, which either trips a breaker and blacks out the facility or
+//!   must abandon the sprint just in time (Fig. 8a);
+//! * [`run_power_capped`] — the §II DVFS power-capping baseline that never
+//!   exceeds the rated limits (and never exceeds the NEC headroom's modest
+//!   boost either);
+//! * [`oracle_search`] — the Oracle strategy: exhaustive search over
+//!   constant sprinting-degree bounds (Fig. 9/10's "O" bars);
+//! * [`build_upper_bound_table`] — the Oracle-built table the Prediction
+//!   strategy consumes (§V-A);
+//! * [`parallel_map`] — the crossbeam-based sweep helper used by the
+//!   benches to parallelize parameter sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_core::{ControllerConfig, Greedy};
+//! use dcs_power::DataCenterSpec;
+//! use dcs_sim::{run, run_no_sprint, Scenario};
+//! use dcs_units::Seconds;
+//! use dcs_workload::yahoo_trace;
+//!
+//! let scenario = Scenario::new(
+//!     DataCenterSpec::paper_default().with_scale(4, 200),
+//!     ControllerConfig::default(),
+//!     yahoo_trace::with_burst(1, 3.0, Seconds::from_minutes(5.0)),
+//! );
+//! let sprint = run(&scenario, Box::new(Greedy));
+//! let base = run_no_sprint(&scenario);
+//! assert!(sprint.improvement_over(&base) > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capped;
+mod oracle;
+mod runner;
+mod scenario;
+mod sweep;
+mod table_builder;
+mod uncontrolled;
+
+pub use capped::run_power_capped;
+pub use oracle::{degree_grid, oracle_search, OracleOutcome};
+pub use runner::{run, run_no_sprint};
+pub use scenario::{Scenario, SimResult};
+pub use sweep::parallel_map;
+pub use table_builder::build_upper_bound_table;
+pub use uncontrolled::{run_uncontrolled, UncontrolledMode, UncontrolledResult};

@@ -1,0 +1,142 @@
+//! The Oracle strategy: exhaustive search over constant degree bounds.
+
+use crate::{parallel_map, run, Scenario, SimResult};
+use dcs_core::FixedBound;
+use dcs_units::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of an Oracle search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleOutcome {
+    /// The best constant upper bound found.
+    pub best_bound: Ratio,
+    /// The run under the best bound.
+    pub best: SimResult,
+    /// Every `(bound, average served demand)` pair tried.
+    pub tried: Vec<(f64, f64)>,
+}
+
+/// Returns the sprinting-degree grid the Oracle searches: one point per
+/// whole core from the normal count to the full chip (§V-A: the degree "is
+/// discrete with a fine granularity — each core can be individually powered
+/// on or off").
+#[must_use]
+pub fn degree_grid(spec: &dcs_power::DataCenterSpec) -> Vec<Ratio> {
+    let server = spec.server();
+    (server.normal_cores()..=server.chip().cores())
+        .map(|cores| server.degree_of_cores(cores))
+        .collect()
+}
+
+/// Runs the Oracle strategy: simulates a [`FixedBound`] run for every
+/// degree on the grid (in parallel) and keeps the bound with the best
+/// average performance.
+///
+/// This is §V-A's *"finds the optimal upper bound by exhaustive search,
+/// with the assumption that the burst degree and burst duration can be
+/// perfectly predicted"* — impractical online, but the reference the other
+/// strategies are compared against.
+///
+/// # Panics
+///
+/// Panics if the degree grid is empty (impossible for a valid spec).
+#[must_use]
+pub fn oracle_search(scenario: &Scenario) -> OracleOutcome {
+    let grid = degree_grid(scenario.spec());
+    let results = parallel_map(&grid, |&bound| {
+        let result = run(scenario, Box::new(FixedBound::new(bound)));
+        (bound, result)
+    });
+    let tried: Vec<(f64, f64)> = results
+        .iter()
+        .map(|(b, r)| (b.as_f64(), r.average_performance()))
+        .collect();
+    let (best_bound, mut best) = results
+        .into_iter()
+        .max_by(|(_, a), (_, b)| {
+            a.average_performance()
+                .total_cmp(&b.average_performance())
+        })
+        .expect("degree grid is never empty");
+    best.strategy = "Oracle".into();
+    OracleOutcome {
+        best_bound,
+        best,
+        tried,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{ControllerConfig, Greedy};
+    use dcs_power::DataCenterSpec;
+    use dcs_units::Seconds;
+    use dcs_workload::yahoo_trace;
+
+    fn scenario(degree: f64, minutes: f64) -> Scenario {
+        Scenario::new(
+            DataCenterSpec::paper_default().with_scale(2, 200),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes)),
+        )
+    }
+
+    #[test]
+    fn grid_covers_core_range() {
+        let grid = degree_grid(&DataCenterSpec::paper_default());
+        assert_eq!(grid.len(), 37);
+        assert_eq!(grid[0], Ratio::ONE);
+        assert_eq!(grid[36].as_f64(), 4.0);
+    }
+
+    #[test]
+    fn oracle_at_least_matches_greedy() {
+        // Greedy is one point in the Oracle's search space (the max bound),
+        // so the Oracle can never do worse.
+        for (degree, minutes) in [(3.0, 5.0), (3.2, 15.0)] {
+            let s = scenario(degree, minutes);
+            let oracle = oracle_search(&s);
+            let greedy = crate::run(&s, Box::new(Greedy));
+            assert!(
+                oracle.best.average_performance() >= greedy.average_performance() - 1e-9,
+                "oracle {} < greedy {} at ({degree}, {minutes})",
+                oracle.best.average_performance(),
+                greedy.average_performance()
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_constrains_long_bursts() {
+        // On a long high burst the best bound is below the hardware max:
+        // the paper's key observation about power efficiency.
+        let outcome = oracle_search(&scenario(3.2, 15.0));
+        assert!(
+            outcome.best_bound.as_f64() < 4.0,
+            "oracle picked {}",
+            outcome.best_bound
+        );
+    }
+
+    #[test]
+    fn short_bursts_leave_bound_loose() {
+        // On a short burst, stored energy is not binding: the best bound is
+        // at (or effectively at) the maximum.
+        let outcome = oracle_search(&scenario(3.0, 1.0));
+        let max_perf = outcome
+            .tried
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max);
+        let greedy_perf = outcome.tried.last().unwrap().1;
+        assert!((greedy_perf - max_perf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tried_covers_whole_grid() {
+        let outcome = oracle_search(&scenario(2.6, 1.0));
+        assert_eq!(outcome.tried.len(), 37);
+        assert_eq!(outcome.best.strategy, "Oracle");
+    }
+}

@@ -1,0 +1,107 @@
+//! Scenario execution.
+
+use crate::{Scenario, SimResult};
+use dcs_core::{FixedBound, SprintController, SprintStrategy};
+use dcs_units::Ratio;
+use dcs_workload::AdmissionLog;
+
+/// Simulates a scenario under the given strategy.
+///
+/// The controller runs one period per trace sample; the returned result
+/// carries per-step telemetry, admission accounting, and the additional-
+/// energy split.
+#[must_use]
+pub fn run(scenario: &Scenario, strategy: Box<dyn SprintStrategy>) -> SimResult {
+    let mut controller = SprintController::new(
+        scenario.spec().clone(),
+        scenario.config().clone(),
+        strategy,
+    );
+    let strategy_name = controller.strategy_name().to_owned();
+    let dt = scenario.trace().step();
+    let mut records = Vec::with_capacity(scenario.trace().len());
+    let mut admission = AdmissionLog::new();
+    for (_, demand) in scenario.trace().iter() {
+        let rec = controller.step(demand, dt);
+        admission.record(rec.demand, rec.served, dt);
+        records.push(rec);
+    }
+    let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
+    SimResult {
+        strategy: strategy_name,
+        step: dt,
+        records,
+        admission,
+        cb_energy,
+        ups_energy,
+        tes_energy,
+    }
+}
+
+/// Simulates the no-sprint baseline: the facility never activates extra
+/// cores, serving at most demand 1.0.
+///
+/// Implemented as a [`FixedBound`] run at bound 1, so the plant (breakers,
+/// cooling) is simulated identically to a sprinting run.
+#[must_use]
+pub fn run_no_sprint(scenario: &Scenario) -> SimResult {
+    let mut result = run(scenario, Box::new(FixedBound::new(Ratio::ONE)));
+    result.strategy = "NoSprint".into();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::{ControllerConfig, Greedy};
+    use dcs_power::DataCenterSpec;
+    use dcs_units::Seconds;
+    use dcs_workload::yahoo_trace;
+
+    fn scenario(degree: f64, minutes: f64) -> Scenario {
+        Scenario::new(
+            DataCenterSpec::paper_default().with_scale(4, 200),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes)),
+        )
+    }
+
+    #[test]
+    fn no_sprint_serves_at_most_one() {
+        let result = run_no_sprint(&scenario(3.0, 10.0));
+        assert!(result.records.iter().all(|r| r.served <= 1.0 + 1e-9));
+        assert!(result.records.iter().all(|r| r.cores == 12));
+        assert_eq!(result.strategy, "NoSprint");
+    }
+
+    #[test]
+    fn greedy_beats_no_sprint_on_bursts() {
+        let s = scenario(3.0, 5.0);
+        let sprint = run(&s, Box::new(Greedy));
+        let base = run_no_sprint(&s);
+        let factor = sprint.improvement_over(&base);
+        assert!(factor > 1.2, "improvement factor {factor}");
+        assert!(!sprint.any_tripped());
+        assert!(!sprint.any_overheated());
+    }
+
+    #[test]
+    fn quiet_trace_gives_no_improvement() {
+        let s = Scenario::new(
+            DataCenterSpec::paper_default().with_scale(4, 200),
+            ControllerConfig::default(),
+            yahoo_trace::baseline(1),
+        );
+        let sprint = run(&s, Box::new(Greedy));
+        let base = run_no_sprint(&s);
+        assert!((sprint.improvement_over(&base) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = scenario(3.2, 15.0);
+        let a = run(&s, Box::new(Greedy));
+        let b = run(&s, Box::new(Greedy));
+        assert_eq!(a, b);
+    }
+}

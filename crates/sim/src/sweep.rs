@@ -1,0 +1,82 @@
+//! Parallel sweep helper.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `inputs` in parallel using scoped crossbeam threads,
+/// preserving input order in the output.
+///
+/// Used by the Oracle search, the upper-bound-table builder, and the
+/// benches to parallelize independent simulation runs. The worker count is
+/// the available parallelism, capped by the input length.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_sim::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(inputs: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len());
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<U>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let value = f(&inputs[i]);
+                out.lock()[i] = Some(value);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_inner()
+        .into_iter()
+        .map(|v| v.expect("every input is processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&inputs, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_input() {
+        assert_eq!(parallel_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = parallel_map(&[1], |_| -> i32 { panic!("boom") });
+    }
+}

@@ -1,0 +1,95 @@
+//! Building the Prediction strategy's upper-bound table with the Oracle.
+
+use crate::{oracle_search, Scenario};
+use dcs_core::{ControllerConfig, UpperBoundTable};
+use dcs_power::DataCenterSpec;
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::yahoo_trace;
+
+/// Builds the §V-A upper-bound table: for every (burst duration, burst
+/// degree) grid cell, run the Oracle on a synthetic plateau burst and
+/// record the optimal constant bound.
+///
+/// Cells run in parallel. The table is *scale-free*: every store (UPS,
+/// TES) and every rating in the facility is proportional to the server
+/// count, so a table built on a reduced facility applies to the full one —
+/// which is how a real deployment would precompute it cheaply.
+///
+/// # Panics
+///
+/// Panics if either axis is empty or not strictly ascending, or if a
+/// degree is not greater than 1.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dcs_core::ControllerConfig;
+/// use dcs_power::DataCenterSpec;
+/// use dcs_sim::build_upper_bound_table;
+///
+/// let spec = DataCenterSpec::paper_default().with_scale(2, 200);
+/// let table = build_upper_bound_table(
+///     &spec,
+///     &ControllerConfig::default(),
+///     &[1.0, 5.0, 10.0, 15.0],
+///     &[2.6, 3.0, 3.6],
+/// );
+/// assert_eq!(table.durations_min().len(), 4);
+/// ```
+#[must_use]
+pub fn build_upper_bound_table(
+    spec: &DataCenterSpec,
+    config: &ControllerConfig,
+    durations_min: &[f64],
+    degrees: &[f64],
+) -> UpperBoundTable {
+    assert!(!durations_min.is_empty() && !degrees.is_empty(), "axes must be non-empty");
+    assert!(
+        degrees.iter().all(|&d| d > 1.0),
+        "burst degrees must exceed 1"
+    );
+    let cells: Vec<(f64, f64)> = durations_min
+        .iter()
+        .flat_map(|&l| degrees.iter().map(move |&b| (l, b)))
+        .collect();
+    let bounds: Vec<Ratio> = crate::parallel_map(&cells, |&(minutes, degree)| {
+        let trace = yahoo_trace::with_burst(0, degree, Seconds::from_minutes(minutes));
+        let scenario = Scenario::new(spec.clone(), config.clone(), trace);
+        oracle_search(&scenario).best_bound
+    });
+    UpperBoundTable::new(durations_min.to_vec(), degrees.to_vec(), bounds)
+        .expect("axes validated above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_and_monotone_tendency() {
+        let spec = DataCenterSpec::paper_default().with_scale(1, 200);
+        let table = build_upper_bound_table(
+            &spec,
+            &ControllerConfig::default(),
+            &[1.0, 15.0],
+            &[3.2],
+        );
+        // Short bursts allow a looser bound than long bursts.
+        let short = table.lookup(Seconds::from_minutes(1.0), 3.2);
+        let long = table.lookup(Seconds::from_minutes(15.0), 3.2);
+        assert!(short >= long, "short {short} < long {long}");
+        assert!(long >= Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst degrees must exceed 1")]
+    fn sub_one_degree_panics() {
+        let spec = DataCenterSpec::paper_default().with_scale(1, 200);
+        let _ = build_upper_bound_table(
+            &spec,
+            &ControllerConfig::default(),
+            &[5.0],
+            &[0.8],
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The uncontrolled chip-level sprinting baseline (§VII-A, Fig. 8a).
+
+use crate::Scenario;
+use dcs_power::PowerTopology;
+use dcs_thermal::CoolingPlant;
+use dcs_units::{Power, Ratio, Seconds};
+use dcs_workload::AdmissionLog;
+use serde::{Deserialize, Serialize};
+
+/// What the uncontrolled baseline does about imminent breaker trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UncontrolledMode {
+    /// Sprint blindly; a breaker trips and the facility goes dark (served
+    /// demand drops to zero) — the paper's "disastrous server shutdowns".
+    RunToTrip,
+    /// Watch the breakers and abandon the sprint (permanently) one step
+    /// before a trip — the paper's "we have to finish the chip-level
+    /// sprinting before this moment ... which results in low performance".
+    StopBeforeTrip,
+}
+
+/// One step of the uncontrolled baseline's telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncontrolledRecord {
+    /// Simulation time at the start of the step.
+    pub time: Seconds,
+    /// Offered demand.
+    pub demand: f64,
+    /// Served demand (zero after a blackout).
+    pub served: f64,
+    /// Active cores per server.
+    pub cores: u32,
+}
+
+/// The outcome of an uncontrolled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncontrolledResult {
+    /// Which mode ran.
+    pub mode: UncontrolledMode,
+    /// Per-step telemetry.
+    pub records: Vec<UncontrolledRecord>,
+    /// Served/dropped accounting.
+    pub admission: AdmissionLog,
+    /// When a breaker tripped (RunToTrip) and its name.
+    pub trip: Option<(Seconds, String)>,
+    /// When the sprint was abandoned (StopBeforeTrip).
+    pub stopped_at: Option<Seconds>,
+}
+
+impl UncontrolledResult {
+    /// Returns the time-average served demand.
+    #[must_use]
+    pub fn average_performance(&self) -> f64 {
+        self.admission.average_served()
+    }
+}
+
+/// Simulates uncontrolled chip-level sprinting: every server greedily
+/// activates the cores its demand asks for, with no CB coordination, no
+/// UPS offloading and no TES. The cooling plant stays at its design
+/// capacity (chip-level sprinting cannot raise facility cooling).
+///
+/// With the paper's configuration this trips a PDU-level breaker a few
+/// minutes into the MS trace — Fig. 8(a)'s "CB trips here (5 min 20 s)".
+#[must_use]
+pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> UncontrolledResult {
+    let spec = scenario.spec();
+    let server = spec.server();
+    let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
+    let mut topo = PowerTopology::new(spec);
+    let dt = scenario.trace().step();
+    let n_servers = spec.total_servers() as f64;
+
+    let mut records = Vec::with_capacity(scenario.trace().len());
+    let mut admission = AdmissionLog::new();
+    let mut trip = None;
+    let mut stopped_at = None;
+    let mut dark = false;
+
+    for (time, demand) in scenario.trace().iter() {
+        let sprint_allowed = stopped_at.is_none() && !dark;
+        let mut cores = if sprint_allowed {
+            server.cores_for_demand(Ratio::new(demand)).max(server.normal_cores())
+        } else {
+            server.normal_cores()
+        };
+
+        if mode == UncontrolledMode::StopBeforeTrip && sprint_allowed && cores > server.normal_cores() {
+            // Check whether holding this load for one more step trips any
+            // breaker; if so, abandon the sprint for good.
+            let per_server = server.power_serving(cores, Ratio::new(demand));
+            let per_pdu = per_server * spec.servers_per_pdu() as f64;
+            let it_total = per_server * n_servers;
+            let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+            let dc_load = it_total + cooling;
+            let pdu_rem = topo.pdu_breakers()[0].remaining_time_at(per_pdu);
+            let dc_rem = topo.dc_breaker().remaining_time_at(dc_load);
+            if pdu_rem.min(dc_rem) <= dt {
+                stopped_at = Some(time);
+                cores = server.normal_cores();
+            }
+        }
+
+        let served = if dark {
+            0.0
+        } else {
+            demand.min(server.capacity_at_cores(cores))
+        };
+
+        if !dark {
+            let per_server = server.power_serving(cores, Ratio::new(demand));
+            let it_total = per_server * n_servers;
+            let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+            let events = topo.step_uniform(
+                per_server * spec.servers_per_pdu() as f64,
+                cooling,
+                dt,
+            );
+            if let Some(ev) = events.first() {
+                trip = Some((time + ev.after, ev.name.clone()));
+                dark = true;
+            }
+        }
+
+        admission.record(demand, served, dt);
+        records.push(UncontrolledRecord {
+            time,
+            demand,
+            served,
+            cores,
+        });
+    }
+
+    UncontrolledResult {
+        mode,
+        records,
+        admission,
+        trip,
+        stopped_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::ControllerConfig;
+    use dcs_power::DataCenterSpec;
+    use dcs_workload::ms_trace;
+
+    fn ms_scenario() -> Scenario {
+        Scenario::new(
+            DataCenterSpec::paper_default().with_scale(4, 200),
+            ControllerConfig::default(),
+            ms_trace::paper_default(),
+        )
+    }
+
+    #[test]
+    fn run_to_trip_blacks_out() {
+        let r = run_uncontrolled(&ms_scenario(), UncontrolledMode::RunToTrip);
+        let (when, name) = r.trip.clone().expect("must trip on the MS trace");
+        // The paper: uncontrolled sprinting trips a CB minutes into the
+        // trace (5 min 20 s on the authors' testbed).
+        assert!(
+            when > Seconds::from_minutes(2.0) && when < Seconds::from_minutes(10.0),
+            "tripped at {when} ({name})"
+        );
+        // After the trip the facility serves nothing.
+        assert!(r.records.last().unwrap().served == 0.0);
+    }
+
+    #[test]
+    fn stop_before_trip_survives_at_low_performance() {
+        let r = run_uncontrolled(&ms_scenario(), UncontrolledMode::StopBeforeTrip);
+        assert!(r.trip.is_none(), "must not trip: {:?}", r.trip);
+        let stopped = r.stopped_at.expect("must abandon the sprint");
+        assert!(stopped < Seconds::from_minutes(10.0));
+        // After stopping, performance is capped at the normal capacity.
+        let after: Vec<_> = r
+            .records
+            .iter()
+            .filter(|rec| rec.time > stopped)
+            .collect();
+        assert!(!after.is_empty());
+        assert!(after.iter().all(|rec| rec.served <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn stop_mode_outperforms_blackout() {
+        let s = ms_scenario();
+        let stop = run_uncontrolled(&s, UncontrolledMode::StopBeforeTrip);
+        let dark = run_uncontrolled(&s, UncontrolledMode::RunToTrip);
+        assert!(stop.average_performance() > dark.average_performance());
+    }
+}

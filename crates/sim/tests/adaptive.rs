@@ -1,0 +1,91 @@
+//! End-to-end tests of the Adaptive (online-prediction) strategy — the
+//! paper's future-work extension.
+
+use dcs_core::{Adaptive, ControllerConfig, Greedy, UpperBoundTable};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{build_upper_bound_table, run, run_no_sprint, Scenario};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::Trace;
+
+fn spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default().with_scale(2, 200)
+}
+
+fn table() -> UpperBoundTable {
+    build_upper_bound_table(
+        &spec(),
+        &ControllerConfig::default(),
+        &[1.0, 5.0, 10.0, 15.0, 20.0, 30.0],
+        &[2.0, 3.0, 4.0],
+    )
+}
+
+/// A train of identical plateau bursts with quiet gaps.
+fn burst_train(bursts: usize, burst_secs: usize, gap_secs: usize, degree: f64) -> Trace {
+    let mut samples = vec![0.6; 60];
+    for _ in 0..bursts {
+        samples.extend(std::iter::repeat_n(degree, burst_secs));
+        samples.extend(std::iter::repeat_n(0.6, gap_secs));
+    }
+    Trace::new(Seconds::new(1.0), samples).unwrap()
+}
+
+#[test]
+fn adaptive_learns_across_repeated_long_bursts() {
+    // Three 12-minute bursts. Greedy drains the stores on each; Adaptive
+    // should learn the duration after burst one and constrain bursts two
+    // and three.
+    let trace = burst_train(3, 12 * 60, 240, 3.2);
+    let scenario = Scenario::new(spec(), ControllerConfig::default(), trace);
+    let base = run_no_sprint(&scenario);
+    let greedy = run(&scenario, Box::new(Greedy));
+    let adaptive = run(&scenario, Box::new(Adaptive::new(table(), 1.0, 0.5)));
+    assert!(!adaptive.any_tripped() && !adaptive.any_overheated());
+    let g = greedy.burst_improvement_over(&base, 1.0);
+    let a = adaptive.burst_improvement_over(&base, 1.0);
+    assert!(
+        a >= g - 1e-9,
+        "adaptive {a} must at least match greedy {g} on repeated long bursts"
+    );
+    // And it must actually have constrained the degree at some point.
+    assert!(
+        adaptive
+            .records
+            .iter()
+            .any(|r| r.sprinting && r.upper_bound < Ratio::new(4.0)),
+        "adaptive never constrained the degree"
+    );
+}
+
+#[test]
+fn adaptive_stays_greedy_on_short_bursts() {
+    // Short bursts never exhaust the stores; the learned duration keeps
+    // the bound loose and Adaptive matches Greedy exactly.
+    let trace = burst_train(4, 60, 300, 3.0);
+    let scenario = Scenario::new(spec(), ControllerConfig::default(), trace);
+    let greedy = run(&scenario, Box::new(Greedy));
+    let adaptive = run(&scenario, Box::new(Adaptive::new(table(), 1.0, 0.5)));
+    assert!(
+        (adaptive.average_performance() - greedy.average_performance()).abs() < 0.02,
+        "adaptive {} vs greedy {}",
+        adaptive.average_performance(),
+        greedy.average_performance()
+    );
+}
+
+#[test]
+fn adaptive_needs_no_a_priori_estimate() {
+    // Unlike Prediction/Heuristic, construction takes no Estimate; the
+    // first burst runs greedily.
+    let trace = burst_train(1, 300, 60, 2.5);
+    let scenario = Scenario::new(spec(), ControllerConfig::default(), trace);
+    let adaptive = run(&scenario, Box::new(Adaptive::new(table(), 1.0, 0.5)));
+    let first_burst_bounds: Vec<f64> = adaptive
+        .records
+        .iter()
+        .filter(|r| r.sprinting)
+        .map(|r| r.upper_bound.as_f64())
+        .collect();
+    assert!(!first_burst_bounds.is_empty());
+    assert!(first_burst_bounds.iter().all(|&b| (b - 4.0).abs() < 1e-9));
+}

@@ -1,0 +1,86 @@
+//! End-to-end latency view: sprinting is what keeps delay-sensitive
+//! services fast through a burst.
+
+use dcs_core::{ControllerConfig, Greedy};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{run, run_no_sprint, Scenario};
+use dcs_units::Seconds;
+use dcs_workload::{yahoo_trace, LatencyModel};
+
+fn scenario() -> Scenario {
+    Scenario::new(
+        DataCenterSpec::paper_default().with_scale(2, 200),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(1, 2.5, Seconds::from_minutes(5.0)),
+    )
+}
+
+#[test]
+fn latency_aware_provisioning_meets_the_google_rule() {
+    // The controller provisions the *fewest* cores that cover demand, so a
+    // served system runs near saturation; a latency-aware operator instead
+    // provisions for a target utilization. The model inverts the Google
+    // rule (+0.4 s over a 0.2 s service time) into that target.
+    let server = DataCenterSpec::paper_default().with_scale(2, 200).server().clone();
+    let model = LatencyModel::new(Seconds::new(0.2));
+    let rho_star = model.utilization_for_extra_delay(Seconds::new(0.4));
+    assert!((rho_star - 2.0 / 3.0).abs() < 1e-12);
+
+    for demand in [0.5, 1.0, 1.5, 1.8] {
+        // Provision for demand / rho*: utilization then stays within the
+        // Google budget whenever the chip can supply the cores.
+        let target_capacity = demand / rho_star;
+        let cores = server.cores_for_demand(dcs_units::Ratio::new(target_capacity));
+        let capacity = server.capacity_at_cores(cores);
+        if capacity >= target_capacity - 1e-9 {
+            let slowdown = model.slowdown(demand / capacity);
+            assert!(
+                slowdown <= model.slowdown_for_extra_delay(Seconds::new(0.4)) + 1e-9,
+                "demand {demand}: slowdown {slowdown}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_requests_dominate_the_latency_story_without_sprinting() {
+    // At the paper's normalization the facility runs near saturation, so
+    // both runs see high utilization among *served* requests; the real
+    // latency catastrophe without sprinting is the dropped share (an
+    // effectively infinite response time for a third of the burst).
+    let s = scenario();
+    let base = run_no_sprint(&s);
+    let sprint = run(&s, Box::new(Greedy));
+    assert!(base.admission.drop_fraction() > 3.0 * sprint.admission.drop_fraction());
+}
+
+#[test]
+fn slowdown_series_matches_utilization() {
+    let s = scenario();
+    let server = s.spec().server().clone();
+    let model = LatencyModel::new(Seconds::new(0.2));
+    let result = run(&s, Box::new(Greedy));
+    let series = result.slowdown_series(&server, &model);
+    assert_eq!(series.len(), result.records.len());
+    for (slowdown, record) in series.iter().zip(&result.records) {
+        let capacity = server.capacity_at_cores(record.cores);
+        let expected = model.slowdown(record.served / capacity);
+        assert!((slowdown - expected).abs() < 1e-12);
+        assert!(*slowdown >= 1.0);
+    }
+}
+
+#[test]
+fn quiet_traces_are_never_slow() {
+    let s = Scenario::new(
+        DataCenterSpec::paper_default().with_scale(2, 200),
+        ControllerConfig::default(),
+        yahoo_trace::baseline(5),
+    );
+    let server = s.spec().server().clone();
+    let model = LatencyModel::new(Seconds::new(0.2));
+    let result = run(&s, Box::new(Greedy));
+    // The quiet baseline peaks at ~1.0 demand on 12 cores; utilization can
+    // touch 1 but "slow" (>10x) requires saturation for real.
+    assert_eq!(result.fraction_slow(&server, &model, 50.0), 0.0);
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the simulation harness.
+
+use dcs_core::{ControllerConfig, FixedBound, Greedy};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{parallel_map, run, run_no_sprint, Scenario};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::yahoo_trace;
+use proptest::prelude::*;
+
+fn spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default().with_scale(2, 200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sprinting never serves less than the no-sprint baseline, at any
+    /// burst profile.
+    #[test]
+    fn sprinting_dominates_no_sprint(seed in 0u64..100, degree in 1.2..4.0f64, minutes in 1.0..20.0f64) {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(minutes)),
+        );
+        let base = run_no_sprint(&scenario);
+        let sprint = run(&scenario, Box::new(Greedy));
+        prop_assert!(sprint.average_performance() >= base.average_performance() - 1e-9);
+        prop_assert!(sprint.improvement_over(&base) >= 1.0 - 1e-9);
+    }
+
+    /// Per-step sanity across runs: served <= demand, served <= the
+    /// facility's ceiling, cores within the chip.
+    #[test]
+    fn record_invariants(seed in 0u64..100, degree in 1.2..4.0f64, minutes in 1.0..15.0f64) {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(minutes)),
+        );
+        let result = run(&scenario, Box::new(Greedy));
+        let ceiling = spec().server().capacity_at_cores(48);
+        for r in &result.records {
+            prop_assert!(r.served <= r.demand + 1e-9);
+            prop_assert!(r.served <= ceiling + 1e-9);
+            prop_assert!((12..=48).contains(&r.cores));
+            prop_assert!(r.degree >= Ratio::ONE && r.degree <= Ratio::new(4.0));
+        }
+    }
+
+    /// The burst-window metric equals the whole-trace metric when the
+    /// whole trace is a burst (threshold zero).
+    #[test]
+    fn burst_metric_consistency(seed in 0u64..50, degree in 1.5..4.0f64) {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(10.0)),
+        );
+        let result = run(&scenario, Box::new(Greedy));
+        let whole = result.average_performance();
+        let all_burst = result.burst_performance(0.0);
+        prop_assert!((whole - all_burst).abs() < 1e-9);
+    }
+
+    /// A tighter fixed bound never increases the peak degree.
+    #[test]
+    fn fixed_bound_caps_peak_degree(bound in 1.0..4.0f64) {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(1, 3.5, Seconds::from_minutes(8.0)),
+        );
+        let result = run(&scenario, Box::new(FixedBound::new(Ratio::new(bound))));
+        prop_assert!(result.peak_degree() <= bound + 1e-9);
+    }
+
+    /// parallel_map agrees with a serial map over simulation-sized work.
+    #[test]
+    fn parallel_map_matches_serial(inputs in prop::collection::vec(0u64..1000, 1..50)) {
+        let parallel = parallel_map(&inputs, |&x| x.wrapping_mul(2654435761));
+        let serial: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}

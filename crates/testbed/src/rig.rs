@@ -1,0 +1,258 @@
+//! The emulated hardware rig.
+
+use dcs_breaker::{CircuitBreaker, TripCurve};
+use dcs_units::{Energy, Power, Seconds};
+use dcs_ups::{Battery, Chemistry};
+use serde::{Deserialize, Serialize};
+
+/// Which source(s) carried the server during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerSource {
+    /// Relay open: the CB branch carries the whole server.
+    CbOnly,
+    /// Relay closed: the UPS carries (about) half, the CB the rest.
+    Split,
+    /// The breaker has tripped (or the UPS died with the CB exhausted):
+    /// the server is down.
+    Down,
+}
+
+/// Testbed constants (§VI-B / §VII-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Maximum power the CB sustains without overload (the paper's 232 W).
+    pub cb_rated: Power,
+    /// The CB trip curve.
+    pub trip_curve: TripCurve,
+    /// UPS stored energy.
+    pub ups_energy: Energy,
+    /// Fraction of server power the UPS carries with the relay closed
+    /// ("the two power demands are approximately equal").
+    pub ups_share: f64,
+    /// Idle server power (273 W).
+    pub idle_power: Power,
+    /// Peak server power (428 W).
+    pub peak_power: Power,
+}
+
+impl TestbedConfig {
+    /// The paper's testbed constants, with the trip curve and UPS energy
+    /// calibrated to its reported measurements (CB-only trip ≈65 s; best
+    /// sustained time ≈4× that).
+    #[must_use]
+    pub fn paper_default() -> TestbedConfig {
+        TestbedConfig {
+            cb_rated: Power::from_watts(232.0),
+            // Inverse-square law calibrated so the CB alone trips about
+            // 65 s into the power profile, matching the paper's testbed.
+            trip_curve: TripCurve::inverse_power(0.6, Seconds::new(95.0), 2.0, 0.01, 5.0),
+            ups_energy: Energy::from_watt_hours(10.0),
+            ups_share: 0.5,
+            idle_power: Power::from_watts(273.0),
+            peak_power: Power::from_watts(428.0),
+        }
+    }
+}
+
+/// The stateful rig: one breaker, one battery, one relay.
+#[derive(Debug, Clone)]
+pub struct TestbedRig {
+    config: TestbedConfig,
+    cb: CircuitBreaker,
+    ups: Battery,
+    down: bool,
+}
+
+impl TestbedRig {
+    /// Builds the rig with a cold breaker and a full battery.
+    #[must_use]
+    pub fn new(config: TestbedConfig) -> TestbedRig {
+        let cb = CircuitBreaker::new("testbed", config.cb_rated, config.trip_curve.clone());
+        let ups = Battery::from_energy(Chemistry::LithiumIronPhosphate, config.ups_energy);
+        TestbedRig { config, cb, ups, down: false }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// Returns the breaker state.
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.cb
+    }
+
+    /// Returns the battery state.
+    #[must_use]
+    pub fn ups(&self) -> &Battery {
+        &self.ups
+    }
+
+    /// Returns `true` once the server has lost power.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Returns the remaining time before the breaker trips if the server
+    /// draws `load` through the CB branch alone.
+    #[must_use]
+    pub fn remaining_cb_time(&self, load: Power) -> Seconds {
+        self.cb.remaining_time_at(load)
+    }
+
+    /// Returns `true` if the UPS can still contribute its share for one
+    /// step of `load` over `dt`.
+    #[must_use]
+    pub fn ups_can_carry(&self, load: Power, dt: Seconds) -> bool {
+        let share = load * self.config.ups_share;
+        self.ups.deliverable() >= share * dt
+    }
+
+    /// Advances one step with the relay open (CB carries everything) or
+    /// closed (UPS carries its share). Returns the source that actually
+    /// carried the server, `PowerSource::Down` if power was lost during
+    /// the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative or `dt` is not strictly positive and
+    /// finite.
+    pub fn step(&mut self, load: Power, relay_closed: bool, dt: Seconds) -> PowerSource {
+        assert!(load >= Power::ZERO, "load must be non-negative");
+        if self.down {
+            return PowerSource::Down;
+        }
+        let mut cb_load = load;
+        let mut source = PowerSource::CbOnly;
+        if relay_closed {
+            let want = load * self.config.ups_share;
+            let got = self.ups.discharge(want, dt);
+            cb_load = load - got;
+            if got > Power::ZERO {
+                source = PowerSource::Split;
+            }
+        }
+        match self.cb.apply_load(cb_load, dt) {
+            Ok(None) => source,
+            Ok(Some(_)) => {
+                self.down = true;
+                PowerSource::Down
+            }
+            Err(_) => {
+                self.down = true;
+                PowerSource::Down
+            }
+        }
+    }
+}
+
+/// Generates the §VI-B server-power profile: a CPU-utilization series with
+/// the fluctuation structure of the paper's Fig. 11(a) power curve (slow
+/// drift plus swings on the scale of one to two minutes plus per-second
+/// noise), mapped onto the testbed's `[273 W, 428 W]` envelope and sampled
+/// once per second for 30 minutes.
+///
+/// The authors drove their server with the Yahoo request trace; that trace
+/// is unavailable, so this stand-in matches the published envelope and the
+/// visible time structure of their measured power curve (see `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_testbed::server_power_trace;
+///
+/// let p = server_power_trace(1);
+/// assert_eq!(p.len(), 1800);
+/// assert!(p.iter().all(|w| (273.0..=428.0).contains(&w.as_watts())));
+/// ```
+#[must_use]
+pub fn server_power_trace(seed: u64) -> Vec<Power> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let config = TestbedConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..1800)
+        .map(|i| {
+            let t = f64::from(i);
+            let slow = 0.25 * (std::f64::consts::TAU * t / 1200.0 + 0.8).sin();
+            let mid = 0.30 * (std::f64::consts::TAU * t / 110.0).sin();
+            let noise = rng.gen_range(-0.08..0.08);
+            let u = (0.45 + slow + mid + noise).clamp(0.0, 1.0);
+            config.idle_power + (config.peak_power - config.idle_power) * u
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_power_already_overloads_cb() {
+        let c = TestbedConfig::paper_default();
+        assert!(c.idle_power > c.cb_rated);
+    }
+
+    #[test]
+    fn cb_only_trips_in_about_a_minute() {
+        let config = TestbedConfig::paper_default();
+        let trace = server_power_trace(1);
+        let mut rig = TestbedRig::new(config);
+        let mut tripped_at = None;
+        for (i, &load) in trace.iter().enumerate() {
+            if rig.step(load, false, Seconds::new(1.0)) == PowerSource::Down {
+                tripped_at = Some(i);
+                break;
+            }
+        }
+        let t = tripped_at.expect("CB alone must trip");
+        // The paper: "Without the UPS, the CB will trip in 65 seconds."
+        assert!((40..=120).contains(&t), "tripped at {t}s");
+    }
+
+    #[test]
+    fn relay_split_keeps_cb_under_rating() {
+        let config = TestbedConfig::paper_default();
+        let mut rig = TestbedRig::new(config.clone());
+        // Peak power split in half is below the CB rating: no progress.
+        for _ in 0..60 {
+            let s = rig.step(config.peak_power, true, Seconds::new(1.0));
+            assert_eq!(s, PowerSource::Split);
+        }
+        assert!(rig.breaker().trip_progress() < 1e-9);
+        assert!(rig.ups().state_of_charge().as_f64() < 1.0);
+    }
+
+    #[test]
+    fn ups_exhaustion_forces_cb_only() {
+        let config = TestbedConfig::paper_default();
+        let mut rig = TestbedRig::new(config.clone());
+        // Burn the UPS dry, then the relay no longer helps.
+        let mut last = PowerSource::Split;
+        for _ in 0..3600 {
+            last = rig.step(config.peak_power, true, Seconds::new(1.0));
+            if last == PowerSource::Down {
+                break;
+            }
+        }
+        assert_eq!(last, PowerSource::Down);
+        assert!(rig.ups().deliverable().as_joules() < 1.0);
+    }
+
+    #[test]
+    fn down_rig_stays_down() {
+        let config = TestbedConfig::paper_default();
+        let mut rig = TestbedRig::new(config.clone());
+        for _ in 0..600 {
+            rig.step(config.peak_power, false, Seconds::new(1.0));
+        }
+        assert!(rig.is_down());
+        assert_eq!(
+            rig.step(config.idle_power, true, Seconds::new(1.0)),
+            PowerSource::Down
+        );
+    }
+}

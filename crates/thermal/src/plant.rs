@@ -1,0 +1,174 @@
+//! Chiller + CRAC electric-power model.
+
+use dcs_units::Power;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of cooling power consumed by the chiller itself; the rest runs
+/// pumps, valves and CRAC fans. Iyengar & Schmidt \[16\], as quoted by the
+/// paper: "up to 2/3 of the cooling power can be saved by using TES to
+/// replace the chiller, while the rest 1/3 is consumed by the pumps, valves
+/// and CRAC fans".
+pub const CHILLER_SHARE: f64 = 2.0 / 3.0;
+
+/// A chiller-based CRAC cooling plant.
+///
+/// The plant's electric draw is proportional to the heat it absorbs. The
+/// proportionality constant is derived from the facility PUE, counting only
+/// server and cooling power as the paper does: cooling the full design load
+/// costs `(PUE − 1) ×` that load. Heat absorbed through the TES loop skips
+/// the chiller and costs only the auxiliary (pumps/fans) share.
+///
+/// The chiller cannot absorb more heat than its design capacity — sized for
+/// the peak *normal* (non-sprinting) load — which is exactly why sprinting
+/// opens a generation/absorption gap that the room model integrates.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_thermal::CoolingPlant;
+/// use dcs_units::Power;
+///
+/// let plant = CoolingPlant::with_pue(1.53, Power::from_megawatts(10.0));
+/// assert_eq!(plant.design_capacity().as_megawatts(), 10.0);
+/// let p = plant.electric_power(Power::from_megawatts(10.0), Power::ZERO);
+/// assert!((p.as_megawatts() - 5.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolingPlant {
+    /// Electric watts per watt of heat absorbed through the chiller path.
+    unit_cost: f64,
+    /// Maximum heat the chiller path can absorb (its design capacity).
+    design_capacity: Power,
+}
+
+impl CoolingPlant {
+    /// Creates a plant from a facility PUE (counting server + cooling power
+    /// only) and the design IT load it was sized for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pue <= 1.0` or the design load is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_thermal::CoolingPlant;
+    /// use dcs_units::Power;
+    /// let plant = CoolingPlant::with_pue(1.53, Power::from_megawatts(10.0));
+    /// assert!((plant.unit_cost() - 0.53).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn with_pue(pue: f64, design_it_load: Power) -> CoolingPlant {
+        assert!(pue > 1.0 && pue.is_finite(), "PUE must exceed 1");
+        assert!(design_it_load > Power::ZERO, "design load must be positive");
+        CoolingPlant {
+            unit_cost: pue - 1.0,
+            design_capacity: design_it_load,
+        }
+    }
+
+    /// Returns the electric watts drawn per watt of heat absorbed through
+    /// the chiller path (`PUE − 1`).
+    #[must_use]
+    pub fn unit_cost(&self) -> f64 {
+        self.unit_cost
+    }
+
+    /// Returns the maximum heat the chiller path can absorb.
+    #[must_use]
+    pub fn design_capacity(&self) -> Power {
+        self.design_capacity
+    }
+
+    /// Returns the heat the chiller path actually absorbs for a given heat
+    /// generation rate: at most its design capacity.
+    #[must_use]
+    pub fn chiller_absorption(&self, heat_generated: Power) -> Power {
+        heat_generated.max_zero().min(self.design_capacity)
+    }
+
+    /// Returns the plant's electric power when absorbing `via_chiller` heat
+    /// through the chiller and `via_tes` heat through the TES loop.
+    ///
+    /// TES-path heat costs only the auxiliary share (`1 − CHILLER_SHARE`) of
+    /// the unit cost, which is the paper's "save up to 2/3 of the cooling
+    /// power" effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either heat rate is negative.
+    #[must_use]
+    pub fn electric_power(&self, via_chiller: Power, via_tes: Power) -> Power {
+        assert!(via_chiller >= Power::ZERO, "chiller heat must be non-negative");
+        assert!(via_tes >= Power::ZERO, "TES heat must be non-negative");
+        via_chiller * self.unit_cost + via_tes * (self.unit_cost * (1.0 - CHILLER_SHARE))
+    }
+
+    /// Returns the electric power saved by moving `via_tes` heat from the
+    /// chiller path to the TES path.
+    #[must_use]
+    pub fn tes_savings(&self, via_tes: Power) -> Power {
+        via_tes.max_zero() * (self.unit_cost * CHILLER_SHARE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plant() -> CoolingPlant {
+        CoolingPlant::with_pue(1.53, Power::from_megawatts(10.0))
+    }
+
+    #[test]
+    fn pue_sizing() {
+        let p = plant();
+        let full = p.electric_power(Power::from_megawatts(10.0), Power::ZERO);
+        assert!((full.as_megawatts() - 5.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tes_path_costs_one_third() {
+        let p = plant();
+        let chiller = p.electric_power(Power::from_megawatts(3.0), Power::ZERO);
+        let tes = p.electric_power(Power::ZERO, Power::from_megawatts(3.0));
+        assert!((tes.as_watts() * 3.0 - chiller.as_watts()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn savings_are_two_thirds() {
+        let p = plant();
+        let save = p.tes_savings(Power::from_megawatts(10.0));
+        let full = p.electric_power(Power::from_megawatts(10.0), Power::ZERO);
+        assert!((save.as_watts() / full.as_watts() - CHILLER_SHARE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chiller_absorption_clamps_at_design() {
+        let p = plant();
+        assert_eq!(
+            p.chiller_absorption(Power::from_megawatts(25.0)),
+            Power::from_megawatts(10.0)
+        );
+        assert_eq!(
+            p.chiller_absorption(Power::from_megawatts(4.0)),
+            Power::from_megawatts(4.0)
+        );
+        assert_eq!(p.chiller_absorption(Power::from_megawatts(-1.0)), Power::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "PUE must exceed 1")]
+    fn bad_pue_panics() {
+        let _ = CoolingPlant::with_pue(0.9, Power::from_megawatts(1.0));
+    }
+
+    #[test]
+    fn electric_power_additive() {
+        let p = plant();
+        let a = p.electric_power(Power::from_megawatts(2.0), Power::from_megawatts(1.0));
+        let b = p.electric_power(Power::from_megawatts(2.0), Power::ZERO)
+            + p.electric_power(Power::ZERO, Power::from_megawatts(1.0));
+        assert!((a.as_watts() - b.as_watts()).abs() < 1e-6);
+    }
+}

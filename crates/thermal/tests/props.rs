@@ -1,0 +1,87 @@
+//! Property-based tests for the thermal substrate.
+
+use dcs_thermal::{tes_activation_deadline, CoolingPlant, RoomModel, TesTank};
+use dcs_units::{Power, Seconds};
+use proptest::prelude::*;
+
+proptest! {
+    /// TES never absorbs more heat than its remaining budget.
+    #[test]
+    fn tes_budget_is_conserved(
+        cap_mw in 0.5..20.0f64,
+        minutes in 1.0..30.0f64,
+        draws in prop::collection::vec((0.0..40.0f64, 1.0..300.0f64), 1..30)
+    ) {
+        let mut tes = TesTank::sized_for(
+            Power::from_megawatts(cap_mw),
+            Seconds::from_minutes(minutes),
+        );
+        let budget = tes.capacity();
+        let mut absorbed = 0.0;
+        for (mw, secs) in draws {
+            let got = tes.discharge(Power::from_megawatts(mw), Seconds::new(secs));
+            absorbed += got.as_watts() * secs;
+        }
+        prop_assert!(absorbed <= budget.as_joules() * (1.0 + 1e-9));
+    }
+
+    /// TES state of charge stays within [0, 1] under any mix of operations.
+    #[test]
+    fn tes_soc_in_bounds(
+        ops in prop::collection::vec((0.0..30.0f64, 1.0..120.0f64, any::<bool>()), 1..40)
+    ) {
+        let mut tes = TesTank::sized_for(Power::from_megawatts(10.0), Seconds::from_minutes(12.0));
+        for (mw, secs, charge) in ops {
+            let p = Power::from_megawatts(mw);
+            let t = Seconds::new(secs);
+            if charge { tes.recharge(p, t); } else { tes.discharge(p, t); }
+            let soc = tes.state_of_charge().as_f64();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&soc));
+        }
+    }
+
+    /// The cooling plant's TES savings never exceed its total cooling power.
+    #[test]
+    fn tes_savings_bounded(pue in 1.05..2.5f64, heat_mw in 0.0..20.0f64) {
+        let plant = CoolingPlant::with_pue(pue, Power::from_megawatts(10.0));
+        let heat = Power::from_megawatts(heat_mw);
+        let full = plant.electric_power(heat.max(Power::from_watts(1.0)), Power::ZERO);
+        prop_assert!(plant.tes_savings(heat) <= full + Power::from_watts(1.0));
+    }
+
+    /// Room temperature is monotone in the gap: more unabsorbed heat never
+    /// results in a cooler room.
+    #[test]
+    fn room_monotone_in_gap(gap_a in 0.0..10.0f64, gap_b in 0.0..10.0f64, minutes in 0.1..10.0f64) {
+        let design = Power::from_megawatts(10.0);
+        let mut ra = RoomModel::calibrated(design);
+        let mut rb = RoomModel::calibrated(design);
+        let (lo, hi) = if gap_a <= gap_b { (gap_a, gap_b) } else { (gap_b, gap_a) };
+        ra.step(Power::from_megawatts(lo), Power::ZERO, Seconds::from_minutes(minutes));
+        rb.step(Power::from_megawatts(hi), Power::ZERO, Seconds::from_minutes(minutes));
+        prop_assert!(ra.temperature() <= rb.temperature());
+    }
+
+    /// `time_to_threshold` is consistent with stepping: holding the gap for
+    /// just under the predicted time stays safe.
+    #[test]
+    fn time_to_threshold_is_safe(gap_mw in 0.5..20.0f64) {
+        let design = Power::from_megawatts(10.0);
+        let mut room = RoomModel::calibrated(design);
+        let gap = Power::from_megawatts(gap_mw);
+        let t = room.time_to_threshold(gap);
+        prop_assume!(!t.is_never());
+        room.step(gap, Power::ZERO, t * 0.99);
+        prop_assert!(!room.is_over_threshold());
+    }
+
+    /// The TES deadline scales inversely with additional power and is the
+    /// CFD 5 minutes at a full gap.
+    #[test]
+    fn deadline_inverse_scaling(add_mw in 0.1..40.0f64) {
+        let p0 = Power::from_megawatts(10.0);
+        let d = tes_activation_deadline(p0, Power::from_megawatts(add_mw));
+        let expected = 5.0 * 10.0 / add_mw;
+        prop_assert!((d.as_minutes() - expected).abs() < expected * 1e-12 + 1e-9);
+    }
+}

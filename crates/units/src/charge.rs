@@ -1,0 +1,130 @@
+//! Battery charge in amp-hours.
+
+use crate::{check_non_negative, Energy, UnitError};
+use serde::{Deserialize, Serialize};
+
+/// Battery charge capacity in amp-hours.
+///
+/// The paper specifies distributed per-server UPS batteries by their
+/// amp-hour rating (default 0.5 Ah, which sustains the 55 W peak normal
+/// server power for about 6 minutes). Converting charge to deliverable
+/// [`Energy`] requires the battery's nominal voltage.
+///
+/// Charge is always non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::{Charge, Power};
+///
+/// let battery = Charge::from_amp_hours(0.5);
+/// let energy = battery.energy_at_volts(12.0);
+/// let runtime = energy / Power::from_watts(55.0);
+/// assert!((runtime.as_minutes() - 6.545).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Charge(f64);
+
+impl Charge {
+    /// Zero charge.
+    pub const ZERO: Charge = Charge(0.0);
+
+    /// Creates a charge from amp-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ah` is NaN, infinite, or negative. Use
+    /// [`Charge::try_from_amp_hours`] for fallible construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Charge;
+    /// assert_eq!(Charge::from_amp_hours(0.5).as_amp_hours(), 0.5);
+    /// ```
+    #[must_use]
+    pub fn from_amp_hours(ah: f64) -> Charge {
+        Charge::try_from_amp_hours(ah).expect("charge must be finite and non-negative")
+    }
+
+    /// Creates a charge from amp-hours, returning an error for invalid input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] for NaN/infinite input and
+    /// [`UnitError::Negative`] for negative input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::{Charge, UnitError};
+    /// assert_eq!(Charge::try_from_amp_hours(-1.0), Err(UnitError::Negative));
+    /// ```
+    pub fn try_from_amp_hours(ah: f64) -> Result<Charge, UnitError> {
+        check_non_negative(ah).map(Charge)
+    }
+
+    /// Returns the charge in amp-hours.
+    #[must_use]
+    pub fn as_amp_hours(self) -> f64 {
+        self.0
+    }
+
+    /// Converts this charge to energy at a nominal battery voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` is not finite or not positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Charge;
+    /// let e = Charge::from_amp_hours(1.0).energy_at_volts(12.0);
+    /// assert_eq!(e.as_watt_hours(), 12.0);
+    /// ```
+    #[must_use]
+    pub fn energy_at_volts(self, volts: f64) -> Energy {
+        assert!(volts.is_finite() && volts > 0.0, "voltage must be positive");
+        Energy::from_watt_hours(self.0 * volts)
+    }
+}
+
+impl std::fmt::Display for Charge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} Ah", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Charge::try_from_amp_hours(f64::NAN).is_err());
+        assert_eq!(
+            Charge::try_from_amp_hours(-0.5),
+            Err(UnitError::Negative)
+        );
+        assert!(Charge::try_from_amp_hours(0.0).is_ok());
+    }
+
+    #[test]
+    fn energy_conversion() {
+        let e = Charge::from_amp_hours(0.5).energy_at_volts(12.0);
+        assert_eq!(e.as_watt_hours(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn zero_voltage_panics() {
+        let _ = Charge::from_amp_hours(1.0).energy_at_volts(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Charge::from_amp_hours(0.5).to_string(), "0.500 Ah");
+    }
+}

@@ -1,0 +1,302 @@
+//! Energy in joules.
+
+use crate::{check_finite, Power, Ratio, Seconds, UnitError};
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Energy in joules.
+///
+/// Energy quantities track stored energy (UPS batteries, TES tanks) and
+/// integrated power over time. Like [`Power`], `Energy` may be negative to
+/// represent net flow in the opposite direction.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::{Energy, Power, Seconds};
+///
+/// let stored = Energy::from_watt_hours(5.5);
+/// let draw = Power::from_watts(55.0);
+/// let runtime: Seconds = stored / draw;
+/// assert!((runtime.as_minutes() - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero joules.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is NaN or infinite. Use [`Energy::try_from_joules`]
+    /// for fallible construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// assert_eq!(Energy::from_joules(3600.0).as_watt_hours(), 1.0);
+    /// ```
+    #[must_use]
+    pub fn from_joules(joules: f64) -> Energy {
+        Energy::try_from_joules(joules).expect("energy must be finite")
+    }
+
+    /// Creates an energy from joules, returning an error for non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] if `joules` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// assert!(Energy::try_from_joules(f64::INFINITY).is_err());
+    /// ```
+    pub fn try_from_joules(joules: f64) -> Result<Energy, UnitError> {
+        check_finite(joules).map(Energy)
+    }
+
+    /// Creates an energy from watt-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wh` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// assert_eq!(Energy::from_watt_hours(1.0).as_joules(), 3600.0);
+    /// ```
+    #[must_use]
+    pub fn from_watt_hours(wh: f64) -> Energy {
+        Energy::from_joules(wh * 3600.0)
+    }
+
+    /// Creates an energy from kilowatt-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kwh` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// assert_eq!(Energy::from_kilowatt_hours(1.0).as_watt_hours(), 1000.0);
+    /// ```
+    #[must_use]
+    pub fn from_kilowatt_hours(kwh: f64) -> Energy {
+        Energy::from_joules(kwh * 3.6e6)
+    }
+
+    /// Returns the energy in joules.
+    #[must_use]
+    pub fn as_joules(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the energy in watt-hours.
+    #[must_use]
+    pub fn as_watt_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Returns the energy in kilowatt-hours.
+    #[must_use]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.0 / 3.6e6
+    }
+
+    /// Returns `true` if this energy is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the larger of two energies.
+    #[must_use]
+    pub fn max(self, other: Energy) -> Energy {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two energies.
+    #[must_use]
+    pub fn min(self, other: Energy) -> Energy {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Returns this energy truncated below at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// assert_eq!(Energy::from_joules(-3.0).max_zero(), Energy::ZERO);
+    /// ```
+    #[must_use]
+    pub fn max_zero(self) -> Energy {
+        Energy(self.0.max(0.0))
+    }
+
+    /// Returns the fraction of this energy over `base`.
+    ///
+    /// This is the "remaining energy" term `RE(t) = EB(t)/EB_tot` in the
+    /// paper's Heuristic strategy (Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Energy;
+    /// let remaining = Energy::from_joules(25.0);
+    /// let total = Energy::from_joules(100.0);
+    /// assert_eq!(remaining.ratio_of(total).as_f64(), 0.25);
+    /// ```
+    #[must_use]
+    pub fn ratio_of(self, base: Energy) -> Ratio {
+        assert!(base.0 != 0.0, "ratio base must be non-zero");
+        Ratio::new(self.0 / base.0)
+    }
+}
+
+impl std::fmt::Display for Energy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let j = self.0.abs();
+        if j >= 3.6e6 {
+            write!(f, "{:.3} kWh", self.0 / 3.6e6)
+        } else if j >= 3600.0 {
+            write!(f, "{:.3} Wh", self.0 / 3600.0)
+        } else {
+            write!(f, "{:.3} J", self.0)
+        }
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy::from_joules(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy::from_joules(self.0 / rhs)
+    }
+}
+
+impl Div<Power> for Energy {
+    type Output = Seconds;
+    fn div(self, rhs: Power) -> Seconds {
+        Seconds::new(self.0 / rhs.as_watts())
+    }
+}
+
+impl Div<Seconds> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Seconds) -> Power {
+        Power::from_watts(self.0 / rhs.as_secs())
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let e = Energy::from_kilowatt_hours(2.0);
+        assert_eq!(e.as_watt_hours(), 2000.0);
+        assert_eq!(e.as_joules(), 7.2e6);
+    }
+
+    #[test]
+    fn energy_over_power_is_runtime() {
+        let t = Energy::from_watt_hours(5.5) / Power::from_watts(55.0);
+        assert!((t.as_minutes() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Energy::from_joules(600.0) / Seconds::from_minutes(1.0);
+        assert_eq!(p.as_watts(), 10.0);
+    }
+
+    #[test]
+    fn display_scales_by_magnitude() {
+        assert_eq!(Energy::from_joules(10.0).to_string(), "10.000 J");
+        assert_eq!(Energy::from_watt_hours(5.5).to_string(), "5.500 Wh");
+        assert_eq!(Energy::from_kilowatt_hours(3.0).to_string(), "3.000 kWh");
+    }
+
+    #[test]
+    fn sum_and_sub() {
+        let total: Energy = (0..4).map(|_| Energy::from_joules(2.5)).sum();
+        assert_eq!(total.as_joules(), 10.0);
+        assert_eq!((total - Energy::from_joules(4.0)).as_joules(), 6.0);
+    }
+
+    #[test]
+    fn ratio_of_total() {
+        let r = Energy::from_joules(30.0).ratio_of(Energy::from_joules(120.0));
+        assert_eq!(r.as_f64(), 0.25);
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed physical quantities for the Data Center Sprinting reproduction.
+//!
+//! Every substrate crate in this workspace (circuit breakers, UPS batteries,
+//! thermal storage, server power models, …) exchanges power, energy, time,
+//! charge and temperature values. Using bare `f64`s for all of these invites
+//! exactly the unit-confusion bugs that make power-infrastructure simulations
+//! silently wrong, so this crate provides thin newtypes with checked
+//! construction and physically meaningful arithmetic:
+//!
+//! * [`Power`] (watts) — `Power * Duration = Energy`
+//! * [`Energy`] (joules) — `Energy / Power = Duration`
+//! * [`Seconds`] (durations) — plain `f64` seconds with helpers
+//! * [`Charge`] (amp-hours) — battery capacity, converts to [`Energy`] at a voltage
+//! * [`Celsius`] (temperatures) and [`TempDelta`] (temperature differences)
+//! * [`Ratio`] — dimensionless fractions (overload ratios, sprinting degrees,
+//!   utilizations) with percent conversions
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_units::{Power, Seconds, Energy};
+//!
+//! let server = Power::from_watts(55.0);
+//! let sprint = Seconds::from_minutes(6.0);
+//! let energy: Energy = server * sprint;
+//! assert!((energy.as_watt_hours() - 5.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod charge;
+mod energy;
+mod power;
+mod ratio;
+mod temperature;
+mod time;
+
+pub use charge::Charge;
+pub use energy::Energy;
+pub use power::Power;
+pub use ratio::Ratio;
+pub use temperature::{Celsius, TempDelta};
+pub use time::Seconds;
+
+/// Error returned when constructing a quantity from a non-finite or
+/// out-of-domain value.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::{Power, UnitError};
+///
+/// let err = Power::try_from_watts(f64::NAN).unwrap_err();
+/// assert_eq!(err, UnitError::NotFinite);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitError {
+    /// The value was NaN or infinite.
+    NotFinite,
+    /// The value was negative but the quantity requires a non-negative value.
+    Negative,
+}
+
+impl std::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnitError::NotFinite => write!(f, "value is not finite"),
+            UnitError::Negative => write!(f, "value is negative"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+pub(crate) fn check_finite(v: f64) -> Result<f64, UnitError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(UnitError::NotFinite)
+    }
+}
+
+pub(crate) fn check_non_negative(v: f64) -> Result<f64, UnitError> {
+    let v = check_finite(v)?;
+    if v < 0.0 {
+        Err(UnitError::Negative)
+    } else {
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_error_display_is_lowercase_without_punctuation() {
+        assert_eq!(UnitError::NotFinite.to_string(), "value is not finite");
+        assert_eq!(UnitError::Negative.to_string(), "value is negative");
+    }
+
+    #[test]
+    fn unit_error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<UnitError>();
+    }
+
+    #[test]
+    fn check_finite_rejects_nan_and_inf() {
+        assert_eq!(check_finite(f64::NAN), Err(UnitError::NotFinite));
+        assert_eq!(check_finite(f64::INFINITY), Err(UnitError::NotFinite));
+        assert_eq!(check_finite(f64::NEG_INFINITY), Err(UnitError::NotFinite));
+        assert_eq!(check_finite(1.5), Ok(1.5));
+    }
+
+    #[test]
+    fn check_non_negative_rejects_negative() {
+        assert_eq!(check_non_negative(-0.1), Err(UnitError::Negative));
+        assert_eq!(check_non_negative(0.0), Ok(0.0));
+        assert_eq!(check_non_negative(2.0), Ok(2.0));
+    }
+}

@@ -1,0 +1,354 @@
+//! Electrical power in watts.
+
+use crate::{check_finite, Energy, Ratio, Seconds, UnitError};
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Electrical (or thermal) power in watts.
+///
+/// `Power` may be negative: a negative value represents power flowing in the
+/// opposite direction (e.g. a battery recharging instead of discharging).
+/// Construction rejects non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::Power;
+///
+/// let chip = Power::from_watts(125.0);
+/// let non_cpu = Power::from_watts(20.0);
+/// assert_eq!((chip + non_cpu).as_watts(), 145.0);
+/// assert_eq!(Power::from_kilowatts(13.75).as_watts(), 13_750.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero watts.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is NaN or infinite. Use [`Power::try_from_watts`]
+    /// for fallible construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// assert_eq!(Power::from_watts(55.0).as_watts(), 55.0);
+    /// ```
+    #[must_use]
+    pub fn from_watts(watts: f64) -> Power {
+        Power::try_from_watts(watts).expect("power must be finite")
+    }
+
+    /// Creates a power from watts, returning an error for non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] if `watts` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// assert!(Power::try_from_watts(f64::NAN).is_err());
+    /// ```
+    pub fn try_from_watts(watts: f64) -> Result<Power, UnitError> {
+        check_finite(watts).map(Power)
+    }
+
+    /// Creates a power from kilowatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kw` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// assert_eq!(Power::from_kilowatts(2.0).as_watts(), 2000.0);
+    /// ```
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Power {
+        Power::from_watts(kw * 1e3)
+    }
+
+    /// Creates a power from megawatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// assert_eq!(Power::from_megawatts(10.0).as_kilowatts(), 10_000.0);
+    /// ```
+    #[must_use]
+    pub fn from_megawatts(mw: f64) -> Power {
+        Power::from_watts(mw * 1e6)
+    }
+
+    /// Returns the power in watts.
+    #[must_use]
+    pub fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the power in kilowatts.
+    #[must_use]
+    pub fn as_kilowatts(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Returns the power in megawatts.
+    #[must_use]
+    pub fn as_megawatts(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Returns `true` if this power is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the larger of two powers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// let a = Power::from_watts(1.0);
+    /// let b = Power::from_watts(2.0);
+    /// assert_eq!(a.max(b), b);
+    /// ```
+    #[must_use]
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two powers.
+    #[must_use]
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Clamps this power into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// let p = Power::from_watts(150.0);
+    /// let cap = p.clamp(Power::ZERO, Power::from_watts(100.0));
+    /// assert_eq!(cap.as_watts(), 100.0);
+    /// ```
+    #[must_use]
+    pub fn clamp(self, lo: Power, hi: Power) -> Power {
+        assert!(lo.0 <= hi.0, "invalid clamp range");
+        Power(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// Returns this power truncated below at zero.
+    #[must_use]
+    pub fn max_zero(self) -> Power {
+        Power(self.0.max(0.0))
+    }
+
+    /// Returns the ratio of this power over `base`.
+    ///
+    /// Useful for computing overload ratios: a 16.5 kW draw on a 13.75 kW
+    /// breaker is a ratio of 1.2 (20 % overload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Power;
+    /// let draw = Power::from_kilowatts(16.5);
+    /// let rated = Power::from_kilowatts(13.75);
+    /// assert!((draw.ratio_of(rated).as_f64() - 1.2).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn ratio_of(self, base: Power) -> Ratio {
+        assert!(base.0 != 0.0, "ratio base must be non-zero");
+        Ratio::new(self.0 / base.0)
+    }
+}
+
+impl std::fmt::Display for Power {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.0.abs();
+        if w >= 1e6 {
+            write!(f, "{:.3} MW", self.0 / 1e6)
+        } else if w >= 1e3 {
+            write!(f, "{:.3} kW", self.0 / 1e3)
+        } else {
+            write!(f, "{:.3} W", self.0)
+        }
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Power {
+    fn sub_assign(&mut self, rhs: Power) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Power {
+    type Output = Power;
+    fn neg(self) -> Power {
+        Power(-self.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power::from_watts(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Ratio> for Power {
+    type Output = Power;
+    fn mul(self, rhs: Ratio) -> Power {
+        self * rhs.as_f64()
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power::from_watts(self.0 / rhs)
+    }
+}
+
+impl Div<Power> for Power {
+    type Output = Ratio;
+    fn div(self, rhs: Power) -> Ratio {
+        self.ratio_of(rhs)
+    }
+}
+
+impl Mul<Seconds> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Seconds) -> Energy {
+        Energy::from_joules(self.0 * rhs.as_secs())
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Power::from_megawatts(10.0);
+        assert_eq!(p.as_kilowatts(), 10_000.0);
+        assert_eq!(p.as_watts(), 10_000_000.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Power::from_watts(30.0);
+        let b = Power::from_watts(12.5);
+        assert_eq!((a + b).as_watts(), 42.5);
+        assert_eq!((a - b).as_watts(), 17.5);
+        assert_eq!((a * 2.0).as_watts(), 60.0);
+        assert_eq!((a / 2.0).as_watts(), 15.0);
+        assert_eq!((-a).as_watts(), -30.0);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(55.0) * Seconds::from_minutes(6.0);
+        assert!((e.as_joules() - 55.0 * 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_of_computes_overload() {
+        let r = Power::from_watts(300.0).ratio_of(Power::from_watts(200.0));
+        assert!((r.as_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio base must be non-zero")]
+    fn ratio_of_zero_base_panics() {
+        let _ = Power::from_watts(1.0).ratio_of(Power::ZERO);
+    }
+
+    #[test]
+    fn display_scales_by_magnitude() {
+        assert_eq!(Power::from_watts(55.0).to_string(), "55.000 W");
+        assert_eq!(Power::from_kilowatts(13.75).to_string(), "13.750 kW");
+        assert_eq!(Power::from_megawatts(19.0).to_string(), "19.000 MW");
+    }
+
+    #[test]
+    fn sum_of_powers() {
+        let total: Power = (0..10).map(|_| Power::from_watts(55.0)).sum();
+        assert_eq!(total.as_watts(), 550.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Power::from_watts(5.0);
+        let b = Power::from_watts(9.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(
+            Power::from_watts(20.0).clamp(a, b),
+            Power::from_watts(9.0)
+        );
+        assert_eq!(Power::from_watts(-4.0).max_zero(), Power::ZERO);
+    }
+}

@@ -1,0 +1,239 @@
+//! Dimensionless ratios.
+
+use crate::{check_finite, UnitError};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A dimensionless ratio or fraction.
+///
+/// Used throughout the workspace for overload ratios (draw ÷ rating),
+/// sprinting degrees (active cores ÷ normally-active cores), utilizations,
+/// and efficiency factors.
+///
+/// A ratio of `1.0` is "exactly at the base"; [`Ratio::overload_fraction`]
+/// converts a load ratio into the overload fraction the circuit-breaker trip
+/// curves are written in terms of (`1.2` → 20 % overload).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::Ratio;
+///
+/// let load = Ratio::new(1.3);
+/// assert!((load.overload_fraction() - 0.3).abs() < 1e-12);
+/// assert_eq!(Ratio::from_percent(45.0).as_f64(), 0.45);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Ratio = Ratio(0.0);
+
+    /// The unit ratio (exactly at the base quantity).
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Creates a ratio from a raw fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite. Use [`Ratio::try_new`] for
+    /// fallible construction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Ratio;
+    /// assert_eq!(Ratio::new(0.75).as_percent(), 75.0);
+    /// ```
+    #[must_use]
+    pub fn new(value: f64) -> Ratio {
+        Ratio::try_new(value).expect("ratio must be finite")
+    }
+
+    /// Creates a ratio, returning an error for non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] if `value` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Ratio;
+    /// assert!(Ratio::try_new(f64::NAN).is_err());
+    /// ```
+    pub fn try_new(value: f64) -> Result<Ratio, UnitError> {
+        check_finite(value).map(Ratio)
+    }
+
+    /// Creates a ratio from a percentage (`45.0` → `0.45`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Ratio;
+    /// assert_eq!(Ratio::from_percent(120.0).as_f64(), 1.2);
+    /// ```
+    #[must_use]
+    pub fn from_percent(percent: f64) -> Ratio {
+        Ratio::new(percent / 100.0)
+    }
+
+    /// Returns the raw fraction.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the ratio as a percentage (`0.45` → `45.0`).
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Returns the overload fraction of a load ratio: `max(ratio − 1, 0)`.
+    ///
+    /// A load at 130 % of a breaker's rating is a 30 % overload; a load at or
+    /// below the rating is a 0 % overload.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Ratio;
+    /// assert_eq!(Ratio::new(0.9).overload_fraction(), 0.0);
+    /// assert!((Ratio::new(1.6).overload_fraction() - 0.6).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn overload_fraction(self) -> f64 {
+        (self.0 - 1.0).max(0.0)
+    }
+
+    /// Returns `true` if the ratio exceeds one (i.e. the quantity is above
+    /// its base / rating).
+    #[must_use]
+    pub fn is_overloaded(self) -> bool {
+        self.0 > 1.0
+    }
+
+    /// Returns the larger of two ratios.
+    #[must_use]
+    pub fn max(self, other: Ratio) -> Ratio {
+        Ratio(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two ratios.
+    #[must_use]
+    pub fn min(self, other: Ratio) -> Ratio {
+        Ratio(self.0.min(other.0))
+    }
+
+    /// Clamps this ratio into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn clamp(self, lo: Ratio, hi: Ratio) -> Ratio {
+        assert!(lo.0 <= hi.0, "invalid clamp range");
+        Ratio(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}%", self.as_percent())
+    }
+}
+
+impl From<Ratio> for f64 {
+    fn from(r: Ratio) -> f64 {
+        r.0
+    }
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio(self.0 * rhs.0)
+    }
+}
+
+impl Mul<f64> for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: f64) -> Ratio {
+        Ratio::new(self.0 * rhs)
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        Ratio::new(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_round_trip() {
+        let r = Ratio::from_percent(62.5);
+        assert_eq!(r.as_f64(), 0.625);
+        assert_eq!(r.as_percent(), 62.5);
+    }
+
+    #[test]
+    fn overload_fraction_truncates_at_zero() {
+        assert_eq!(Ratio::new(0.5).overload_fraction(), 0.0);
+        assert_eq!(Ratio::ONE.overload_fraction(), 0.0);
+        assert!((Ratio::new(1.25).overload_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_overloaded_is_strict() {
+        assert!(!Ratio::ONE.is_overloaded());
+        assert!(Ratio::new(1.0001).is_overloaded());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1.5);
+        let b = Ratio::new(0.5);
+        assert_eq!((a + b).as_f64(), 2.0);
+        assert_eq!((a - b).as_f64(), 1.0);
+        assert_eq!((a * b).as_f64(), 0.75);
+        assert_eq!((a / b).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        assert_eq!(Ratio::new(1.2).to_string(), "120.00%");
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let r = Ratio::new(5.0).clamp(Ratio::ONE, Ratio::new(4.0));
+        assert_eq!(r.as_f64(), 4.0);
+    }
+}

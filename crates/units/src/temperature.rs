@@ -1,0 +1,248 @@
+//! Temperatures and temperature differences.
+
+use crate::{check_finite, UnitError};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute temperature in degrees Celsius.
+///
+/// Used by the room thermal model: the data center air temperature rises
+/// while sprinting generates more heat than the cooling plant absorbs, and
+/// the sprint must terminate before the temperature crosses the equipment
+/// threshold.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::{Celsius, TempDelta};
+///
+/// let inlet = Celsius::new(25.0);
+/// let after = inlet + TempDelta::new(7.5);
+/// assert_eq!(after.as_celsius(), 32.5);
+/// assert_eq!((after - inlet).as_celsius(), 7.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+/// A temperature difference in Celsius degrees.
+///
+/// Distinct from [`Celsius`] so that two absolute temperatures cannot be
+/// added together by accident.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TempDelta(f64);
+
+impl Celsius {
+    /// Creates an absolute temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deg` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Celsius;
+    /// assert_eq!(Celsius::new(25.0).as_celsius(), 25.0);
+    /// ```
+    #[must_use]
+    pub fn new(deg: f64) -> Celsius {
+        Celsius::try_new(deg).expect("temperature must be finite")
+    }
+
+    /// Creates an absolute temperature, returning an error for non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] if `deg` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::Celsius;
+    /// assert!(Celsius::try_new(f64::NAN).is_err());
+    /// ```
+    pub fn try_new(deg: f64) -> Result<Celsius, UnitError> {
+        check_finite(deg).map(Celsius)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[must_use]
+    pub fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two temperatures.
+    #[must_use]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[must_use]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+}
+
+impl TempDelta {
+    /// A zero temperature difference.
+    pub const ZERO: TempDelta = TempDelta(0.0);
+
+    /// Creates a temperature difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deg` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::TempDelta;
+    /// assert_eq!(TempDelta::new(7.0).as_celsius(), 7.0);
+    /// ```
+    #[must_use]
+    pub fn new(deg: f64) -> TempDelta {
+        TempDelta::try_new(deg).expect("temperature delta must be finite")
+    }
+
+    /// Creates a temperature difference, returning an error for non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::NotFinite`] if `deg` is NaN or infinite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_units::TempDelta;
+    /// assert!(TempDelta::try_new(f64::INFINITY).is_err());
+    /// ```
+    pub fn try_new(deg: f64) -> Result<TempDelta, UnitError> {
+        check_finite(deg).map(TempDelta)
+    }
+
+    /// Returns the difference in Celsius degrees.
+    #[must_use]
+    pub fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Returns this delta truncated below at zero.
+    #[must_use]
+    pub fn max_zero(self) -> TempDelta {
+        TempDelta(self.0.max(0.0))
+    }
+}
+
+impl std::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} °C", self.0)
+    }
+}
+
+impl std::fmt::Display for TempDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+.2} K", self.0)
+    }
+}
+
+impl Add<TempDelta> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TempDelta> for Celsius {
+    fn add_assign(&mut self, rhs: TempDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TempDelta> for Celsius {
+    type Output = Celsius;
+    fn sub(self, rhs: TempDelta) -> Celsius {
+        Celsius(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TempDelta> for Celsius {
+    fn sub_assign(&mut self, rhs: TempDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for Celsius {
+    type Output = TempDelta;
+    fn sub(self, rhs: Celsius) -> TempDelta {
+        TempDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TempDelta {
+    type Output = TempDelta;
+    fn add(self, rhs: TempDelta) -> TempDelta {
+        TempDelta(self.0 + rhs.0)
+    }
+}
+
+impl Sub for TempDelta {
+    type Output = TempDelta;
+    fn sub(self, rhs: TempDelta) -> TempDelta {
+        TempDelta(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for TempDelta {
+    type Output = TempDelta;
+    fn mul(self, rhs: f64) -> TempDelta {
+        TempDelta::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for TempDelta {
+    type Output = TempDelta;
+    fn div(self, rhs: f64) -> TempDelta {
+        TempDelta::new(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_plus_delta() {
+        let t = Celsius::new(25.0) + TempDelta::new(5.0);
+        assert_eq!(t, Celsius::new(30.0));
+    }
+
+    #[test]
+    fn difference_of_absolutes_is_delta() {
+        let d = Celsius::new(32.0) - Celsius::new(25.0);
+        assert_eq!(d, TempDelta::new(7.0));
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let d = TempDelta::new(4.0) * 0.5 + TempDelta::new(1.0);
+        assert_eq!(d.as_celsius(), 3.0);
+        assert_eq!((TempDelta::new(-2.0)).max_zero(), TempDelta::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Celsius::new(25.0).to_string(), "25.00 °C");
+        assert_eq!(TempDelta::new(3.0).to_string(), "+3.00 K");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut t = Celsius::new(20.0);
+        t += TempDelta::new(2.0);
+        t -= TempDelta::new(0.5);
+        assert_eq!(t.as_celsius(), 21.5);
+    }
+}

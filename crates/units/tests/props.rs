@@ -1,0 +1,96 @@
+//! Property-based tests for the unit types.
+
+use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds, TempDelta};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e12..1e12f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-6..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn power_add_commutes(a in finite(), b in finite()) {
+        let pa = Power::from_watts(a);
+        let pb = Power::from_watts(b);
+        prop_assert_eq!(pa + pb, pb + pa);
+    }
+
+    #[test]
+    fn power_sub_is_add_neg(a in finite(), b in finite()) {
+        let pa = Power::from_watts(a);
+        let pb = Power::from_watts(b);
+        prop_assert_eq!(pa - pb, pa + (-pb));
+    }
+
+    #[test]
+    fn energy_power_time_triangle(w in positive(), s in positive()) {
+        let p = Power::from_watts(w);
+        let t = Seconds::new(s);
+        let e: Energy = p * t;
+        // e / p == t and e / t == p up to floating point error.
+        let t2 = e / p;
+        let p2 = e / t;
+        prop_assert!((t2.as_secs() - s).abs() <= s * 1e-12);
+        prop_assert!((p2.as_watts() - w).abs() <= w * 1e-12);
+    }
+
+    #[test]
+    fn ratio_of_inverts_scale(base in positive(), k in 0.01..100.0f64) {
+        let b = Power::from_watts(base);
+        let r = (b * k).ratio_of(b);
+        prop_assert!((r.as_f64() - k).abs() <= k * 1e-12);
+    }
+
+    #[test]
+    fn overload_fraction_never_negative(v in finite()) {
+        prop_assert!(Ratio::new(v).overload_fraction() >= 0.0);
+    }
+
+    #[test]
+    fn overload_fraction_zero_iff_not_overloaded(v in finite()) {
+        let r = Ratio::new(v);
+        prop_assert_eq!(r.overload_fraction() > 0.0, r.is_overloaded());
+    }
+
+    #[test]
+    fn charge_energy_scales_with_voltage(ah in 0.0..1e6f64, v in 0.1..1000.0f64) {
+        let e = Charge::from_amp_hours(ah).energy_at_volts(v);
+        prop_assert!((e.as_watt_hours() - ah * v).abs() <= (ah * v).abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn temperature_round_trip(t in -100.0..200.0f64, d in -50.0..50.0f64) {
+        let base = Celsius::new(t);
+        let delta = TempDelta::new(d);
+        let back = (base + delta) - delta;
+        prop_assert!((back.as_celsius() - t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn celsius_difference_matches_delta(a in -100.0..200.0f64, b in -100.0..200.0f64) {
+        let d = Celsius::new(a) - Celsius::new(b);
+        prop_assert!((d.as_celsius() - (a - b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_min_max_ordered(a in finite(), b in finite()) {
+        let sa = Seconds::new(a);
+        let sb = Seconds::new(b);
+        prop_assert!(sa.min(sb) <= sa.max(sb));
+    }
+
+    #[test]
+    fn energy_max_zero_is_non_negative(j in finite()) {
+        prop_assert!(Energy::from_joules(j).max_zero() >= Energy::ZERO);
+    }
+
+    #[test]
+    fn power_clamp_in_range(v in finite(), lo in -1e6..0.0f64, hi in 0.0..1e6f64) {
+        let c = Power::from_watts(v).clamp(Power::from_watts(lo), Power::from_watts(hi));
+        prop_assert!(c.as_watts() >= lo && c.as_watts() <= hi);
+    }
+}

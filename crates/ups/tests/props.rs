@@ -1,0 +1,89 @@
+//! Property-based tests for UPS batteries and fleets.
+
+use dcs_units::{Charge, Energy, Power, Seconds};
+use dcs_ups::{Battery, Chemistry, UpsFleet};
+use proptest::prelude::*;
+
+fn any_chemistry() -> impl Strategy<Value = Chemistry> {
+    prop_oneof![
+        Just(Chemistry::LeadAcid),
+        Just(Chemistry::LithiumIronPhosphate)
+    ]
+}
+
+proptest! {
+    /// Stored energy never goes negative and never exceeds capacity, no
+    /// matter the discharge/recharge sequence.
+    #[test]
+    fn soc_stays_in_bounds(
+        chem in any_chemistry(),
+        ah in 0.1..10.0f64,
+        ops in prop::collection::vec((0.0..500.0f64, 0.1..120.0f64, any::<bool>()), 1..40)
+    ) {
+        let mut b = Battery::new(chem, Charge::from_amp_hours(ah));
+        for (watts, secs, charge) in ops {
+            let p = Power::from_watts(watts);
+            let t = Seconds::new(secs);
+            if charge {
+                b.recharge(p, t);
+            } else {
+                b.discharge(p, t);
+            }
+            let soc = b.state_of_charge().as_f64();
+            prop_assert!((0.0 - 1e-9..=1.0 + 1e-9).contains(&soc), "soc={soc}");
+        }
+    }
+
+    /// Delivered energy never exceeds deliverable energy before the draw.
+    #[test]
+    fn conservation_of_energy(
+        chem in any_chemistry(),
+        ah in 0.1..5.0f64,
+        watts in 1.0..1000.0f64,
+        secs in 1.0..10_000.0f64
+    ) {
+        let mut b = Battery::new(chem, Charge::from_amp_hours(ah));
+        let before = b.deliverable();
+        let p = b.discharge(Power::from_watts(watts), Seconds::new(secs));
+        let delivered: Energy = p * Seconds::new(secs);
+        prop_assert!(delivered.as_joules() <= before.as_joules() + 1e-6);
+    }
+
+    /// Runtime prediction is consistent with actual discharge: discharging
+    /// for exactly the predicted runtime empties the battery (to its floor).
+    #[test]
+    fn runtime_prediction_is_exact(chem in any_chemistry(), ah in 0.1..5.0f64, watts in 5.0..500.0f64) {
+        let mut b = Battery::new(chem, Charge::from_amp_hours(ah));
+        let t = b.runtime_at(Power::from_watts(watts));
+        prop_assume!(!t.is_never());
+        b.discharge(Power::from_watts(watts), t);
+        prop_assert!(b.deliverable().as_joules() < 1e-6);
+    }
+
+    /// Fleet offload never reports more servers on battery than exist, and
+    /// never delivers more power than `units x per_server`.
+    #[test]
+    fn fleet_respects_bounds(
+        units in 1..300usize,
+        req_kw in 0.0..50.0f64,
+        per_server in 10.0..200.0f64
+    ) {
+        let mut f = UpsFleet::new(units, Chemistry::LithiumIronPhosphate, Charge::from_amp_hours(0.5));
+        let got = f.offload(
+            Power::from_kilowatts(req_kw),
+            Power::from_watts(per_server),
+            Seconds::new(1.0),
+        );
+        prop_assert!(f.status().on_battery <= units);
+        prop_assert!(got.as_watts() <= units as f64 * per_server + 1e-9);
+    }
+
+    /// A fleet of n units has exactly n times the deliverable energy of one.
+    #[test]
+    fn fleet_energy_scales_linearly(units in 1..500usize) {
+        let one = UpsFleet::new(1, Chemistry::LithiumIronPhosphate, Charge::from_amp_hours(0.5));
+        let many = UpsFleet::new(units, Chemistry::LithiumIronPhosphate, Charge::from_amp_hours(0.5));
+        let expected = one.deliverable().as_joules() * units as f64;
+        prop_assert!((many.deliverable().as_joules() - expected).abs() < expected * 1e-12 + 1e-9);
+    }
+}

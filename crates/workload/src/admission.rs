@@ -1,0 +1,172 @@
+//! Served/dropped demand accounting.
+
+use dcs_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// An admission-control log: integrates served and dropped demand over a
+/// run.
+///
+/// The paper's metric — "average computing performance normalized to the
+/// performance without sprinting" — is the time-average of served demand;
+/// demand above the momentary serving capacity is *dropped* (the paper's
+/// "last resort" admission control, after its reference \[3\]). This log accumulates both
+/// integrals and derives the averages.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_workload::AdmissionLog;
+/// use dcs_units::Seconds;
+///
+/// let mut log = AdmissionLog::new();
+/// log.record(2.0, 1.5, Seconds::new(60.0)); // demand 2.0, capacity 1.5
+/// log.record(0.5, 1.5, Seconds::new(60.0)); // demand fully served
+/// assert!((log.average_served() - 1.0).abs() < 1e-12);
+/// assert!((log.drop_fraction() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AdmissionLog {
+    served_integral: f64,
+    demand_integral: f64,
+    elapsed: f64,
+}
+
+impl AdmissionLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> AdmissionLog {
+        AdmissionLog::default()
+    }
+
+    /// Records one interval: `demand` arrived, at most `capacity` of it was
+    /// served, for `dt`. Returns the served demand for convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` or `capacity` is negative or not finite, or `dt`
+    /// is not strictly positive and finite.
+    pub fn record(&mut self, demand: f64, capacity: f64, dt: Seconds) -> f64 {
+        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be non-negative"
+        );
+        assert!(
+            dt > Seconds::ZERO && !dt.is_never(),
+            "time step must be positive and finite"
+        );
+        let served = demand.min(capacity);
+        self.served_integral += served * dt.as_secs();
+        self.demand_integral += demand * dt.as_secs();
+        self.elapsed += dt.as_secs();
+        served
+    }
+
+    /// Returns the time-average served demand (normalized performance).
+    #[must_use]
+    pub fn average_served(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.served_integral / self.elapsed
+        }
+    }
+
+    /// Returns the time-average offered demand.
+    #[must_use]
+    pub fn average_demand(&self) -> f64 {
+        if self.elapsed == 0.0 {
+            0.0
+        } else {
+            self.demand_integral / self.elapsed
+        }
+    }
+
+    /// Returns the fraction of offered demand that was dropped.
+    #[must_use]
+    pub fn drop_fraction(&self) -> f64 {
+        if self.demand_integral == 0.0 {
+            0.0
+        } else {
+            1.0 - self.served_integral / self.demand_integral
+        }
+    }
+
+    /// Returns the total recorded time.
+    #[must_use]
+    pub fn elapsed(&self) -> Seconds {
+        Seconds::new(self.elapsed)
+    }
+
+    /// Returns the ratio of this log's average served demand over a
+    /// baseline's — the paper's *improvement factor*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline served nothing.
+    #[must_use]
+    pub fn improvement_over(&self, baseline: &AdmissionLog) -> f64 {
+        let base = baseline.average_served();
+        assert!(base > 0.0, "baseline served nothing");
+        self.average_served() / base
+    }
+}
+
+impl std::fmt::Display for AdmissionLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "served {:.3} of {:.3} offered ({:.1}% dropped) over {}",
+            self.average_served(),
+            self.average_demand(),
+            self.drop_fraction() * 100.0,
+            self.elapsed()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_is_zero() {
+        let log = AdmissionLog::new();
+        assert_eq!(log.average_served(), 0.0);
+        assert_eq!(log.drop_fraction(), 0.0);
+        assert_eq!(log.elapsed(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn served_capped_by_capacity() {
+        let mut log = AdmissionLog::new();
+        let served = log.record(3.0, 2.0, Seconds::new(10.0));
+        assert_eq!(served, 2.0);
+        assert!((log.drop_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_weight_by_time() {
+        let mut log = AdmissionLog::new();
+        log.record(1.0, 10.0, Seconds::new(30.0));
+        log.record(3.0, 10.0, Seconds::new(10.0));
+        assert!((log.average_served() - 1.5).abs() < 1e-12);
+        assert!((log.average_demand() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_factor() {
+        let mut sprint = AdmissionLog::new();
+        sprint.record(2.0, 2.0, Seconds::new(60.0));
+        let mut base = AdmissionLog::new();
+        base.record(2.0, 1.0, Seconds::new(60.0));
+        assert_eq!(sprint.improvement_over(&base), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline served nothing")]
+    fn improvement_over_empty_panics() {
+        let log = AdmissionLog::new();
+        let _ = log.improvement_over(&AdmissionLog::new());
+    }
+}

@@ -1,0 +1,57 @@
+//! Demand traces and workload tooling for Data Center Sprinting.
+//!
+//! All demand in this workspace is *normalized*: a demand of 1.0 is exactly
+//! the work the data center can serve at its peak normal (non-sprinting)
+//! operating point. A workload *burst* is any excursion above 1.0; its
+//! *degree* is its height and its *duration* is how long the excursion
+//! lasts.
+//!
+//! The paper drives its evaluation with two proprietary traces that are not
+//! publicly available, so this crate reconstructs them synthetically from
+//! the summary statistics the paper publishes (see `DESIGN.md` for the
+//! substitution argument):
+//!
+//! * [`ms_trace`] — a 30-minute segment fashioned after the Microsoft
+//!   data-center traffic trace of Fig. 1/7(a): consecutive bursts, peak
+//!   demand ≈ 3× capacity, and an aggregate time-above-capacity (the
+//!   paper's "real burst duration") of ≈ 16.2 minutes;
+//! * [`yahoo_trace`] — the Yahoo!-style trace of Fig. 7(b): a smooth
+//!   aggregated baseline with a single injected burst of configurable
+//!   degree and duration starting at the 5th minute, the construction §VI-C
+//!   describes.
+//!
+//! Supporting tools: [`Trace`] (a fixed-step demand series), [`BurstStats`]
+//! (burst detection/metrics), [`Estimate`] (predictions with the
+//! estimation-error knob of Fig. 9), and [`AdmissionLog`] (served/dropped
+//! accounting — the paper's "last resort" admission control).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcs_workload::{ms_trace, BurstStats};
+//!
+//! let trace = ms_trace::paper_default();
+//! let stats = BurstStats::from_trace(&trace, 1.0);
+//! // The paper's published facts about the MS segment:
+//! assert!((stats.time_above.as_minutes() - 16.2).abs() < 0.5);
+//! assert!(stats.max_degree > 2.8 && stats.max_degree <= 3.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod latency;
+pub mod ms_trace;
+mod online;
+mod predict;
+mod stats;
+mod trace;
+pub mod yahoo_trace;
+
+pub use admission::AdmissionLog;
+pub use latency::LatencyModel;
+pub use online::OnlineBurstPredictor;
+pub use predict::Estimate;
+pub use stats::BurstStats;
+pub use trace::{Trace, TraceError};

@@ -1,0 +1,196 @@
+//! Online burst prediction from the demand stream.
+
+use dcs_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// An online burst predictor: watches the demand stream, segments it into
+/// bursts (excursions above a threshold), and maintains exponentially
+/// weighted moving averages of the burst duration and degree.
+///
+/// This implements the paper's future-work direction of *"integrating some
+/// recently proposed solutions for burst prediction"* [19, 36] in its
+/// simplest robust form: an EWMA over completed bursts, with the current
+/// burst's elapsed time as a lower bound on the prediction (a burst that
+/// has already run for 10 minutes cannot have a 5-minute duration).
+///
+/// # Examples
+///
+/// ```
+/// use dcs_units::Seconds;
+/// use dcs_workload::OnlineBurstPredictor;
+///
+/// let mut p = OnlineBurstPredictor::new(1.0, 0.5);
+/// // Two 60-second bursts at degree 3.
+/// for _ in 0..2 {
+///     for _ in 0..60 {
+///         p.observe(3.0, Seconds::new(1.0));
+///     }
+///     for _ in 0..30 {
+///         p.observe(0.5, Seconds::new(1.0));
+///     }
+/// }
+/// assert!((p.predicted_duration().as_secs() - 60.0).abs() < 1e-9);
+/// assert!((p.predicted_degree() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineBurstPredictor {
+    threshold: f64,
+    /// EWMA smoothing factor in `(0, 1]`; 1 = only the last burst counts.
+    alpha: f64,
+    duration_ewma: Option<f64>,
+    degree_ewma: Option<f64>,
+    current_elapsed: f64,
+    current_peak: f64,
+    completed: u32,
+}
+
+impl OnlineBurstPredictor {
+    /// Creates a predictor segmenting bursts at `threshold` with EWMA
+    /// factor `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite, or `alpha` is not
+    /// in `(0, 1]`.
+    #[must_use]
+    pub fn new(threshold: f64, alpha: f64) -> OnlineBurstPredictor {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be non-negative"
+        );
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+        OnlineBurstPredictor {
+            threshold,
+            alpha,
+            duration_ewma: None,
+            degree_ewma: None,
+            current_elapsed: 0.0,
+            current_peak: 0.0,
+            completed: 0,
+        }
+    }
+
+    /// Feeds one demand sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn observe(&mut self, demand: f64, dt: Seconds) {
+        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
+        assert!(
+            dt > Seconds::ZERO && !dt.is_never(),
+            "time step must be positive and finite"
+        );
+        if demand > self.threshold {
+            self.current_elapsed += dt.as_secs();
+            self.current_peak = self.current_peak.max(demand);
+        } else if self.current_elapsed > 0.0 {
+            // A burst just completed: fold it into the averages.
+            self.completed += 1;
+            let fold = |ewma: &mut Option<f64>, value: f64, alpha: f64| {
+                *ewma = Some(match *ewma {
+                    None => value,
+                    Some(prev) => prev + alpha * (value - prev),
+                });
+            };
+            fold(&mut self.duration_ewma, self.current_elapsed, self.alpha);
+            fold(&mut self.degree_ewma, self.current_peak, self.alpha);
+            self.current_elapsed = 0.0;
+            self.current_peak = 0.0;
+        }
+    }
+
+    /// Returns the number of completed bursts observed.
+    #[must_use]
+    pub fn completed_bursts(&self) -> u32 {
+        self.completed
+    }
+
+    /// Returns `true` while a burst is in progress.
+    #[must_use]
+    pub fn in_burst(&self) -> bool {
+        self.current_elapsed > 0.0
+    }
+
+    /// Returns the predicted burst duration: the EWMA over completed
+    /// bursts, floored at the current burst's elapsed time. Before any
+    /// burst has been seen, returns the current burst's elapsed time
+    /// (zero if quiet).
+    #[must_use]
+    pub fn predicted_duration(&self) -> Seconds {
+        let base = self.duration_ewma.unwrap_or(0.0);
+        Seconds::new(base.max(self.current_elapsed))
+    }
+
+    /// Returns the predicted burst degree (EWMA over completed bursts,
+    /// floored at the current burst's peak; 0 before any burst).
+    #[must_use]
+    pub fn predicted_degree(&self) -> f64 {
+        self.degree_ewma.unwrap_or(0.0).max(self.current_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut OnlineBurstPredictor, demand: f64, secs: usize) {
+        for _ in 0..secs {
+            p.observe(demand, Seconds::new(1.0));
+        }
+    }
+
+    #[test]
+    fn learns_burst_duration_over_bursts() {
+        let mut p = OnlineBurstPredictor::new(1.0, 0.5);
+        assert_eq!(p.predicted_duration(), Seconds::ZERO);
+        feed(&mut p, 2.0, 120);
+        feed(&mut p, 0.5, 10);
+        assert_eq!(p.completed_bursts(), 1);
+        assert_eq!(p.predicted_duration(), Seconds::new(120.0));
+        // A second, longer burst pulls the EWMA up.
+        feed(&mut p, 2.0, 240);
+        feed(&mut p, 0.5, 10);
+        assert_eq!(p.predicted_duration(), Seconds::new(180.0));
+    }
+
+    #[test]
+    fn elapsed_time_floors_the_prediction() {
+        let mut p = OnlineBurstPredictor::new(1.0, 0.5);
+        feed(&mut p, 2.0, 60);
+        feed(&mut p, 0.5, 5);
+        // A new burst already longer than the EWMA: predict at least its
+        // elapsed time.
+        feed(&mut p, 2.0, 100);
+        assert_eq!(p.predicted_duration(), Seconds::new(100.0));
+        assert!(p.in_burst());
+    }
+
+    #[test]
+    fn degree_tracks_burst_peaks() {
+        let mut p = OnlineBurstPredictor::new(1.0, 1.0);
+        feed(&mut p, 3.5, 30);
+        feed(&mut p, 0.5, 5);
+        assert_eq!(p.predicted_degree(), 3.5);
+        feed(&mut p, 2.0, 30);
+        feed(&mut p, 0.5, 5);
+        // alpha = 1: only the last burst counts.
+        assert_eq!(p.predicted_degree(), 2.0);
+    }
+
+    #[test]
+    fn quiet_stream_predicts_nothing() {
+        let mut p = OnlineBurstPredictor::new(1.0, 0.5);
+        feed(&mut p, 0.8, 600);
+        assert_eq!(p.completed_bursts(), 0);
+        assert_eq!(p.predicted_duration(), Seconds::ZERO);
+        assert_eq!(p.predicted_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn zero_alpha_panics() {
+        let _ = OnlineBurstPredictor::new(1.0, 0.0);
+    }
+}

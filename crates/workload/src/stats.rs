@@ -1,0 +1,153 @@
+//! Burst detection and statistics.
+
+use crate::Trace;
+use dcs_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Burst statistics of a demand trace relative to a capacity threshold.
+///
+/// The paper's "real burst duration" is *"the aggregated time when the
+/// normally active cores are inadequate to handle all the workloads"* —
+/// i.e. [`BurstStats::time_above`] with a threshold of 1.0 — which is
+/// 16.2 minutes for its MS segment.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_workload::{BurstStats, Trace};
+/// use dcs_units::Seconds;
+///
+/// let t = Trace::new(Seconds::new(60.0), vec![0.5, 1.5, 2.0, 0.8, 1.2]).unwrap();
+/// let s = BurstStats::from_trace(&t, 1.0);
+/// assert_eq!(s.time_above, Seconds::from_minutes(3.0));
+/// assert_eq!(s.burst_count, 2);
+/// assert_eq!(s.max_degree, 2.0);
+/// assert_eq!(s.longest_burst, Seconds::from_minutes(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstStats {
+    /// Aggregate time the demand exceeds the threshold.
+    pub time_above: Seconds,
+    /// Number of contiguous excursions above the threshold.
+    pub burst_count: usize,
+    /// The maximum demand (the burst degree of the tallest burst).
+    pub max_degree: f64,
+    /// Duration of the longest contiguous excursion.
+    pub longest_burst: Seconds,
+    /// Mean demand while above the threshold (0 when never above).
+    pub mean_burst_demand: f64,
+}
+
+impl BurstStats {
+    /// Computes burst statistics of `trace` against `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    #[must_use]
+    pub fn from_trace(trace: &Trace, threshold: f64) -> BurstStats {
+        assert!(
+            threshold >= 0.0 && threshold.is_finite(),
+            "threshold must be non-negative"
+        );
+        let step = trace.step();
+        let mut above_samples = 0usize;
+        let mut burst_count = 0usize;
+        let mut in_burst = false;
+        let mut current_run = 0usize;
+        let mut longest_run = 0usize;
+        let mut max_degree: f64 = 0.0;
+        let mut burst_demand_sum = 0.0;
+
+        for &d in trace.samples() {
+            max_degree = max_degree.max(d);
+            if d > threshold {
+                above_samples += 1;
+                burst_demand_sum += d;
+                current_run += 1;
+                if !in_burst {
+                    in_burst = true;
+                    burst_count += 1;
+                }
+                longest_run = longest_run.max(current_run);
+            } else {
+                in_burst = false;
+                current_run = 0;
+            }
+        }
+
+        BurstStats {
+            time_above: step * above_samples as f64,
+            burst_count,
+            max_degree,
+            longest_burst: step * longest_run as f64,
+            mean_burst_demand: if above_samples == 0 {
+                0.0
+            } else {
+                burst_demand_sum / above_samples as f64
+            },
+        }
+    }
+
+    /// Returns `true` if the trace never exceeded the threshold.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.burst_count == 0
+    }
+}
+
+impl std::fmt::Display for BurstStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} bursts, {} above capacity (longest {}), peak degree {:.2}",
+            self.burst_count, self.time_above, self.longest_burst, self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(samples: Vec<f64>) -> Trace {
+        Trace::new(Seconds::new(1.0), samples).unwrap()
+    }
+
+    #[test]
+    fn quiet_trace() {
+        let s = BurstStats::from_trace(&t(vec![0.1, 0.9, 1.0]), 1.0);
+        assert!(s.is_quiet());
+        assert_eq!(s.time_above, Seconds::ZERO);
+        assert_eq!(s.mean_burst_demand, 0.0);
+        assert_eq!(s.longest_burst, Seconds::ZERO);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Samples exactly at the threshold do not count as a burst.
+        let s = BurstStats::from_trace(&t(vec![1.0, 1.0, 1.0]), 1.0);
+        assert!(s.is_quiet());
+    }
+
+    #[test]
+    fn counts_separate_bursts() {
+        let s = BurstStats::from_trace(&t(vec![2.0, 0.5, 2.0, 2.0, 0.5, 3.0]), 1.0);
+        assert_eq!(s.burst_count, 3);
+        assert_eq!(s.time_above, Seconds::new(4.0));
+        assert_eq!(s.longest_burst, Seconds::new(2.0));
+        assert_eq!(s.max_degree, 3.0);
+    }
+
+    #[test]
+    fn mean_burst_demand_ignores_quiet_samples() {
+        let s = BurstStats::from_trace(&t(vec![0.5, 2.0, 4.0, 0.5]), 1.0);
+        assert!((s.mean_burst_demand - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = BurstStats::from_trace(&t(vec![2.0]), 1.0);
+        assert!(s.to_string().contains("1 bursts"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic reconstruction of the Yahoo!-style bursty trace.
+//!
+//! §VI-C of the paper builds its Yahoo workloads by (1) aggregating the 70
+//! per-server request traces and cutting a 30-minute piece around the
+//! highest request rate — a *smooth* series, unlike the MS trace — and then
+//! (2) injecting a burst: one server's trace, scaled by the *burst degree*,
+//! raises the demand from the 5th minute to the (5+L)th minute, where `L`
+//! is the *burst duration*. The result is normalized to the aggregated
+//! trace's peak.
+//!
+//! This module reproduces that construction synthetically: a gently varying
+//! baseline whose peak is 1.0 (the data center can just serve the quiet
+//! trace), plus a plateau burst of the requested degree and duration
+//! starting at minute 5.
+
+use crate::Trace;
+use dcs_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns the length of the reconstructed segment (30 minutes).
+#[must_use]
+pub fn duration() -> Seconds {
+    Seconds::from_minutes(30.0)
+}
+
+/// Returns the sampling step of the reconstructed segment (1 second).
+#[must_use]
+pub fn step() -> Seconds {
+    Seconds::new(1.0)
+}
+
+/// Returns the burst start time: always the 5th minute (§VI-C).
+#[must_use]
+pub fn burst_start() -> Seconds {
+    Seconds::from_minutes(5.0)
+}
+
+/// Quiet-baseline mean level (the aggregated trace varies gently below its
+/// peak of 1.0).
+const BASELINE_MEAN: f64 = 0.82;
+
+/// Amplitude of the slow diurnal-ish variation.
+const BASELINE_SWING: f64 = 0.10;
+
+/// Amplitude of the seeded multiplicative noise.
+const NOISE: f64 = 0.015;
+
+fn baseline_at(minute: f64) -> f64 {
+    // A slow sinusoid peaking mid-trace; peak value BASELINE_MEAN + SWING.
+    BASELINE_MEAN + BASELINE_SWING * (std::f64::consts::PI * minute / 30.0).sin()
+}
+
+/// Generates the quiet (burst-free) aggregated baseline.
+///
+/// The trace is normalized so its clean peak is 1.0: without a burst the
+/// data center can just serve it without sprinting.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_workload::{yahoo_trace, BurstStats};
+/// let t = yahoo_trace::baseline(3);
+/// assert!(BurstStats::from_trace(&t, 1.0).is_quiet());
+/// ```
+#[must_use]
+pub fn baseline(seed: u64) -> Trace {
+    generate(seed, 0.0, Seconds::ZERO)
+}
+
+/// Generates the trace with a burst of `degree` lasting `duration`,
+/// starting at [`burst_start`] (§VI-C's construction).
+///
+/// During the burst the demand plateaus at `degree` (with small seeded
+/// noise that never drops it to or below `degree × (1 − 2·noise)`); a
+/// `degree ≤ 1` or zero `duration` yields the quiet baseline.
+///
+/// For bursts that would extend past the 30-minute window, the trace is
+/// lengthened to `burst start + burst duration + 5 min` so that every
+/// burst is followed by a quiet tail.
+///
+/// # Panics
+///
+/// Panics if `degree` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use dcs_workload::{yahoo_trace, BurstStats};
+/// use dcs_units::Seconds;
+///
+/// let t = yahoo_trace::with_burst(3, 3.2, Seconds::from_minutes(15.0));
+/// let s = BurstStats::from_trace(&t, 1.0);
+/// assert!((s.max_degree - 3.2).abs() < 0.1);
+/// assert!((s.time_above.as_minutes() - 15.0).abs() < 0.1);
+/// ```
+#[must_use]
+pub fn with_burst(seed: u64, degree: f64, burst_len: Seconds) -> Trace {
+    generate(seed, degree, burst_len)
+}
+
+fn generate(seed: u64, degree: f64, burst_len: Seconds) -> Trace {
+    assert!(degree >= 0.0 && degree.is_finite(), "degree must be non-negative");
+    let burst_end = burst_start() + burst_len;
+    let total = duration().max(burst_end + Seconds::from_minutes(5.0));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (total.as_secs() / step().as_secs()) as usize;
+    let samples = (0..n)
+        .map(|i| {
+            let t = Seconds::new(i as f64 * step().as_secs());
+            let minute = t.as_secs() / 60.0;
+            let in_burst =
+                degree > 1.0 && burst_len > Seconds::ZERO && t >= burst_start() && t < burst_end;
+            let clean = if in_burst { degree } else { baseline_at(minute) };
+            let noisy = clean * (1.0 + rng.gen_range(-NOISE..NOISE));
+            if in_burst {
+                // Noise must not drop burst samples below capacity.
+                noisy.max(1.0 + 1e-6)
+            } else {
+                // The quiet baseline never exceeds capacity.
+                noisy.min(1.0)
+            }
+        })
+        .collect();
+    Trace::new(step(), samples).expect("generated samples are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BurstStats;
+
+    #[test]
+    fn baseline_is_quiet_and_smooth() {
+        let t = baseline(11);
+        let s = BurstStats::from_trace(&t, 1.0);
+        assert!(s.is_quiet());
+        // Smoothness: adjacent samples differ by well under the MS trace's
+        // burst swings.
+        let max_jump = t
+            .samples()
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        assert!(max_jump < 0.1, "max jump {max_jump}");
+    }
+
+    #[test]
+    fn burst_has_requested_degree_and_duration() {
+        for (degree, minutes) in [(2.6, 1.0), (3.0, 5.0), (3.2, 15.0), (3.6, 10.0)] {
+            let t = with_burst(1, degree, Seconds::from_minutes(minutes));
+            let s = BurstStats::from_trace(&t, 1.0);
+            assert_eq!(s.burst_count, 1, "degree {degree}");
+            assert!((s.max_degree - degree).abs() < 0.1);
+            assert!((s.time_above.as_minutes() - minutes).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn burst_starts_at_minute_five() {
+        let t = with_burst(1, 3.0, Seconds::from_minutes(5.0));
+        assert!(t.demand_at(Seconds::new(299.0)) <= 1.0);
+        assert!(t.demand_at(Seconds::new(300.0)) > 1.0);
+        assert!(t.demand_at(Seconds::new(599.0)) > 1.0);
+        assert!(t.demand_at(Seconds::new(600.0)) <= 1.0);
+    }
+
+    #[test]
+    fn degree_one_or_less_is_quiet() {
+        let t = with_burst(1, 1.0, Seconds::from_minutes(10.0));
+        assert!(BurstStats::from_trace(&t, 1.0).is_quiet());
+    }
+
+    #[test]
+    fn long_bursts_extend_the_trace() {
+        let t = with_burst(1, 3.0, Seconds::from_minutes(30.0));
+        // 5 min lead-in + 30 min burst + 5 min tail.
+        assert_eq!(t.duration(), Seconds::from_minutes(40.0));
+        let s = BurstStats::from_trace(&t, 1.0);
+        assert!((s.time_above.as_minutes() - 30.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            with_burst(9, 3.2, Seconds::from_minutes(15.0)),
+            with_burst(9, 3.2, Seconds::from_minutes(15.0))
+        );
+    }
+}

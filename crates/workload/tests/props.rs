@@ -1,0 +1,75 @@
+//! Property-based tests for the workload substrate.
+
+use dcs_units::Seconds;
+use dcs_workload::{ms_trace, yahoo_trace, AdmissionLog, BurstStats, Estimate, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    /// Burst stats never report more time above than the trace duration,
+    /// and the max degree never exceeds the peak.
+    #[test]
+    fn burst_stats_bounded(samples in prop::collection::vec(0.0..5.0f64, 1..200)) {
+        let t = Trace::new(Seconds::new(1.0), samples).unwrap();
+        let s = BurstStats::from_trace(&t, 1.0);
+        prop_assert!(s.time_above <= t.duration());
+        prop_assert!(s.longest_burst <= s.time_above);
+        prop_assert!((s.max_degree - t.peak()).abs() < 1e-12);
+        prop_assert!(s.burst_count == 0 || s.mean_burst_demand > 1.0);
+    }
+
+    /// Scaling a trace scales its peak and mean linearly.
+    #[test]
+    fn scaling_is_linear(samples in prop::collection::vec(0.0..5.0f64, 1..100), k in 0.0..10.0f64) {
+        let t = Trace::new(Seconds::new(1.0), samples).unwrap();
+        let scaled = t.scaled(k);
+        prop_assert!((scaled.peak() - t.peak() * k).abs() < 1e-9);
+        prop_assert!((scaled.mean() - t.mean() * k).abs() < 1e-9);
+    }
+
+    /// demand_at agrees with the samples on sample boundaries.
+    #[test]
+    fn lookup_matches_samples(samples in prop::collection::vec(0.0..5.0f64, 1..100), step in 0.5..120.0f64) {
+        let t = Trace::new(Seconds::new(step), samples.clone()).unwrap();
+        for (i, &s) in samples.iter().enumerate() {
+            prop_assert_eq!(t.demand_at(Seconds::new(i as f64 * step)), s);
+        }
+    }
+
+    /// Yahoo burst construction hits its requested degree and duration for
+    /// any valid parameters.
+    #[test]
+    fn yahoo_burst_parameters_hold(seed in 0u64..1000, degree in 1.5..4.0f64, minutes in 1.0..20.0f64) {
+        let t = yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(minutes));
+        let s = BurstStats::from_trace(&t, 1.0);
+        prop_assert_eq!(s.burst_count, 1);
+        prop_assert!((s.max_degree - degree).abs() < degree * 0.05);
+        prop_assert!((s.time_above.as_minutes() - minutes).abs() < 2.0 / 60.0 + 1e-9);
+    }
+
+    /// The MS reconstruction keeps its calibrated statistics for any seed.
+    #[test]
+    fn ms_statistics_seed_independent(seed in 0u64..200) {
+        let s = BurstStats::from_trace(&ms_trace::generate(seed), 1.0);
+        prop_assert!((s.time_above.as_minutes() - 16.2).abs() < 0.2);
+    }
+
+    /// Admission: served demand never exceeds offered demand, and the drop
+    /// fraction is in [0, 1].
+    #[test]
+    fn admission_invariants(pairs in prop::collection::vec((0.0..5.0f64, 0.0..5.0f64), 1..100)) {
+        let mut log = AdmissionLog::new();
+        for (demand, capacity) in pairs {
+            log.record(demand, capacity, Seconds::new(1.0));
+        }
+        prop_assert!(log.average_served() <= log.average_demand() + 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&log.drop_fraction()));
+    }
+
+    /// Estimates reproduce true value at zero error and scale linearly.
+    #[test]
+    fn estimate_linearity(v in 0.0..1000.0f64, err in -1.0..1.0f64) {
+        let e = Estimate::with_error(v, err);
+        prop_assert!((e.predicted() - v * (1.0 + err)).abs() < 1e-9);
+        prop_assert_eq!(Estimate::exact(v).predicted(), v);
+    }
+}

@@ -1,0 +1,65 @@
+//! Capacity planning: how much sprint capability does a facility design
+//! buy?
+//!
+//! Sweeps the two provisioning knobs the paper studies — the
+//! under-provisioned DC-level headroom (0–20 %) and the per-server UPS
+//! battery size — and reports the sustained burst performance each design
+//! achieves on a reference 10-minute, 3x burst. This is the table a
+//! facility planner would consult before committing to a power
+//! infrastructure build-out.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use datacenter_sprinting::core::{ControllerConfig, Greedy};
+use datacenter_sprinting::power::DataCenterSpec;
+use datacenter_sprinting::sim::{parallel_map, run, run_no_sprint, Scenario};
+use datacenter_sprinting::units::{Charge, Ratio, Seconds};
+use datacenter_sprinting::workload::yahoo_trace;
+
+fn main() {
+    let trace = yahoo_trace::with_burst(7, 3.0, Seconds::from_minutes(10.0));
+
+    println!("# DC-level headroom sweep (UPS fixed at the default 0.5 Ah)\n");
+    println!("headroom   burst perf   improvement");
+    let headrooms = [0.0, 5.0, 10.0, 15.0, 20.0];
+    let rows = parallel_map(&headrooms, |&h| {
+        let spec = DataCenterSpec::paper_default().with_dc_headroom(Ratio::from_percent(h));
+        let scenario = Scenario::new(spec, ControllerConfig::default(), trace.clone());
+        let base = run_no_sprint(&scenario);
+        let sprint = run(&scenario, Box::new(Greedy));
+        (h, sprint.burst_performance(1.0), sprint.burst_improvement_over(&base, 1.0))
+    });
+    for (h, perf, factor) in rows {
+        println!("{h:>6.0}%   {perf:>10.2}   {factor:>10.2}x");
+    }
+
+    println!("\n# UPS battery sweep (headroom fixed at the default 10%)\n");
+    println!("battery    runtime@55W   burst perf   improvement");
+    let ratings = [0.125, 0.25, 0.5, 1.0, 2.0];
+    let rows = parallel_map(&ratings, |&ah| {
+        let config = ControllerConfig {
+            ups_rating: Charge::from_amp_hours(ah),
+            ..ControllerConfig::default()
+        };
+        let scenario = Scenario::new(DataCenterSpec::paper_default(), config.clone(), trace.clone());
+        let base = run_no_sprint(&scenario);
+        let sprint = run(&scenario, Box::new(Greedy));
+        let battery = datacenter_sprinting::ups::Battery::new(config.ups_chemistry, config.ups_rating);
+        (
+            ah,
+            battery.runtime_at(datacenter_sprinting::units::Power::from_watts(55.0)),
+            sprint.burst_performance(1.0),
+            sprint.burst_improvement_over(&base, 1.0),
+        )
+    });
+    for (ah, runtime, perf, factor) in rows {
+        println!("{ah:>5.3} Ah   {runtime:>11}   {perf:>10.2}   {factor:>10.2}x");
+    }
+
+    println!(
+        "\n(headroom feeds Phase 1's breaker tolerance; battery size feeds Phase 2 — \
+         both lengthen how far into a burst the boost survives)"
+    );
+}

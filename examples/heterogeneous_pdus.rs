@@ -1,0 +1,72 @@
+//! Heterogeneous PDU groups: §V-B's balancing rule in action.
+//!
+//! The datacenter-level runs assume a uniform workload spread; real
+//! facilities cluster tenants, so PDU groups sprint unevenly. This example
+//! drives three PDU groups with different burst phases through
+//! `PowerTopology::balance_loads`, which enforces the paper's invariant:
+//! *"a power increase on any of its child CBs demands a power decrease on
+//! some other child CBs"* — PDU-level overloads can never trip the
+//! substation breaker.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_pdus
+//! ```
+
+use datacenter_sprinting::power::{DataCenterSpec, PowerTopology};
+use datacenter_sprinting::units::{Power, Seconds};
+
+fn main() {
+    let spec = DataCenterSpec::paper_default().with_scale(3, 200);
+    let mut topo = PowerTopology::new(&spec);
+    let reserve = Seconds::new(60.0);
+    let cooling = Power::from_kilowatts(18.0);
+    let rated = spec.pdu_rated();
+
+    // Three tenant groups: a steady one, one bursting early, one bursting
+    // late; requests are what their chip-level sprints would like to draw.
+    let request = |t: f64, group: usize| -> Power {
+        let base = rated * 0.8;
+        let sprinting = match group {
+            0 => false,
+            1 => (60.0..360.0).contains(&t),
+            _ => (240.0..600.0).contains(&t),
+        };
+        if sprinting {
+            rated * 1.9 // far above rating: chip-level greed
+        } else {
+            base
+        }
+    };
+
+    println!("  time   granted (kW per PDU)           sum+cooling / DC cap");
+    for step in 0..720u32 {
+        let t = f64::from(step);
+        let requests: Vec<Power> = (0..3).map(|g| request(t, g)).collect();
+        let grants = topo.balance_loads(&requests, reserve, cooling);
+        let caps = topo.caps(reserve);
+        let total: Power = grants.iter().copied().sum::<Power>() + cooling;
+        let events = topo.step_loads(&grants, cooling, Seconds::new(1.0));
+        assert!(events.is_empty(), "the balancing rule must prevent trips");
+        if step % 60 == 0 {
+            println!(
+                "  {:>4}s  [{:>6.2} {:>6.2} {:>6.2}]        {:>7.1} / {:.1}",
+                step,
+                grants[0].as_kilowatts(),
+                grants[1].as_kilowatts(),
+                grants[2].as_kilowatts(),
+                total.as_kilowatts(),
+                caps.dc_total.as_kilowatts(),
+            );
+        }
+    }
+    let status = topo.status();
+    println!(
+        "\nno trips; worst PDU trip progress {:.0}%, DC progress {:.0}%",
+        status.max_pdu_progress * 100.0,
+        status.dc_progress * 100.0
+    );
+    println!(
+        "(when both tenants sprint at once, each one's grant shrinks so their sum \
+         stays inside the substation budget — the paper's parent/child rule)"
+    );
+}

@@ -1,0 +1,54 @@
+//! Should you provision dark cores? The §V-D business case.
+//!
+//! For an operator deciding how many normally-inactive cores to buy, this
+//! example prints the monthly cost/revenue balance across maximum sprinting
+//! degrees and burst profiles, and finds the break-even burst cadence.
+//!
+//! ```text
+//! cargo run --release --example provisioning_economics
+//! ```
+
+use datacenter_sprinting::econ::EconModel;
+
+fn main() {
+    let model = EconModel::paper_default();
+
+    println!("# Monthly profit ($k) by maximum sprinting degree and burst utilization");
+    println!("  (three 5-minute bursts per month, U_t = 4 U_0)\n");
+    println!("degree N    50% bursts    75% bursts    100% bursts");
+    for n in [1.5, 2.0, 2.5, 3.0, 3.5, 4.0] {
+        let p = |u: f64| model.monthly_profit(n, u, 5.0, 3, 4.0) / 1e3;
+        println!(
+            "{n:>7.1}    {:>10.0}    {:>10.0}    {:>11.0}",
+            p(0.50),
+            p(0.75),
+            p(1.00)
+        );
+    }
+
+    println!("\n# Break-even: bursts per month needed to pay for N = 4 provisioning");
+    println!("  (5-minute bursts fully utilizing the extra cores)\n");
+    let cost = model.monthly_core_cost(4.0);
+    let mut k = 0;
+    loop {
+        k += 1;
+        let m = model.magnitude_for_utilization(4.0, 1.0);
+        if model.monthly_revenue(5.0, m, k, 4.0) >= cost {
+            break;
+        }
+        assert!(k < 1000, "never breaks even");
+    }
+    println!("  provisioning cost: ${cost:.0}/month");
+    println!("  break-even at {k} burst(s)/month");
+
+    println!("\n# Sensitivity: longer bursts");
+    println!("\nburst length    profit at K=3, 100% bursts, N=4");
+    for minutes in [1.0, 5.0, 10.0, 30.0] {
+        let profit = model.monthly_profit(4.0, 1.0, minutes, 3, 4.0);
+        println!("{minutes:>9.0} min    ${profit:>12.0}");
+    }
+    println!(
+        "\n(the paper's conclusion: rejecting burst traffic costs more than the \
+         dark cores do — sprinting is profitable even at a few bursts per month)"
+    );
+}

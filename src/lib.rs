@@ -1,0 +1,35 @@
+//! Data Center Sprinting — a from-scratch Rust reproduction of
+//! *"Data Center Sprinting: Enabling Computational Sprinting at the Data
+//! Center Level"* (Zheng & Wang, ICDCS 2015).
+//!
+//! This façade crate re-exports the workspace's public API under short
+//! module names; see `README.md` for the architecture and `DESIGN.md` for
+//! the system inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use datacenter_sprinting::core::{ControllerConfig, Greedy, SprintController};
+//! use datacenter_sprinting::power::DataCenterSpec;
+//! use datacenter_sprinting::units::Seconds;
+//!
+//! let spec = DataCenterSpec::paper_default().with_scale(2, 200);
+//! let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+//! let record = ctl.step(2.0, Seconds::new(1.0));
+//! assert!(record.served > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dcs_breaker as breaker;
+pub use dcs_core as core;
+pub use dcs_econ as econ;
+pub use dcs_power as power;
+pub use dcs_server as server;
+pub use dcs_sim as sim;
+pub use dcs_testbed as testbed;
+pub use dcs_thermal as thermal;
+pub use dcs_units as units;
+pub use dcs_ups as ups;
+pub use dcs_workload as workload;

@@ -1,0 +1,151 @@
+//! Integration tests pinning the paper's headline claims, end-to-end
+//! through every crate in the workspace.
+//!
+//! These run at reduced facility scale (4 PDUs x 200 servers); all
+//! normalized metrics are scale-free (every store and rating is
+//! proportional to the server count).
+
+use datacenter_sprinting::core::{ControllerConfig, Greedy};
+use datacenter_sprinting::power::DataCenterSpec;
+use datacenter_sprinting::sim::{
+    oracle_search, run, run_no_sprint, run_uncontrolled, Scenario, UncontrolledMode,
+};
+use datacenter_sprinting::units::Seconds;
+use datacenter_sprinting::workload::{ms_trace, yahoo_trace};
+
+fn spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default().with_scale(4, 200)
+}
+
+fn ms_scenario() -> Scenario {
+    Scenario::new(spec(), ControllerConfig::default(), ms_trace::paper_default())
+}
+
+/// §VII-A / Fig. 8(a): uncontrolled chip-level sprinting trips a breaker a
+/// few minutes into the MS trace (the paper's testbed: 5 min 20 s) and
+/// blacks the facility out.
+#[test]
+fn uncontrolled_sprinting_trips_a_breaker_in_minutes() {
+    let result = run_uncontrolled(&ms_scenario(), UncontrolledMode::RunToTrip);
+    let (when, _) = result.trip.clone().expect("must trip");
+    assert!(
+        when > Seconds::from_minutes(3.0) && when < Seconds::from_minutes(8.0),
+        "tripped at {when}, paper: 5 min 20 s"
+    );
+    // Blackout: nothing served afterwards.
+    let after: Vec<_> = result.records.iter().filter(|r| r.time > when).collect();
+    assert!(!after.is_empty() && after.iter().all(|r| r.served == 0.0));
+}
+
+/// §VII-A / Fig. 8(b): Data Center Sprinting sustains the boost with no
+/// trips and no overheating, far outperforming the uncontrolled baseline.
+#[test]
+fn controlled_sprinting_sustains_where_uncontrolled_fails() {
+    let scenario = ms_scenario();
+    let sprint = run(&scenario, Box::new(Greedy));
+    assert!(!sprint.any_tripped());
+    assert!(!sprint.any_overheated());
+    let uncontrolled = run_uncontrolled(&scenario, UncontrolledMode::RunToTrip);
+    assert!(sprint.average_performance() > 2.0 * uncontrolled.average_performance());
+}
+
+/// Headline: the burst-window improvement factor on the MS trace falls in
+/// (a band around) the paper's 1.62-1.76x.
+#[test]
+fn ms_trace_improvement_factor_matches_paper_band() {
+    let scenario = ms_scenario();
+    let base = run_no_sprint(&scenario);
+    let greedy = run(&scenario, Box::new(Greedy));
+    let factor = greedy.burst_improvement_over(&base, 1.0);
+    assert!(
+        (1.5..=2.2).contains(&factor),
+        "MS Greedy factor {factor}, paper band 1.62-1.76"
+    );
+}
+
+/// §VII-A: the energy split — UPS largest-or-comparable share, TES the
+/// smallest, around the paper's UPS 54% / TES 13%.
+#[test]
+fn energy_split_shape_matches_paper() {
+    let greedy = run(&ms_scenario(), Box::new(Greedy));
+    let (cb, ups, tes) = greedy.energy_shares();
+    assert!((cb + ups + tes - 1.0).abs() < 1e-9);
+    assert!(tes < cb && tes < ups, "TES must be the smallest share");
+    assert!((0.05..0.30).contains(&tes), "TES share {tes}, paper 13%");
+    assert!(ups > 0.25, "UPS share {ups}, paper 54%");
+}
+
+/// §VII-C / Fig. 10(a): for short bursts, Greedy achieves the Oracle's
+/// performance — stored energy is not binding.
+#[test]
+fn greedy_matches_oracle_on_short_bursts() {
+    let scenario = Scenario::new(
+        spec(),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(1, 3.0, Seconds::from_minutes(5.0)),
+    );
+    let greedy = run(&scenario, Box::new(Greedy));
+    let oracle = oracle_search(&scenario);
+    assert!(
+        oracle.best.average_performance() - greedy.average_performance() < 0.01,
+        "oracle {} vs greedy {}",
+        oracle.best.average_performance(),
+        greedy.average_performance()
+    );
+}
+
+/// §VII-C / Fig. 10(b): for long bursts the Oracle constrains the
+/// sprinting degree below the hardware maximum and beats Greedy.
+#[test]
+fn oracle_constrains_and_beats_greedy_on_long_bursts() {
+    let scenario = Scenario::new(
+        spec(),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(1, 3.2, Seconds::from_minutes(15.0)),
+    );
+    let base = run_no_sprint(&scenario);
+    let greedy = run(&scenario, Box::new(Greedy));
+    let oracle = oracle_search(&scenario);
+    assert!(oracle.best_bound.as_f64() < 4.0, "bound {}", oracle.best_bound);
+    assert!(
+        oracle.best.burst_improvement_over(&base, 1.0)
+            > greedy.burst_improvement_over(&base, 1.0)
+    );
+}
+
+/// Headline: across the Yahoo sweep the improvement factors bracket the
+/// paper's 1.75-2.45x.
+#[test]
+fn yahoo_improvement_factors_match_paper_band() {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for (degree, minutes) in [(2.6, 5.0), (3.2, 15.0)] {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes)),
+        );
+        let base = run_no_sprint(&scenario);
+        let factor = run(&scenario, Box::new(Greedy)).burst_improvement_over(&base, 1.0);
+        lo = lo.min(factor);
+        hi = hi.max(factor);
+    }
+    assert!(lo > 1.5, "low end {lo}, paper 1.75");
+    assert!(hi > 2.2 && hi < 3.2, "high end {hi}, paper 2.45");
+}
+
+/// The paper's safety claim, stress-tested: no breaker trip and no
+/// overheating under ANY strategy across burst profiles.
+#[test]
+fn no_trips_or_overheating_across_the_sweep() {
+    for (degree, minutes) in [(2.6, 1.0), (3.6, 5.0), (3.2, 15.0), (3.6, 15.0)] {
+        let scenario = Scenario::new(
+            spec(),
+            ControllerConfig::default(),
+            yahoo_trace::with_burst(3, degree, Seconds::from_minutes(minutes)),
+        );
+        let result = run(&scenario, Box::new(Greedy));
+        assert!(!result.any_tripped(), "tripped at ({degree}, {minutes})");
+        assert!(!result.any_overheated(), "overheated at ({degree}, {minutes})");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based end-to-end tests: random burst profiles and facility
+//! configurations must never violate the controller's safety contract.
+
+use datacenter_sprinting::core::{ControllerConfig, FixedBound, Greedy, SprintController};
+use datacenter_sprinting::power::DataCenterSpec;
+use datacenter_sprinting::units::{Charge, Ratio, Seconds};
+use proptest::prelude::*;
+
+fn random_trace() -> impl Strategy<Value = Vec<f64>> {
+    // Piecewise demand: a handful of segments, each a level in [0, 4.5]
+    // held for up to 3 minutes.
+    prop::collection::vec((0.0..4.5f64, 10usize..180), 2..12).prop_map(|segments| {
+        segments
+            .into_iter()
+            .flat_map(|(level, len)| std::iter::repeat_n(level, len))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The safety contract: no trips, no overheating, serving at least
+    /// min(demand, 1.0), for arbitrary demand profiles.
+    #[test]
+    fn controller_is_safe_on_random_demand(samples in random_trace()) {
+        let spec = DataCenterSpec::paper_default().with_scale(2, 200);
+        let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+        for &demand in &samples {
+            let r = ctl.step(demand, Seconds::new(1.0));
+            prop_assert!(!r.tripped, "tripped at {}", r.time);
+            prop_assert!(!r.overheated, "overheated at {}", r.time);
+            prop_assert!(r.served >= demand.min(1.0) - 1e-9,
+                "served {} of demand {}", r.served, demand);
+        }
+    }
+
+    /// Under-provisioned facilities (0-20% headroom, any battery size)
+    /// keep the same contract.
+    #[test]
+    fn controller_is_safe_across_configurations(
+        headroom in 0.0..20.0f64,
+        battery_ah in 0.05..2.0f64,
+        demand in 1.1..4.5f64,
+    ) {
+        let spec = DataCenterSpec::paper_default()
+            .with_scale(2, 200)
+            .with_dc_headroom(Ratio::from_percent(headroom));
+        let config = ControllerConfig {
+            ups_rating: Charge::from_amp_hours(battery_ah),
+            ..ControllerConfig::default()
+        };
+        let mut ctl = SprintController::new(spec, config, Box::new(Greedy));
+        for _ in 0..600 {
+            let r = ctl.step(demand, Seconds::new(1.0));
+            prop_assert!(!r.tripped && !r.overheated);
+            prop_assert!(r.served >= 1.0 - 1e-9);
+        }
+    }
+
+    /// A tighter degree bound never increases instantaneous power draw.
+    #[test]
+    fn tighter_bounds_draw_no_more_power(
+        demand in 1.5..4.0f64,
+        lo in 1.0..2.0f64,
+        hi_extra in 0.5..2.0f64,
+    ) {
+        let spec = DataCenterSpec::paper_default().with_scale(2, 200);
+        let mk = |bound: f64| {
+            SprintController::new(
+                spec.clone(),
+                ControllerConfig::default(),
+                Box::new(FixedBound::new(Ratio::new(bound))),
+            )
+        };
+        let mut tight = mk(lo);
+        let mut loose = mk(lo + hi_extra);
+        for _ in 0..120 {
+            let a = tight.step(demand, Seconds::new(1.0));
+            let b = loose.step(demand, Seconds::new(1.0));
+            prop_assert!(a.it_power <= b.it_power + datacenter_sprinting::units::Power::from_watts(1e-6));
+            prop_assert!(a.served <= b.served + 1e-9);
+        }
+    }
+}
