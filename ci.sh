@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, the full test suite, and the fault-injection
+# property suite. Run from the workspace root; everything is offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# First-party packages only — the vendored offline mini-crates under
+# vendor/ are exempt from fmt/clippy (they mirror external code).
+PACKAGES=(
+  datacenter-sprinting
+  dcs-units dcs-breaker dcs-ups dcs-thermal dcs-server dcs-power
+  dcs-workload dcs-faults dcs-core dcs-sim dcs-econ dcs-testbed dcs-bench
+)
+
+echo "== rustfmt =="
+fmt_paths=(src crates/*/src crates/*/tests tests examples)
+mapfile -t fmt_files < <(find "${fmt_paths[@]}" -name '*.rs' 2>/dev/null)
+rustfmt --edition 2021 --check "${fmt_files[@]}"
+
+echo "== clippy =="
+clippy_args=()
+for p in "${PACKAGES[@]}"; do clippy_args+=(-p "$p"); done
+cargo clippy "${clippy_args[@]}" --all-targets --offline -- -D warnings
+
+echo "== tests =="
+cargo test --workspace --offline -q
+
+echo "== fault suite =="
+cargo test -p dcs-sim --test faults --offline -q
+
+echo "CI green."

@@ -30,15 +30,20 @@ fn main() {
 
     let models: Vec<(String, ScalingModel)> = vec![
         ("linear".into(), ScalingModel::Linear),
-        ("power law a=0.9".into(), ScalingModel::PowerLaw { alpha: 0.9 }),
         (
-            "power law a=0.75 (default)".into(),
-            ScalingModel::default(),
+            "power law a=0.9".into(),
+            ScalingModel::PowerLaw { alpha: 0.9 },
         ),
-        ("power law a=0.6".into(), ScalingModel::PowerLaw { alpha: 0.6 }),
+        ("power law a=0.75 (default)".into(), ScalingModel::default()),
+        (
+            "power law a=0.6".into(),
+            ScalingModel::PowerLaw { alpha: 0.6 },
+        ),
         (
             "Amdahl s=0.05".into(),
-            ScalingModel::Amdahl { serial_fraction: 0.05 },
+            ScalingModel::Amdahl {
+                serial_fraction: 0.05,
+            },
         ),
     ];
 

@@ -72,6 +72,8 @@ fn main() {
             format!("{:.3}", factor(&oracle.best)),
         ]);
     }
-    println!("\n(* Prediction and Heuristic receive zero-error a-priori estimates; Adaptive \
-              receives nothing and learns online)");
+    println!(
+        "\n(* Prediction and Heuristic receive zero-error a-priori estimates; Adaptive \
+              receives nothing and learns online)"
+    );
 }

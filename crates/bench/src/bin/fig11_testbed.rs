@@ -14,7 +14,11 @@ fn main() {
     let trace = server_power_trace(1);
 
     println!("# Fig. 11(a) — power curve, reserved trip time = 10 s\n");
-    let ours10 = run_policy(&config, &trace, Policy::ReservedTripTime(Seconds::new(10.0)));
+    let ours10 = run_policy(
+        &config,
+        &trace,
+        Policy::ReservedTripTime(Seconds::new(10.0)),
+    );
     print_header(&["t (s)", "total (W)", "CB branch (W)", "UPS (W)"]);
     for r in ours10.records.iter().step_by(15).take(24) {
         print_row(&[
@@ -47,7 +51,10 @@ fn main() {
             format!("{:.0}", cb_first.sustained.as_secs()),
         ]);
     }
-    println!("\nCB only (no UPS): trips after {} (paper: 65 s)", cb_only.sustained);
+    println!(
+        "\nCB only (no UPS): trips after {} (paper: 65 s)",
+        cb_only.sustained
+    );
     println!(
         "best: {} at reserved trip time {} — {} longer than CB First (paper: max 14 s longer, \
          peak at 30 s reserve)",

@@ -22,9 +22,7 @@ fn main() {
     let ms = ms_trace::paper_default();
     print_series("Fig. 7(a) — MS trace (synthetic reconstruction)", &ms);
     let s = BurstStats::from_trace(&ms, 1.0);
-    println!(
-        "paper facts: 30 min, consecutive bursts, peak ~300%, time above capacity 16.2 min"
-    );
+    println!("paper facts: 30 min, consecutive bursts, peak ~300%, time above capacity 16.2 min");
     println!(
         "measured:    {} min, {} bursts, peak {:.0}%, time above capacity {:.1} min\n",
         ms.duration().as_minutes(),

@@ -23,9 +23,9 @@ fn main() {
     println!("# Fig. 8(a) — uncontrolled chip-level sprinting\n");
     let uncontrolled = run_uncontrolled(&scenario, UncontrolledMode::RunToTrip);
     match &uncontrolled.trip {
-        Some((when, name)) => println!(
-            "CB trips here: breaker {name} at {when} (paper: 5 min 20 s)\n"
-        ),
+        Some((when, name)) => {
+            println!("CB trips here: breaker {name} at {when} (paper: 5 min 20 s)\n")
+        }
         None => println!("no trip (unexpected)\n"),
     }
     print_header(&["minute", "required (%)", "achieved (%)"]);

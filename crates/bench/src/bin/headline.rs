@@ -34,7 +34,13 @@ fn main() {
         format!("{o:.2}"),
     ]);
 
-    for (degree, minutes) in [(2.6, 5.0), (3.2, 5.0), (2.6, 15.0), (3.2, 15.0), (3.6, 15.0)] {
+    for (degree, minutes) in [
+        (2.6, 5.0),
+        (3.2, 5.0),
+        (2.6, 15.0),
+        (3.2, 15.0),
+        (3.6, 15.0),
+    ] {
         let s = Scenario::new(
             spec.clone(),
             config.clone(),
@@ -43,9 +49,7 @@ fn main() {
         let base = run_no_sprint(&s);
         let capped = run_power_capped(&s).burst_improvement_over(&base, 1.0);
         let g = run(&s, Box::new(Greedy)).burst_improvement_over(&base, 1.0);
-        let o = oracle_search(&s)
-            .best
-            .burst_improvement_over(&base, 1.0);
+        let o = oracle_search(&s).best.burst_improvement_over(&base, 1.0);
         lo = lo.min(g).min(o);
         hi = hi.max(g).max(o);
         print_row(&[

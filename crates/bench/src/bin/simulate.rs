@@ -13,8 +13,9 @@
 //! telemetry as JSON.
 
 use dcs_core::{ControllerConfig, FixedBound, Greedy, Heuristic, Prediction, SprintStrategy};
+use dcs_faults::FaultSchedule;
 use dcs_power::DataCenterSpec;
-use dcs_sim::{oracle_search, run, run_no_sprint, Scenario, SimResult};
+use dcs_sim::{oracle_search, run_no_sprint_with_faults, run_with_faults, Scenario, SimResult};
 use dcs_units::{Ratio, Seconds};
 use dcs_workload::{ms_trace, yahoo_trace, Estimate, Trace};
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,10 @@ pub struct SimulateConfig {
     pub workload: WorkloadConfig,
     /// The sprinting-degree strategy.
     pub strategy: StrategyConfig,
+    /// Optional fault schedule injected into the run (and the no-sprint
+    /// baseline). Omit or `null` for an intact facility.
+    #[serde(default)]
+    pub faults: Option<FaultSchedule>,
 }
 
 impl SimulateConfig {
@@ -107,6 +112,7 @@ impl SimulateConfig {
                 minutes: 15.0,
             },
             strategy: StrategyConfig::Greedy,
+            faults: None,
         }
     }
 }
@@ -137,21 +143,33 @@ fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String>
     let controller = config.controller.clone().unwrap_or_default();
     let trace = build_trace(&config.workload)?;
     let scenario = Scenario::new(spec.clone(), controller.clone(), trace);
-    let baseline = run_no_sprint(&scenario);
+    let faults = config.faults.clone().unwrap_or_else(FaultSchedule::none);
+    faults
+        .validate()
+        .map_err(|e| format!("invalid fault schedule: {e}"))?;
+    let baseline = run_no_sprint_with_faults(&scenario, &faults);
+    let run = |strategy: Box<dyn SprintStrategy>| run_with_faults(&scenario, strategy, &faults);
 
     let result = match &config.strategy {
-        StrategyConfig::Greedy => run(&scenario, Box::new(Greedy)),
+        StrategyConfig::Greedy => run(Box::new(Greedy)),
         StrategyConfig::FixedBound { bound } => {
             if *bound < 1.0 {
                 return Err("fixed bound must be at least 1".into());
             }
-            run(&scenario, Box::new(FixedBound::new(Ratio::new(*bound))))
+            run(Box::new(FixedBound::new(Ratio::new(*bound))))
         }
-        StrategyConfig::Oracle => oracle_search(&scenario).best,
-        StrategyConfig::Heuristic { sde_p, flexibility } => run(
-            &scenario,
-            Box::new(Heuristic::new(Estimate::exact(*sde_p), *flexibility)),
-        ),
+        StrategyConfig::Oracle => {
+            if !faults.is_empty() {
+                return Err("the oracle search does not support fault schedules; \
+                     pick a concrete strategy"
+                    .into());
+            }
+            oracle_search(&scenario).best
+        }
+        StrategyConfig::Heuristic { sde_p, flexibility } => run(Box::new(Heuristic::new(
+            Estimate::exact(*sde_p),
+            *flexibility,
+        ))),
         StrategyConfig::Prediction { minutes } => {
             let table = dcs_sim::build_upper_bound_table(
                 &spec,
@@ -159,9 +177,10 @@ fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String>
                 &[1.0, 5.0, 10.0, 15.0, 20.0, 30.0],
                 &[2.0, 2.5, 3.0, 3.5, 4.0],
             );
-            let strategy: Box<dyn SprintStrategy> =
-                Box::new(Prediction::new(Estimate::exact(minutes * 60.0), table));
-            run(&scenario, strategy)
+            run(Box::new(Prediction::new(
+                Estimate::exact(minutes * 60.0),
+                table,
+            )))
         }
     };
     Ok((result, baseline))
@@ -207,7 +226,10 @@ fn main() -> ExitCode {
         result.improvement_over(&baseline),
         result.burst_improvement_over(&baseline, 1.0),
     );
-    println!("dropped requests:    {:.1}%", result.admission.drop_fraction() * 100.0);
+    println!(
+        "dropped requests:    {:.1}%",
+        result.admission.drop_fraction() * 100.0
+    );
     let (cb, ups, tes) = result.energy_shares();
     println!(
         "energy split:        CB {:.0}% / UPS {:.0}% / TES {:.0}%",

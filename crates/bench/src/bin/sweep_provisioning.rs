@@ -29,7 +29,12 @@ fn measure(spec: DataCenterSpec) -> (f64, f64) {
 
 fn main() {
     println!("# Sweep — DC-level headroom (paper default 10%, range 0-20%)\n");
-    print_header(&["headroom (%)", "DC rating (MW)", "burst perf", "improvement"]);
+    print_header(&[
+        "headroom (%)",
+        "DC rating (MW)",
+        "burst perf",
+        "improvement",
+    ]);
     let headrooms = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0];
     let rows = parallel_map(&headrooms, |&h| {
         let spec = DataCenterSpec::paper_default().with_dc_headroom(Ratio::from_percent(h));

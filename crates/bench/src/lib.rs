@@ -54,7 +54,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a markdown-style table header with a separator line.
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -83,6 +83,9 @@ pub struct CircuitBreaker {
     /// Exponential cool-down time constant when not overloaded.
     cooldown: Seconds,
     tripped: bool,
+    /// Fault injection: effective-rating factor in `(0, 1]` (a degraded
+    /// element trips as if rated lower).
+    derating: f64,
 }
 
 impl CircuitBreaker {
@@ -111,7 +114,34 @@ impl CircuitBreaker {
             state: 0.0,
             cooldown: Seconds::from_minutes(5.0),
             tripped: false,
+            derating: 1.0,
         }
+    }
+
+    /// Sets the fault-injection derating factor: the breaker behaves as if
+    /// rated at `factor ×` its nameplate (trip times shorten, safe caps
+    /// shrink). `1.0` restores nominal behavior exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `(0, 1]`.
+    pub fn set_derating(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derating factor must be in (0, 1]"
+        );
+        self.derating = factor;
+    }
+
+    /// Returns the fault-injection derating factor.
+    #[must_use]
+    pub fn derating(&self) -> f64 {
+        self.derating
+    }
+
+    /// The rating after the fault-injection derate.
+    fn effective_rated(&self) -> Power {
+        self.rated * self.derating
     }
 
     /// Sets the cool-down time constant used when the load is inside the
@@ -157,10 +187,19 @@ impl CircuitBreaker {
         self.tripped
     }
 
+    /// Returns the largest load guaranteed never to trip this breaker from
+    /// any thermal state: the pickup boundary of its curve (derated by any
+    /// injected fault). Loads at or below this limit only ever cool the
+    /// thermal element.
+    #[must_use]
+    pub fn no_trip_limit(&self) -> Power {
+        self.effective_rated() * self.curve.no_trip_ratio().as_f64()
+    }
+
     /// Returns the load ratio a given power draw represents on this breaker.
     #[must_use]
     pub fn load_ratio(&self, load: Power) -> Ratio {
-        load.ratio_of(self.rated)
+        load.ratio_of(self.effective_rated())
     }
 
     /// Returns the cold-start trip time for a constant `load`.
@@ -220,12 +259,12 @@ impl CircuitBreaker {
         let headroom = (1.0 - self.state).max(0.0);
         if headroom <= 0.0 {
             // No thermal budget left: only the no-trip region is safe.
-            return self.rated * (1.0 + self.curve.pickup_overload());
+            return self.no_trip_limit();
         }
         // Need (1 - state) * t(ov) >= reserve  =>  t(ov) >= reserve / headroom.
         let needed = reserve / headroom;
         let ratio = self.curve.max_ratio_for_trip_time(needed);
-        self.rated * ratio.as_f64()
+        self.effective_rated() * ratio.as_f64()
     }
 
     /// Applies `load` for `dt`, advancing the thermal state.
@@ -349,21 +388,22 @@ mod tests {
     fn mixed_overloads_accumulate() {
         let mut b = cb(100.0);
         // Half of the budget at 60% overload (30 of 60 s)...
-        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0)).unwrap();
+        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0))
+            .unwrap();
         // ...leaves half the budget at 30% overload (120 of 240 s).
-        assert!(
-            (b.remaining_time_at(Power::from_watts(130.0)).as_secs() - 120.0).abs() < 1e-9
-        );
+        assert!((b.remaining_time_at(Power::from_watts(130.0)).as_secs() - 120.0).abs() < 1e-9);
     }
 
     #[test]
     fn cooling_restores_headroom() {
         let mut b = cb(100.0);
-        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0)).unwrap();
+        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0))
+            .unwrap();
         let before = b.trip_progress();
         // A long idle period at rated load cools the element.
         for _ in 0..600 {
-            b.apply_load(Power::from_watts(90.0), Seconds::new(1.0)).unwrap();
+            b.apply_load(Power::from_watts(90.0), Seconds::new(1.0))
+                .unwrap();
         }
         assert!(b.trip_progress() < before * 0.2);
     }
@@ -400,7 +440,8 @@ mod tests {
         let cold = b.max_load_with_reserve(Seconds::new(60.0));
         assert!((cold.as_watts() - 160.0).abs() < 1e-6);
         // Consume half the thermal budget; the same reserve now allows less.
-        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0)).unwrap();
+        b.apply_load(Power::from_watts(160.0), Seconds::new(30.0))
+            .unwrap();
         let warm = b.max_load_with_reserve(Seconds::new(60.0));
         assert!(warm < cold);
         // Holding that cap keeps the remaining time at >= the reserve.
@@ -412,7 +453,8 @@ mod tests {
     fn max_load_with_reserve_when_exhausted_is_pickup() {
         let mut b = cb(100.0);
         // Nearly exhaust the budget.
-        b.apply_load(Power::from_watts(160.0), Seconds::new(59.9)).unwrap();
+        b.apply_load(Power::from_watts(160.0), Seconds::new(59.9))
+            .unwrap();
         let cap = b.max_load_with_reserve(Seconds::new(600.0));
         // Only a sliver above rated remains safe.
         assert!(cap.as_watts() <= 160.0);
@@ -420,9 +462,28 @@ mod tests {
     }
 
     #[test]
+    fn holding_the_reserve_cap_never_trips() {
+        // Regression: a derated breaker whose normal load sits in the trip
+        // region marches its thermal state toward exhaustion; once the
+        // reserve cap clamps at the pickup boundary, holding that cap must
+        // be *strictly* no-trip (the boundary-exact cap used to accrue a
+        // finite 216 000 s trip time through float round-off and open the
+        // breaker after the budget ran dry).
+        let mut b = cb(100.0);
+        b.set_derating(0.78);
+        for _ in 0..20_000 {
+            let cap = b.max_load_with_reserve(Seconds::new(60.0));
+            let tripped = b.apply_load(cap, Seconds::new(1.0)).unwrap();
+            assert!(tripped.is_none(), "tripped at state {}", b.trip_progress());
+        }
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
     fn reset_restores_cold_state() {
         let mut b = cb(100.0);
-        b.apply_load(Power::from_watts(600.0), Seconds::new(1.0)).unwrap();
+        b.apply_load(Power::from_watts(600.0), Seconds::new(1.0))
+            .unwrap();
         assert!(b.is_tripped());
         b.reset();
         assert!(!b.is_tripped());
@@ -430,10 +491,44 @@ mod tests {
     }
 
     #[test]
+    fn derated_breaker_trips_as_if_rated_lower() {
+        let mut b = cb(100.0);
+        b.set_derating(0.625);
+        // 100 W on a 62.5 W effective rating is the 60% overload point.
+        let load = Power::from_watts(100.0);
+        assert!((b.load_ratio(load).as_f64() - 1.6).abs() < 1e-12);
+        assert!((b.trip_time_at(load).as_secs() - 60.0).abs() < 1e-9);
+        let cap = b.max_load_with_reserve(Seconds::new(60.0));
+        assert!((cap.as_watts() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nominal_derating_is_identity() {
+        let mut a = cb(100.0);
+        let mut b = cb(100.0);
+        b.set_derating(1.0);
+        let load = Power::from_watts(130.0);
+        a.apply_load(load, Seconds::new(30.0)).unwrap();
+        b.apply_load(load, Seconds::new(30.0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.max_load_with_reserve(Seconds::new(60.0)),
+            b.max_load_with_reserve(Seconds::new(60.0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "derating factor")]
+    fn zero_derating_panics() {
+        cb(100.0).set_derating(0.0);
+    }
+
+    #[test]
     fn display_mentions_trip() {
         let mut b = cb(100.0);
         assert!(!b.to_string().contains("TRIPPED"));
-        b.apply_load(Power::from_watts(600.0), Seconds::new(1.0)).unwrap();
+        b.apply_load(Power::from_watts(600.0), Seconds::new(1.0))
+            .unwrap();
         assert!(b.to_string().contains("TRIPPED"));
     }
 

@@ -110,7 +110,10 @@ impl TripCurve {
             ref_time > Seconds::ZERO && !ref_time.is_never(),
             "reference trip time must be positive and finite"
         );
-        assert!(exponent > 0.0 && exponent.is_finite(), "exponent must be positive");
+        assert!(
+            exponent > 0.0 && exponent.is_finite(),
+            "exponent must be positive"
+        );
         assert!(
             (0.0..ref_overload).contains(&pickup_overload),
             "pickup overload must be in [0, ref_overload)"
@@ -141,6 +144,28 @@ impl TripCurve {
     #[must_use]
     pub fn instantaneous_ratio(&self) -> f64 {
         self.instantaneous_ratio
+    }
+
+    /// Returns the largest ratio guaranteed to be in the no-trip region
+    /// even after a power cap derived from it round-trips through
+    /// `load / rated` float arithmetic.
+    ///
+    /// Sits one part in 10⁹ below the pickup boundary: the boundary ratio
+    /// itself is no-trip, but `rated × (1 + pickup) / rated` can round to
+    /// just *above* `1 + pickup`, where the trip time is finite (216 000 s
+    /// on the Bulletin 1489-A curve) — enough to creep a nearly exhausted
+    /// thermal budget over the edge.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dcs_breaker::TripCurve;
+    /// let c = TripCurve::bulletin_1489();
+    /// assert!(c.trip_time(c.no_trip_ratio()).is_never());
+    /// ```
+    #[must_use]
+    pub fn no_trip_ratio(&self) -> Ratio {
+        Ratio::new((1.0 + self.pickup_overload) * (1.0 - 1e-9))
     }
 
     /// Returns the trip time in the instantaneous region.
@@ -205,11 +230,16 @@ impl TripCurve {
     pub fn max_ratio_for_trip_time(&self, time: Seconds) -> Ratio {
         assert!(time > Seconds::ZERO, "time must be positive");
         if time.is_never() {
-            return Ratio::new(1.0 + self.pickup_overload);
+            return self.no_trip_ratio();
         }
         // Invert t = t_ref (ov_ref / ov)^e  =>  ov = ov_ref (t_ref/t)^(1/e).
-        let ov = self.ref_overload * (self.ref_time.as_secs() / time.as_secs()).powf(1.0 / self.exponent);
-        let ov = ov.max(self.pickup_overload);
+        let ov = self.ref_overload
+            * (self.ref_time.as_secs() / time.as_secs()).powf(1.0 / self.exponent);
+        if ov <= self.pickup_overload {
+            // No overload in the long-delay region trips this slowly: answer
+            // with the no-trip region, strictly inside its boundary.
+            return self.no_trip_ratio();
+        }
         // Never report a ratio inside the instantaneous region.
         Ratio::new((1.0 + ov).min(self.instantaneous_ratio * (1.0 - 1e-9)))
     }
@@ -307,8 +337,21 @@ mod tests {
         let c = TripCurve::bulletin_1489();
         let r = c.max_ratio_for_trip_time(Seconds::from_hours(1e6));
         assert!((r.as_f64() - (1.0 + c.pickup_overload())).abs() < 1e-6);
+        assert!(c.trip_time(r).is_never());
         let r2 = c.max_ratio_for_trip_time(Seconds::NEVER);
-        assert_eq!(r2.as_f64(), 1.0 + c.pickup_overload());
+        assert_eq!(r2, c.no_trip_ratio());
+        assert!(c.trip_time(r2).is_never());
+    }
+
+    #[test]
+    fn clamped_ratio_survives_power_round_trip() {
+        // A power cap derived from the clamped ratio must still be no-trip
+        // after dividing back by the rating — the float round trip that a
+        // boundary-exact ratio fails.
+        let c = TripCurve::bulletin_1489();
+        let rated = 29_333.333_333_333_f64;
+        let cap = rated * c.no_trip_ratio().as_f64();
+        assert!(c.trip_time(Ratio::new(cap / rated)).is_never());
     }
 
     #[test]

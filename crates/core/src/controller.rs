@@ -2,9 +2,10 @@
 
 use crate::budget::{cb_overload_energy, EnergyBudget};
 use crate::{PowerCurve, SprintInfo, SprintStrategy, StrategyContext};
+use dcs_faults::{ActiveFaults, FaultSchedule, SensorRng};
 use dcs_power::{DataCenterSpec, PowerTopology};
 use dcs_thermal::{CoolingPlant, RoomModel, TesTank};
-use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds};
+use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds, TempDelta};
 use dcs_ups::{Chemistry, UpsFleet};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,31 @@ impl std::fmt::Display for Phase {
             Phase::CbOnly => write!(f, "phase 1 (CB)"),
             Phase::Ups => write!(f, "phase 2 (UPS)"),
             Phase::Tes => write!(f, "phase 3 (TES)"),
+        }
+    }
+}
+
+/// Why the controller served fewer cores than the demand (and the
+/// strategy's bound) asked for, reported in [`StepRecord::shed_reason`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The breaker reserve rule bound the core count (Phase-1/2 power
+    /// feasibility, after UPS relief).
+    Power,
+    /// The cooling plan was infeasible: the TES could not absorb the
+    /// sprint's heat gap (depleted, flow-limited, or faulted).
+    Thermal,
+    /// The degraded-mode backstop: even the normal core count risked
+    /// accumulating trip progress, so the controller shed below normal.
+    Emergency,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::Power => write!(f, "power"),
+            ShedReason::Thermal => write!(f, "thermal"),
+            ShedReason::Emergency => write!(f, "emergency"),
         }
     }
 }
@@ -128,6 +154,10 @@ pub struct StepRecord {
     pub tripped: bool,
     /// `true` if the room reached its thermal threshold this step.
     pub overheated: bool,
+    /// `true` while any injected fault window covers this step.
+    pub fault_active: bool,
+    /// Why the controller served fewer cores than demanded, if it did.
+    pub shed_reason: Option<ShedReason>,
 }
 
 /// A candidate cooling assignment for one step.
@@ -183,6 +213,18 @@ pub struct SprintController {
     /// Exogenous DC-level load (e.g. an unexpected utility power spike,
     /// §IV-A); subtracted from the DC breaker budget every step.
     external_load: Power,
+    /// Injected fault schedule; [`FaultSchedule::none`] reproduces the
+    /// fault-free run exactly.
+    faults: FaultSchedule,
+    /// Sensor-noise stream, keyed by the seed that created it so a new
+    /// noise window restarts the stream deterministically.
+    sensor_rng: Option<(u64, SensorRng)>,
+    /// Stale-telemetry sample-and-hold: the held demand reading and its
+    /// age in steps.
+    stale_reading: Option<(f64, u32)>,
+    /// Pessimistic margin added to the room-temperature reading while a
+    /// temperature-noise fault is active.
+    thermal_bias: TempDelta,
     // Lifetime additional-energy accounting, for the §VII-A split.
     ups_energy: Energy,
     tes_heat_energy: Energy,
@@ -210,7 +252,11 @@ impl SprintController {
         strategy: Box<dyn SprintStrategy>,
     ) -> SprintController {
         let topo = PowerTopology::new(&spec);
-        let ups = UpsFleet::new(spec.total_servers(), config.ups_chemistry, config.ups_rating);
+        let ups = UpsFleet::new(
+            spec.total_servers(),
+            config.ups_chemistry,
+            config.ups_rating,
+        );
         let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
         let tes = TesTank::sized_for(
             spec.peak_normal_it_power(),
@@ -233,6 +279,10 @@ impl SprintController {
             terminated: false,
             hold_until_quiet: false,
             external_load: Power::ZERO,
+            faults: FaultSchedule::none(),
+            sensor_rng: None,
+            stale_reading: None,
+            thermal_bias: TempDelta::ZERO,
             ups_energy: Energy::ZERO,
             tes_heat_energy: Energy::ZERO,
             tes_savings_energy: Energy::ZERO,
@@ -312,6 +362,88 @@ impl SprintController {
         self.external_load
     }
 
+    /// Installs a fault schedule and returns the controller. Each step
+    /// looks up the faults active at the current simulation time and
+    /// derates the plant models accordingly; [`FaultSchedule::none`]
+    /// reproduces the fault-free run exactly.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> SprintController {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the installed fault schedule.
+    #[must_use]
+    pub fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// The sensor-noise stream for `seed`, restarting it when a new noise
+    /// window (different seed) begins.
+    fn sensor_rng(&mut self, seed: u64) -> &mut SensorRng {
+        let refresh = !matches!(&self.sensor_rng, Some((s, _)) if *s == seed);
+        if refresh {
+            self.sensor_rng = Some((seed, SensorRng::new(seed)));
+        }
+        &mut self.sensor_rng.as_mut().expect("sensor rng set").1
+    }
+
+    /// The demand reading the controller's *decisions* see: the true
+    /// demand passed through any active sensor-noise and stale-telemetry
+    /// faults.
+    fn observe_demand(&mut self, demand: f64, active: &ActiveFaults) -> f64 {
+        let mut observed = demand;
+        if active.demand_sigma > 0.0 {
+            let noise = self
+                .sensor_rng(active.noise_seed)
+                .truncated_gauss(active.demand_sigma);
+            observed = (demand + noise).max(0.0);
+        }
+        if active.stale_hold_steps > 1 {
+            let (held, age) = match self.stale_reading.take() {
+                Some((held, age)) if age + 1 < active.stale_hold_steps => (held, age + 1),
+                _ => (observed, 0),
+            };
+            self.stale_reading = Some((held, age));
+            observed = held;
+        } else {
+            self.stale_reading = None;
+        }
+        observed
+    }
+
+    /// Pessimistic margin for the temperature sensor: under a noise fault
+    /// the controller assumes the room is at `reading + 3σ`, which is at
+    /// least the true temperature (the noise is truncated at ±3σ), so the
+    /// TES engages no later than it would with a perfect sensor.
+    fn observe_thermal_bias(&mut self, active: &ActiveFaults) -> TempDelta {
+        if active.temp_sigma <= 0.0 {
+            return TempDelta::ZERO;
+        }
+        let noise = self
+            .sensor_rng(active.noise_seed)
+            .truncated_gauss(active.temp_sigma);
+        TempDelta::new(noise + 3.0 * active.temp_sigma).max_zero()
+    }
+
+    /// `true` if holding this allocation would accumulate trip progress on
+    /// some breaker — the emergency-shed criterion. Unlike the reserve
+    /// rule this only reacts to loads inside the tripping region, so it
+    /// never fires on a fault-free plant at normal load.
+    fn trip_risk(&self, it_total: Power, ups_relief: Power, cooling: Power) -> bool {
+        let net_it = (it_total - ups_relief).max_zero();
+        let per_pdu = net_it / self.topo.pdu_count() as f64;
+        self.topo
+            .pdu_breakers()
+            .iter()
+            .any(|b| !b.trip_time_at(per_pdu).is_never())
+            || !self
+                .topo
+                .dc_breaker()
+                .trip_time_at(net_it + cooling + self.external_load)
+                .is_never()
+    }
+
     /// Returns the lifetime additional-energy split
     /// `(cb_extra, ups, tes_savings)` — the quantities behind the paper's
     /// "the UPS and TES provide 54 % and 13 % of the additional energy".
@@ -323,7 +455,11 @@ impl SprintController {
     /// [`SprintController::tes_heat_total`].
     #[must_use]
     pub fn energy_split(&self) -> (Energy, Energy, Energy) {
-        (self.cb_extra_energy, self.ups_energy, self.tes_savings_energy)
+        (
+            self.cb_extra_energy,
+            self.ups_energy,
+            self.tes_savings_energy,
+        )
     }
 
     /// Returns the total heat the TES tank absorbed (for energy-conservation
@@ -348,8 +484,8 @@ impl SprintController {
         };
         let dc_cb = cb_overload_energy(self.topo.dc_breaker(), self.config.reserve);
         let cb = pdu_cb.min(dc_cb);
-        let tes_savings = self.tes.stored() * (self.plant.unit_cost() * dcs_thermal::CHILLER_SHARE
-            / 1.0);
+        let tes_savings =
+            self.tes.stored() * (self.plant.unit_cost() * dcs_thermal::CHILLER_SHARE / 1.0);
         ups + cb + tes_savings
     }
 
@@ -373,7 +509,9 @@ impl SprintController {
         let mut via_tes = Power::ZERO;
         let mut feasible = true;
         if sprinting_extra && gap > Power::ZERO {
-            let tes_engaged = self.room.time_to_threshold(gap) <= self.config.thermal_horizon;
+            let assumed = self.room.temperature() + self.thermal_bias;
+            let tes_engaged =
+                self.room.time_to_threshold_from(assumed, gap) <= self.config.thermal_horizon;
             if tes_engaged {
                 let available = self.tes.available_rate(dt);
                 let replace = heat.min(design) * self.config.tes_replace_fraction;
@@ -403,7 +541,10 @@ impl SprintController {
     /// Panics if `demand` is negative or not finite, or `dt` is not
     /// strictly positive and finite.
     pub fn step(&mut self, demand: f64, dt: Seconds) -> StepRecord {
-        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "demand must be non-negative"
+        );
         assert!(
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
@@ -413,13 +554,30 @@ impl SprintController {
         let normal_cores = server.normal_cores();
         let n_servers = self.spec.total_servers() as f64;
         let peak_normal_it = self.spec.peak_normal_it_power();
-        if demand <= self.config.burst_threshold {
+
+        // --- Fault injection ----------------------------------------------
+        // Derate the plant to whatever the schedule says is broken right
+        // now, and corrupt the demand/temperature readings the *decisions*
+        // see. Power computations below keep using the true demand: the
+        // paper's §IV-A real-time measurement is at the breakers, not at
+        // the workload monitor.
+        let active = self.faults.active_at(self.now);
+        let fault_active = active.any();
+        self.ups
+            .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
+        self.tes
+            .set_derating(active.tes_rate_factor(dt), active.tes_capacity_factor);
+        self.topo.set_breaker_derating(active.breaker_factor);
+        let observed = self.observe_demand(demand, &active);
+        self.thermal_bias = self.observe_thermal_bias(&active);
+
+        if observed <= self.config.burst_threshold {
             self.hold_until_quiet = false;
         }
         let in_burst =
-            demand > self.config.burst_threshold && !self.terminated && !self.hold_until_quiet;
+            observed > self.config.burst_threshold && !self.terminated && !self.hold_until_quiet;
 
-        self.strategy.observe(demand, dt);
+        self.strategy.observe(observed, dt);
 
         // --- Sprint lifecycle -------------------------------------------
         if in_burst && !self.sprint_active && self.run_state.is_none() {
@@ -442,9 +600,12 @@ impl SprintController {
         self.sprint_active = in_burst;
 
         // --- Strategy bound ----------------------------------------------
-        self.max_demand_seen = self.max_demand_seen.max(demand);
+        self.max_demand_seen = self.max_demand_seen.max(observed);
         let upper_bound = if self.sprint_active {
-            let run = self.run_state.as_ref().expect("run state exists while sprinting");
+            let run = self
+                .run_state
+                .as_ref()
+                .expect("run state exists while sprinting");
             // Before any sprint time has elapsed the average degree is
             // undefined; the paper's Eq. 1 then reads BDu_e = BDu_p, i.e.
             // SDe_avg starts at SDe_max.
@@ -455,7 +616,7 @@ impl SprintController {
             };
             let ctx = StrategyContext {
                 since_burst_start: Seconds::new(run.sprint_elapsed),
-                demand,
+                demand: observed,
                 max_demand_seen: self.max_demand_seen,
                 max_degree: server.max_degree(),
                 avg_degree,
@@ -470,7 +631,9 @@ impl SprintController {
 
         // --- Core selection under power and thermal feasibility -----------
         let bound_cores = server.cores_at_degree(upper_bound).max(normal_cores);
-        let needed_cores = server.cores_for_demand(Ratio::new(demand)).max(normal_cores);
+        let needed_cores = server
+            .cores_for_demand(Ratio::new(observed))
+            .max(normal_cores);
         let desired_cores = needed_cores.min(bound_cores);
 
         // Feasibility is monotone in the core count, so walk down from the
@@ -491,15 +654,16 @@ impl SprintController {
             let per_pdu_desired = per_server * self.spec.servers_per_pdu() as f64;
             (per_pdu_desired - allowed_per_pdu).max_zero() * self.topo.pdu_count() as f64
         };
+        let mut shed_reason: Option<ShedReason> = None;
         for cores in (normal_cores + 1..=desired_cores.max(normal_cores)).rev() {
             let cand_per_server = server.power_serving(cores, Ratio::new(demand));
             let it_total = cand_per_server * n_servers;
             let cand_plan = self.plan_cooling(it_total, true, dt);
             if !cand_plan.feasible {
+                shed_reason.get_or_insert(ShedReason::Thermal);
                 continue;
             }
-            let dc_it_budget =
-                (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
+            let dc_it_budget = (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
             let allowed_per_pdu = caps
                 .per_pdu
                 .min(dc_it_budget / self.topo.pdu_count() as f64);
@@ -514,9 +678,50 @@ impl SprintController {
                 deficit_total = cand_deficit;
                 break;
             }
+            shed_reason.get_or_insert(ShedReason::Power);
         }
 
-        let it_total = per_server * n_servers;
+        let mut it_total = per_server * n_servers;
+
+        // --- Emergency shed (degraded-mode backstop) ----------------------
+        // Fault-free, the normal core count always fits under the breaker
+        // ratings. A derated breaker (or a large exogenous load) can break
+        // that assumption: if the UPS cannot cover the deficit AND holding
+        // the load would accumulate trip progress, shed below the normal
+        // count until the load leaves the tripping region.
+        if chosen == normal_cores {
+            let ups_max = (self.ups.deliverable() / dt).min(it_total);
+            let uncovered = (deficit_total - ups_max).max_zero();
+            if uncovered > Power::from_watts(1e-6)
+                && self.trip_risk(it_total, ups_max, plan.electric)
+            {
+                for cores in (1..normal_cores).rev() {
+                    let cand_per_server = server.power_serving(cores, Ratio::new(demand));
+                    let cand_it = cand_per_server * n_servers;
+                    let cand_plan = self.plan_cooling(cand_it, false, dt);
+                    let dc_it_budget =
+                        (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
+                    let allowed_per_pdu = caps
+                        .per_pdu
+                        .min(dc_it_budget / self.topo.pdu_count() as f64);
+                    let per_pdu_desired = cand_per_server * self.spec.servers_per_pdu() as f64;
+                    let cand_deficit = (per_pdu_desired - allowed_per_pdu).max_zero()
+                        * self.topo.pdu_count() as f64;
+                    let cand_ups_max = (self.ups.deliverable() / dt).min(cand_it);
+                    let safe = cand_deficit <= cand_ups_max + Power::from_watts(1e-6)
+                        || !self.trip_risk(cand_it, cand_ups_max, cand_plan.electric);
+                    if safe || cores == 1 {
+                        chosen = cores;
+                        per_server = cand_per_server;
+                        plan = cand_plan;
+                        deficit_total = cand_deficit;
+                        it_total = cand_it;
+                        shed_reason = Some(ShedReason::Emergency);
+                        break;
+                    }
+                }
+            }
+        }
 
         // --- Actuation ----------------------------------------------------
         // Phase 2: offload the CB deficit onto UPS batteries.
@@ -534,29 +739,47 @@ impl SprintController {
         };
         let via_chiller = plan.via_chiller;
 
-        // Quiet-time recharge rides under the breaker ratings.
+        let cooling_power = self.plant.electric_power(via_chiller, tes_got);
+        let sprint_net_it = (it_total - ups_got).max_zero();
+
+        // Quiet-time recharge rides inside the breakers' *no-trip* region:
+        // on a healthy plant that headroom dwarfs the recharge draw, but a
+        // derated breaker can be overloaded by normal load alone, and
+        // recharging through it would turn a slow safe march into a trip.
         let mut recharge_power = Power::ZERO;
         if self.config.recharge_when_quiet
             && !self.sprint_active
-            && demand < 0.9 * self.config.burst_threshold
+            && observed < 0.9 * self.config.burst_threshold
         {
-            let accepted = self.ups.recharge(
-                self.config.ups_recharge_per_server * n_servers,
-                dt,
-            );
+            let pdu_count = self.topo.pdu_count() as f64;
+            let per_pdu_net = sprint_net_it / pdu_count;
+            let pdu_limit = self
+                .topo
+                .pdu_breakers()
+                .iter()
+                .map(dcs_breaker::CircuitBreaker::no_trip_limit)
+                .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min);
+            let pdu_room = (pdu_limit - per_pdu_net).max_zero() * pdu_count;
+            let dc_room = (self.topo.dc_breaker().no_trip_limit()
+                - (sprint_net_it + cooling_power + self.external_load))
+                .max_zero();
+            let mut budget = pdu_room.min(dc_room);
+            let ups_request = (self.config.ups_recharge_per_server * n_servers).min(budget);
+            let accepted = self.ups.recharge(ups_request, dt);
             recharge_power += accepted;
-            let tes_rate = self.plant.design_capacity() * self.config.tes_recharge_fraction;
-            let tes_accepted = self.tes.recharge(tes_rate, dt);
+            budget = (budget - accepted).max_zero();
             // Re-chilling costs chiller power for the extra heat capacity.
+            let tes_rate = (self.plant.design_capacity() * self.config.tes_recharge_fraction)
+                .min(budget / self.plant.unit_cost());
+            let tes_accepted = self.tes.recharge(tes_rate, dt);
             recharge_power += tes_accepted * self.plant.unit_cost();
         }
 
-        let cooling_power = self.plant.electric_power(via_chiller, tes_got);
-        let net_it_through_pdus = (it_total - ups_got).max_zero() + recharge_power;
+        let net_it_through_pdus = sprint_net_it + recharge_power;
         let per_pdu_net = net_it_through_pdus / self.topo.pdu_count() as f64;
-        let events =
-            self.topo
-                .step_uniform(per_pdu_net, cooling_power + self.external_load, dt);
+        let events = self
+            .topo
+            .step_uniform(per_pdu_net, cooling_power + self.external_load, dt);
         let tripped = !events.is_empty();
 
         // --- Thermal ------------------------------------------------------
@@ -568,9 +791,7 @@ impl SprintController {
             }
             // §V-C strict mode: once the TES a sprint relied on is used up,
             // the sprint terminates until the burst has passed.
-            if self.config.terminate_on_tes_exhaustion
-                && run.tes_engaged
-                && self.tes.is_depleted()
+            if self.config.terminate_on_tes_exhaustion && run.tes_engaged && self.tes.is_depleted()
             {
                 self.sprint_active = false;
                 self.hold_until_quiet = true;
@@ -585,12 +806,15 @@ impl SprintController {
         }
 
         // --- Accounting ----------------------------------------------------
-        let cb_extra = (net_it_through_pdus - peak_normal_it).max_zero();
+        // CB contribution counts only sprint IT power: quiet-time recharge
+        // rides through the PDUs too but is store replenishment, not
+        // additional energy delivered to the workload.
+        let cb_extra = (sprint_net_it - peak_normal_it).max_zero();
         // The finite part of the CB contribution is only the power *above
         // the breaker ratings*: the NEC band between peak normal and rated
         // is sustainable indefinitely and must not drain the sprint budget.
         let pdu_rated_total = self.spec.pdu_rated() * self.topo.pdu_count() as f64;
-        let cb_above_rated = (net_it_through_pdus - pdu_rated_total).max_zero();
+        let cb_above_rated = (sprint_net_it - pdu_rated_total).max_zero();
         let tes_savings = self.plant.tes_savings(tes_got);
         self.ups_energy += ups_got * dt;
         self.tes_heat_energy += tes_got * dt;
@@ -598,22 +822,28 @@ impl SprintController {
         self.cb_extra_energy += cb_extra * dt;
         let degree = server.degree_of_cores(chosen);
         if self.sprint_active {
-            let run = self.run_state.as_mut().expect("run state exists while sprinting");
+            let run = self
+                .run_state
+                .as_mut()
+                .expect("run state exists while sprinting");
             run.degree_integral += degree.as_f64() * dt.as_secs();
             run.sprint_elapsed += dt.as_secs();
-            run.budget
-                .debit(ups_got + cb_above_rated + tes_savings, dt);
+            run.budget.debit(ups_got + cb_above_rated + tes_savings, dt);
         }
 
         let served = demand.min(server.capacity_at_cores(chosen));
-        let phase = if !self.sprint_active || chosen == normal_cores && ups_got.is_zero() && tes_got.is_zero() {
-            Phase::Normal
-        } else if tes_got > Power::ZERO {
+        // Phase reflects which resources actually discharged this step:
+        // UPS/TES activity labels the phase even when the sprint latch has
+        // already dropped (e.g. relief for an exogenous spike at normal
+        // cores), so telemetry never shows "normal" while batteries drain.
+        let phase = if tes_got > Power::ZERO {
             Phase::Tes
         } else if ups_got > Power::ZERO {
             Phase::Ups
-        } else {
+        } else if self.sprint_active && chosen > normal_cores {
             Phase::CbOnly
+        } else {
+            Phase::Normal
         };
 
         self.now += dt;
@@ -634,6 +864,8 @@ impl SprintController {
             sprinting: self.sprint_active,
             tripped,
             overheated,
+            fault_active,
+            shed_reason,
         }
     }
 }
@@ -684,7 +916,11 @@ mod tests {
         let mut c = small();
         for _ in 0..1800 {
             let r = c.step(4.0, Seconds::new(1.0));
-            assert!(!r.overheated, "overheated at {} ({})", r.time, r.temperature);
+            assert!(
+                !r.overheated,
+                "overheated at {} ({})",
+                r.time, r.temperature
+            );
         }
     }
 
@@ -704,7 +940,10 @@ mod tests {
         let p1 = seen.iter().position(|p| *p == Phase::CbOnly);
         let p2 = seen.iter().position(|p| *p == Phase::Ups);
         let p3 = seen.iter().position(|p| *p == Phase::Tes);
-        assert!(p1.is_some() && p2.is_some() && p3.is_some(), "phases seen: {seen:?}");
+        assert!(
+            p1.is_some() && p2.is_some() && p3.is_some(),
+            "phases seen: {seen:?}"
+        );
         assert!(p1 < p2 && p2 < p3, "phases out of order: {seen:?}");
     }
 
@@ -847,5 +1086,107 @@ mod tests {
     fn debug_impl_mentions_strategy() {
         let c = small();
         assert!(format!("{c:?}").contains("Greedy"));
+    }
+
+    use dcs_faults::{FaultEvent, FaultKind};
+
+    fn whole_run(kind: FaultKind) -> FaultSchedule {
+        FaultSchedule::new(vec![FaultEvent::new(
+            Seconds::ZERO,
+            Seconds::new(1e6),
+            kind,
+        )])
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_telemetry_identical() {
+        let mut plain = small();
+        let mut faulted = small().with_faults(FaultSchedule::none());
+        for step in 0..600 {
+            let demand = if (120..360).contains(&step) { 2.8 } else { 0.6 };
+            let a = plain.step(demand, Seconds::new(1.0));
+            let b = faulted.step(demand, Seconds::new(1.0));
+            assert_eq!(a, b, "diverged at step {step}");
+            assert!(!b.fault_active);
+        }
+    }
+
+    #[test]
+    fn fault_free_shed_reasons_are_never_emergency() {
+        let mut c = small();
+        let mut power_seen = false;
+        for _ in 0..1800 {
+            let r = c.step(4.0, Seconds::new(1.0));
+            assert_ne!(r.shed_reason, Some(ShedReason::Emergency));
+            if r.shed_reason == Some(ShedReason::Power) {
+                power_seen = true;
+            }
+        }
+        // A long demand-4 burst must eventually hit the power bound.
+        assert!(power_seen, "power shed never reported");
+    }
+
+    #[test]
+    fn derated_breaker_sheds_below_normal_instead_of_tripping() {
+        // At 0.7x effective rating the *normal* load sits in the tripping
+        // region; without the emergency backstop this run trips once the
+        // UPS drains.
+        let mut c = small().with_faults(whole_run(FaultKind::BreakerDerated { factor: 0.7 }));
+        let mut emergency_seen = false;
+        let mut min_cores = u32::MAX;
+        for _ in 0..3600 {
+            let r = c.step(1.0, Seconds::new(1.0));
+            assert!(!r.tripped, "tripped at {}", r.time);
+            assert!(!r.overheated);
+            assert!(r.fault_active);
+            if r.shed_reason == Some(ShedReason::Emergency) {
+                emergency_seen = true;
+            }
+            min_cores = min_cores.min(r.cores);
+        }
+        assert!(emergency_seen, "emergency shed never engaged");
+        assert!(min_cores < 12, "never shed below normal cores");
+    }
+
+    #[test]
+    fn sprinting_with_sensor_faults_stays_safe() {
+        let faults = FaultSchedule::new(vec![
+            FaultEvent::new(
+                Seconds::ZERO,
+                Seconds::new(1e6),
+                FaultKind::SensorNoise {
+                    demand_sigma: 0.15,
+                    temp_sigma: 0.5,
+                    seed: 7,
+                },
+            ),
+            FaultEvent::new(
+                Seconds::new(300.0),
+                Seconds::new(900.0),
+                FaultKind::StaleTelemetry { hold_steps: 20 },
+            ),
+        ]);
+        let mut c = small().with_faults(faults);
+        for step in 0..1800 {
+            let demand = if step % 600 < 300 { 3.0 } else { 0.5 };
+            let r = c.step(demand, Seconds::new(1.0));
+            assert!(!r.tripped, "tripped at {}", r.time);
+            assert!(!r.overheated, "overheated at {}", r.time);
+            // Served performance is reported against the *true* demand.
+            assert!(r.served <= r.demand + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ups_string_failure_still_sprints_safely() {
+        let mut c = small().with_faults(whole_run(FaultKind::UpsStringFailure { fraction: 0.5 }));
+        let mut peak_served = 0.0_f64;
+        for _ in 0..900 {
+            let r = c.step(2.5, Seconds::new(1.0));
+            assert!(!r.tripped && !r.overheated);
+            peak_served = peak_served.max(r.served);
+        }
+        // Half the strings are gone, but the sprint still beats normal.
+        assert!(peak_served > 1.0);
     }
 }

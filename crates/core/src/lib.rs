@@ -61,7 +61,7 @@ mod table;
 pub use adaptive::Adaptive;
 pub use budget::{cb_overload_energy, EnergyBudget};
 pub use context::{PowerCurve, SprintInfo, StrategyContext};
-pub use controller::{ControllerConfig, Phase, SprintController, StepRecord};
+pub use controller::{ControllerConfig, Phase, ShedReason, SprintController, StepRecord};
 pub use heuristic::Heuristic;
 pub use prediction::Prediction;
 pub use strategy::{FixedBound, Greedy, SprintStrategy};

@@ -163,10 +163,8 @@ mod tests {
 
     #[test]
     fn strategies_are_object_safe() {
-        let strategies: Vec<Box<dyn SprintStrategy>> = vec![
-            Box::new(Greedy),
-            Box::new(FixedBound::new(Ratio::new(2.0))),
-        ];
+        let strategies: Vec<Box<dyn SprintStrategy>> =
+            vec![Box::new(Greedy), Box::new(FixedBound::new(Ratio::new(2.0)))];
         assert_eq!(strategies.len(), 2);
     }
 }

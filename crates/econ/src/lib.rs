@@ -103,7 +103,10 @@ impl EconModel {
     /// Panics if `utilization` is outside `[0, 1]` or `n < 1`.
     #[must_use]
     pub fn magnitude_for_utilization(&self, n: f64, utilization: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&utilization), "utilization must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
         assert!(n >= 1.0, "degree must be at least 1");
         1.0 + utilization * (n - 1.0)
     }
@@ -183,11 +186,7 @@ impl EconModel {
     ///
     /// Panics if `ut_over_u0` is not strictly positive.
     #[must_use]
-    pub fn monthly_revenue_for_bursts(
-        &self,
-        bursts: &[BurstProfile],
-        ut_over_u0: f64,
-    ) -> f64 {
+    pub fn monthly_revenue_for_bursts(&self, bursts: &[BurstProfile], ut_over_u0: f64) -> f64 {
         assert!(ut_over_u0 > 0.0, "user ratio must be positive");
         let request: f64 = bursts
             .iter()

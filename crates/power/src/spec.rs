@@ -89,7 +89,10 @@ impl DataCenterSpec {
     /// Panics if either count is zero.
     #[must_use]
     pub fn with_scale(mut self, pdu_count: usize, servers_per_pdu: usize) -> DataCenterSpec {
-        assert!(pdu_count > 0 && servers_per_pdu > 0, "scale must be positive");
+        assert!(
+            pdu_count > 0 && servers_per_pdu > 0,
+            "scale must be positive"
+        );
         self.pdu_count = pdu_count;
         self.servers_per_pdu = servers_per_pdu;
         self
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn pdu_rating_matches_paper() {
-        assert_eq!(DataCenterSpec::paper_default().pdu_rated().as_kilowatts(), 13.75);
+        assert_eq!(
+            DataCenterSpec::paper_default().pdu_rated().as_kilowatts(),
+            13.75
+        );
     }
 
     #[test]

@@ -77,6 +77,20 @@ impl PowerTopology {
         &self.dc
     }
 
+    /// Sets the fault-injection derating factor on every breaker in the
+    /// hierarchy: each behaves as if rated at `factor ×` its nameplate.
+    /// `1.0` restores nominal behavior exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `(0, 1]`.
+    pub fn set_breaker_derating(&mut self, factor: f64) {
+        self.dc.set_derating(factor);
+        for pdu in &mut self.pdus {
+            pdu.set_derating(factor);
+        }
+    }
+
     /// Returns the PDU breakers.
     #[must_use]
     pub fn pdu_breakers(&self) -> &[CircuitBreaker] {
@@ -217,7 +231,11 @@ impl PowerTopology {
         reserve: Seconds,
         cooling: Power,
     ) -> Vec<Power> {
-        assert_eq!(requests.len(), self.pdus.len(), "one request per PDU required");
+        assert_eq!(
+            requests.len(),
+            self.pdus.len(),
+            "one request per PDU required"
+        );
         assert!(cooling >= Power::ZERO, "cooling must be non-negative");
         // Clamp each child to its own cap.
         let mut grants: Vec<Power> = self
@@ -320,8 +338,7 @@ mod tests {
         let caps = topo.caps(reserve);
         assert!(allowed <= caps.per_pdu);
         assert!(
-            allowed * topo.pdu_count() as f64 + cooling
-                <= caps.dc_total + Power::from_watts(1e-6)
+            allowed * topo.pdu_count() as f64 + cooling <= caps.dc_total + Power::from_watts(1e-6)
         );
     }
 
@@ -350,6 +367,24 @@ mod tests {
         // Next step skips the tripped PDU without error.
         let ev2 = topo.step_loads(&loads, Power::ZERO, Seconds::new(1.0));
         assert!(ev2.is_empty());
+    }
+
+    #[test]
+    fn derated_hierarchy_shrinks_caps_and_trips_sooner() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        let nominal = topo.caps(Seconds::new(60.0));
+        topo.set_breaker_derating(0.8);
+        let derated = topo.caps(Seconds::new(60.0));
+        assert!((derated.per_pdu.as_watts() - nominal.per_pdu.as_watts() * 0.8).abs() < 1e-6);
+        assert!((derated.dc_total.as_watts() - nominal.dc_total.as_watts() * 0.8).abs() < 1e-6);
+        // A load that was safe at nameplate now accumulates trip progress.
+        topo.step_uniform(spec.pdu_rated(), Power::ZERO, Seconds::new(30.0));
+        assert!(topo.status().max_pdu_progress > 0.0);
+        // Clearing the fault restores the nominal caps exactly.
+        topo.set_breaker_derating(1.0);
+        topo.reset();
+        assert_eq!(topo.caps(Seconds::new(60.0)), nominal);
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl ChipSpec {
     /// `[0, 1]`.
     #[must_use]
     pub fn power(&self, active: u32, utilization: f64) -> Power {
-        assert!(active <= self.cores, "cannot activate more cores than exist");
+        assert!(
+            active <= self.cores,
+            "cannot activate more cores than exist"
+        );
         assert!(
             (0.0..=1.0).contains(&utilization),
             "utilization must be in [0, 1]"

@@ -70,14 +70,20 @@ impl ScalingModel {
     /// parameters are out of range.
     #[must_use]
     pub fn throughput(&self, cores: f64) -> f64 {
-        assert!(cores >= 0.0 && cores.is_finite(), "cores must be non-negative");
+        assert!(
+            cores >= 0.0 && cores.is_finite(),
+            "cores must be non-negative"
+        );
         if cores == 0.0 {
             return 0.0;
         }
         match *self {
             ScalingModel::Linear => cores,
             ScalingModel::PowerLaw { alpha } => {
-                assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+                    "alpha must be in (0, 1]"
+                );
                 cores.powf(alpha)
             }
             ScalingModel::Amdahl { serial_fraction } => {
@@ -121,7 +127,10 @@ impl ScalingModel {
     /// ```
     #[must_use]
     pub fn cores_for(&self, target: f64, base_cores: f64) -> f64 {
-        assert!(target >= 0.0 && target.is_finite(), "target must be non-negative");
+        assert!(
+            target >= 0.0 && target.is_finite(),
+            "target must be non-negative"
+        );
         assert!(base_cores > 0.0, "baseline cores must be positive");
         if target == 0.0 {
             return 0.0;
@@ -201,7 +210,9 @@ mod tests {
         // The paper's SPECjbb observation.
         for m in [
             ScalingModel::default(),
-            ScalingModel::Amdahl { serial_fraction: 0.05 },
+            ScalingModel::Amdahl {
+                serial_fraction: 0.05,
+            },
         ] {
             let mut prev = f64::INFINITY;
             for c in 1..=48 {
@@ -217,12 +228,17 @@ mod tests {
         for m in [
             ScalingModel::Linear,
             ScalingModel::default(),
-            ScalingModel::Amdahl { serial_fraction: 0.02 },
+            ScalingModel::Amdahl {
+                serial_fraction: 0.02,
+            },
         ] {
             for target in [0.5, 1.0, 1.7, 2.9] {
                 let c = m.cores_for(target, 12.0);
                 let back = m.normalized(c, 12.0);
-                assert!((back - target).abs() < 1e-9, "{m} target {target} -> {back}");
+                assert!(
+                    (back - target).abs() < 1e-9,
+                    "{m} target {target} -> {back}"
+                );
             }
         }
     }
@@ -236,7 +252,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "Amdahl asymptote")]
     fn amdahl_asymptote_guard() {
-        let m = ScalingModel::Amdahl { serial_fraction: 0.2 };
+        let m = ScalingModel::Amdahl {
+            serial_fraction: 0.2,
+        };
         // Asymptote over 12 cores is 1/(0.2 * T(12)); ask for far more.
         let _ = m.cores_for(100.0, 12.0);
     }

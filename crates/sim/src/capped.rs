@@ -67,6 +67,8 @@ pub fn run_power_capped(scenario: &Scenario) -> SimResult {
             sprinting: chosen > server.normal_cores(),
             tripped: false,
             overheated: false,
+            fault_active: false,
+            shed_reason: None,
         });
     }
 

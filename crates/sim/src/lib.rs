@@ -19,7 +19,7 @@
 //!   constant sprinting-degree bounds (Fig. 9/10's "O" bars);
 //! * [`build_upper_bound_table`] — the Oracle-built table the Prediction
 //!   strategy consumes (§V-A);
-//! * [`parallel_map`] — the crossbeam-based sweep helper used by the
+//! * [`parallel_map`] — the scoped-thread sweep helper used by the
 //!   benches to parallelize parameter sweeps.
 //!
 //! # Examples
@@ -54,7 +54,7 @@ mod uncontrolled;
 
 pub use capped::run_power_capped;
 pub use oracle::{degree_grid, oracle_search, OracleOutcome};
-pub use runner::{run, run_no_sprint};
+pub use runner::{run, run_no_sprint, run_no_sprint_with_faults, run_with_faults};
 pub use scenario::{Scenario, SimResult};
 pub use sweep::parallel_map;
 pub use table_builder::build_upper_bound_table;

@@ -53,10 +53,7 @@ pub fn oracle_search(scenario: &Scenario) -> OracleOutcome {
         .collect();
     let (best_bound, mut best) = results
         .into_iter()
-        .max_by(|(_, a), (_, b)| {
-            a.average_performance()
-                .total_cmp(&b.average_performance())
-        })
+        .max_by(|(_, a), (_, b)| a.average_performance().total_cmp(&b.average_performance()))
         .expect("degree grid is never empty");
     best.strategy = "Oracle".into();
     OracleOutcome {
@@ -124,11 +121,7 @@ mod tests {
         // On a short burst, stored energy is not binding: the best bound is
         // at (or effectively at) the maximum.
         let outcome = oracle_search(&scenario(3.0, 1.0));
-        let max_perf = outcome
-            .tried
-            .iter()
-            .map(|(_, p)| *p)
-            .fold(0.0, f64::max);
+        let max_perf = outcome.tried.iter().map(|(_, p)| *p).fold(0.0, f64::max);
         let greedy_perf = outcome.tried.last().unwrap().1;
         assert!((greedy_perf - max_perf).abs() < 1e-6);
     }

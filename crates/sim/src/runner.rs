@@ -2,6 +2,7 @@
 
 use crate::{Scenario, SimResult};
 use dcs_core::{FixedBound, SprintController, SprintStrategy};
+use dcs_faults::FaultSchedule;
 use dcs_units::Ratio;
 use dcs_workload::AdmissionLog;
 
@@ -12,11 +13,20 @@ use dcs_workload::AdmissionLog;
 /// energy split.
 #[must_use]
 pub fn run(scenario: &Scenario, strategy: Box<dyn SprintStrategy>) -> SimResult {
-    let mut controller = SprintController::new(
-        scenario.spec().clone(),
-        scenario.config().clone(),
-        strategy,
-    );
+    run_with_faults(scenario, strategy, &FaultSchedule::none())
+}
+
+/// Simulates a scenario under the given strategy with an injected fault
+/// schedule. [`FaultSchedule::none`] reproduces [`run`] exactly.
+#[must_use]
+pub fn run_with_faults(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+) -> SimResult {
+    let mut controller =
+        SprintController::new(scenario.spec().clone(), scenario.config().clone(), strategy)
+            .with_faults(faults.clone());
     let strategy_name = controller.strategy_name().to_owned();
     let dt = scenario.trace().step();
     let mut records = Vec::with_capacity(scenario.trace().len());
@@ -45,7 +55,14 @@ pub fn run(scenario: &Scenario, strategy: Box<dyn SprintStrategy>) -> SimResult 
 /// cooling) is simulated identically to a sprinting run.
 #[must_use]
 pub fn run_no_sprint(scenario: &Scenario) -> SimResult {
-    let mut result = run(scenario, Box::new(FixedBound::new(Ratio::ONE)));
+    run_no_sprint_with_faults(scenario, &FaultSchedule::none())
+}
+
+/// Simulates the no-sprint baseline on a faulted plant: even a facility
+/// that never sprints must ride out degraded breakers and stores safely.
+#[must_use]
+pub fn run_no_sprint_with_faults(scenario: &Scenario, faults: &FaultSchedule) -> SimResult {
+    let mut result = run_with_faults(scenario, Box::new(FixedBound::new(Ratio::ONE)), faults);
     result.strategy = "NoSprint".into();
     result
 }

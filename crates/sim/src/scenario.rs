@@ -199,7 +199,11 @@ impl SimResult {
             .iter()
             .map(|r| {
                 let capacity = server.capacity_at_cores(r.cores);
-                let utilization = if capacity > 0.0 { r.served / capacity } else { 1.0 };
+                let utilization = if capacity > 0.0 {
+                    r.served / capacity
+                } else {
+                    1.0
+                };
                 model.slowdown(utilization)
             })
             .collect()
@@ -208,12 +212,7 @@ impl SimResult {
     /// Returns the fraction of time the mean response time exceeded
     /// `threshold ×` the intrinsic service time.
     #[must_use]
-    pub fn fraction_slow(
-        &self,
-        server: &ServerSpec,
-        model: &LatencyModel,
-        threshold: f64,
-    ) -> f64 {
+    pub fn fraction_slow(&self, server: &ServerSpec, model: &LatencyModel, threshold: f64) -> f64 {
         let series = self.slowdown_series(server, model);
         if series.is_empty() {
             return 0.0;
@@ -254,6 +253,8 @@ mod tests {
             sprinting: false,
             tripped,
             overheated: false,
+            fault_active: false,
+            shed_reason: None,
         }
     }
 

@@ -1,10 +1,10 @@
 //! Parallel sweep helper.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Maps `f` over `inputs` in parallel using scoped crossbeam threads,
-/// preserving input order in the output.
+/// Maps `f` over `inputs` in parallel using scoped std threads, preserving
+/// input order in the output.
 ///
 /// Used by the Oracle search, the upper-bound-table builder, and the
 /// benches to parallelize independent simulation runs. The worker count is
@@ -33,20 +33,27 @@ where
         .min(inputs.len());
     let next = AtomicUsize::new(0);
     let out: Mutex<Vec<Option<U>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= inputs.len() {
-                    break;
-                }
-                let value = f(&inputs[i]);
-                out.lock()[i] = Some(value);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= inputs.len() {
+                        break;
+                    }
+                    let value = f(&inputs[i]);
+                    out.lock().expect("sweep output lock")[i] = Some(value);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if handle.join().is_err() {
+                panic!("sweep worker panicked");
+            }
         }
-    })
-    .expect("sweep worker panicked");
+    });
     out.into_inner()
+        .expect("sweep output lock")
         .into_iter()
         .map(|v| v.expect("every input is processed"))
         .collect()

@@ -43,7 +43,10 @@ pub fn build_upper_bound_table(
     durations_min: &[f64],
     degrees: &[f64],
 ) -> UpperBoundTable {
-    assert!(!durations_min.is_empty() && !degrees.is_empty(), "axes must be non-empty");
+    assert!(
+        !durations_min.is_empty() && !degrees.is_empty(),
+        "axes must be non-empty"
+    );
     assert!(
         degrees.iter().all(|&d| d > 1.0),
         "burst degrees must exceed 1"
@@ -68,12 +71,8 @@ mod tests {
     #[test]
     fn table_shape_and_monotone_tendency() {
         let spec = DataCenterSpec::paper_default().with_scale(1, 200);
-        let table = build_upper_bound_table(
-            &spec,
-            &ControllerConfig::default(),
-            &[1.0, 15.0],
-            &[3.2],
-        );
+        let table =
+            build_upper_bound_table(&spec, &ControllerConfig::default(), &[1.0, 15.0], &[3.2]);
         // Short bursts allow a looser bound than long bursts.
         let short = table.lookup(Seconds::from_minutes(1.0), 3.2);
         let long = table.lookup(Seconds::from_minutes(15.0), 3.2);
@@ -85,11 +84,6 @@ mod tests {
     #[should_panic(expected = "burst degrees must exceed 1")]
     fn sub_one_degree_panics() {
         let spec = DataCenterSpec::paper_default().with_scale(1, 200);
-        let _ = build_upper_bound_table(
-            &spec,
-            &ControllerConfig::default(),
-            &[5.0],
-            &[0.8],
-        );
+        let _ = build_upper_bound_table(&spec, &ControllerConfig::default(), &[5.0], &[0.8]);
     }
 }

@@ -80,12 +80,17 @@ pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> Uncontro
     for (time, demand) in scenario.trace().iter() {
         let sprint_allowed = stopped_at.is_none() && !dark;
         let mut cores = if sprint_allowed {
-            server.cores_for_demand(Ratio::new(demand)).max(server.normal_cores())
+            server
+                .cores_for_demand(Ratio::new(demand))
+                .max(server.normal_cores())
         } else {
             server.normal_cores()
         };
 
-        if mode == UncontrolledMode::StopBeforeTrip && sprint_allowed && cores > server.normal_cores() {
+        if mode == UncontrolledMode::StopBeforeTrip
+            && sprint_allowed
+            && cores > server.normal_cores()
+        {
             // Check whether holding this load for one more step trips any
             // breaker; if so, abandon the sprint for good.
             let per_server = server.power_serving(cores, Ratio::new(demand));
@@ -111,11 +116,7 @@ pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> Uncontro
             let per_server = server.power_serving(cores, Ratio::new(demand));
             let it_total = per_server * n_servers;
             let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
-            let events = topo.step_uniform(
-                per_server * spec.servers_per_pdu() as f64,
-                cooling,
-                dt,
-            );
+            let events = topo.step_uniform(per_server * spec.servers_per_pdu() as f64, cooling, dt);
             if let Some(ev) = events.first() {
                 trip = Some((time + ev.after, ev.name.clone()));
                 dark = true;
@@ -176,11 +177,7 @@ mod tests {
         let stopped = r.stopped_at.expect("must abandon the sprint");
         assert!(stopped < Seconds::from_minutes(10.0));
         // After stopping, performance is capped at the normal capacity.
-        let after: Vec<_> = r
-            .records
-            .iter()
-            .filter(|rec| rec.time > stopped)
-            .collect();
+        let after: Vec<_> = r.records.iter().filter(|rec| rec.time > stopped).collect();
         assert!(!after.is_empty());
         assert!(after.iter().all(|rec| rec.served <= 1.0 + 1e-9));
     }

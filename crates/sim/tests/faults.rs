@@ -1,0 +1,120 @@
+//! Fault-injection property suite.
+//!
+//! Under randomized fault schedules, every strategy must preserve the
+//! paper's safety guarantees — no breaker trip, no overheat, never serve
+//! more than demanded — and whole-run physical faults must never *improve*
+//! average performance over the fault-free twin.
+
+use dcs_core::{
+    ControllerConfig, FixedBound, Greedy, Heuristic, Prediction, SprintStrategy, UpperBoundTable,
+};
+use dcs_faults::{FaultEvent, FaultKind, FaultSchedule};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{run, run_no_sprint_with_faults, run_with_faults, Scenario};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::{yahoo_trace, Estimate};
+use proptest::prelude::*;
+
+fn spec() -> DataCenterSpec {
+    DataCenterSpec::paper_default().with_scale(2, 200)
+}
+
+fn scenario(seed: u64, degree: f64, minutes: f64) -> Scenario {
+    Scenario::new(
+        spec(),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(minutes)),
+    )
+}
+
+fn trace_duration(s: &Scenario) -> Seconds {
+    s.trace().step() * s.trace().len() as f64
+}
+
+/// One representative of each strategy family, indexed `0..4`.
+fn strategy(index: usize) -> Box<dyn SprintStrategy> {
+    let table = UpperBoundTable::new(
+        vec![5.0, 15.0],
+        vec![2.0, 4.0],
+        vec![
+            Ratio::new(3.0),
+            Ratio::new(2.0),
+            Ratio::new(2.5),
+            Ratio::new(1.5),
+        ],
+    )
+    .expect("valid table");
+    match index {
+        0 => Box::new(Greedy),
+        1 => Box::new(FixedBound::new(Ratio::new(2.5))),
+        2 => Box::new(Prediction::new(Estimate::exact(600.0), table)),
+        _ => Box::new(Heuristic::with_paper_flexibility(Estimate::exact(2.5))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Safety under arbitrary randomized schedules (physical + sensor
+    /// faults, windowed): the controlled sprint never trips a breaker,
+    /// never overheats the room, and never over-serves demand.
+    #[test]
+    fn faulted_runs_stay_safe(seed in 0u64..1000, strat in 0usize..4, degree in 1.5..4.0f64) {
+        let s = scenario(seed, degree, 10.0);
+        let faults = FaultSchedule::random(seed, trace_duration(&s));
+        let result = run_with_faults(&s, strategy(strat), &faults);
+        prop_assert!(!result.any_tripped(), "tripped under {faults:?}");
+        prop_assert!(!result.any_overheated(), "overheated under {faults:?}");
+        for r in &result.records {
+            prop_assert!(r.served <= r.demand + 1e-9);
+        }
+    }
+
+    /// Monotone degradation: a plant degraded for the whole run cannot
+    /// outperform the intact plant. (Scoped to whole-run *physical*
+    /// faults: windowed faults change decision timing, and sensor faults
+    /// perturb decisions in both directions.)
+    #[test]
+    fn whole_run_physical_faults_never_help(seed in 0u64..1000, strat in 0usize..4) {
+        let s = scenario(seed, 3.0, 10.0);
+        let faults = FaultSchedule::random_physical(seed, trace_duration(&s));
+        let clean = run_with_faults(&s, strategy(strat), &FaultSchedule::none());
+        let faulted = run_with_faults(&s, strategy(strat), &faults);
+        prop_assert!(!faulted.any_tripped() && !faulted.any_overheated());
+        prop_assert!(
+            faulted.average_performance() <= clean.average_performance() + 1e-6,
+            "faulted {} > clean {} under {faults:?}",
+            faulted.average_performance(),
+            clean.average_performance(),
+        );
+    }
+}
+
+/// `FaultSchedule::none` is not merely safe — it reproduces the fault-free
+/// run bit-for-bit, for every strategy family.
+#[test]
+fn none_schedule_is_telemetry_identical() {
+    let s = scenario(3, 2.8, 8.0);
+    for index in 0..4 {
+        let plain = run(&s, strategy(index));
+        let faulted = run_with_faults(&s, strategy(index), &FaultSchedule::none());
+        assert_eq!(plain, faulted, "strategy {index} diverged");
+        assert!(faulted.records.iter().all(|r| !r.fault_active));
+    }
+}
+
+/// Even the no-sprint baseline must ride out a breaker derated below its
+/// normal operating point: the emergency shed keeps it trip-free.
+#[test]
+fn baseline_survives_derated_breakers() {
+    let s = scenario(5, 3.0, 10.0);
+    let faults = FaultSchedule::new(vec![FaultEvent::new(
+        Seconds::ZERO,
+        trace_duration(&s),
+        FaultKind::BreakerDerated { factor: 0.78 },
+    )]);
+    let base = run_no_sprint_with_faults(&s, &faults);
+    assert!(!base.any_tripped(), "baseline tripped");
+    assert!(!base.any_overheated(), "baseline overheated");
+    assert!(base.records.iter().all(|r| r.served <= 1.0 + 1e-9));
+}

@@ -21,7 +21,10 @@ fn latency_aware_provisioning_meets_the_google_rule() {
     // served system runs near saturation; a latency-aware operator instead
     // provisions for a target utilization. The model inverts the Google
     // rule (+0.4 s over a 0.2 s service time) into that target.
-    let server = DataCenterSpec::paper_default().with_scale(2, 200).server().clone();
+    let server = DataCenterSpec::paper_default()
+        .with_scale(2, 200)
+        .server()
+        .clone();
     let model = LatencyModel::new(Seconds::new(0.2));
     let rho_star = model.utilization_for_extra_delay(Seconds::new(0.4));
     assert!((rho_star - 2.0 / 3.0).abs() < 1e-12);

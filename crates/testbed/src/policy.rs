@@ -145,7 +145,11 @@ mod tests {
     fn ups_policies_far_outlast_cb_only() {
         let (config, trace) = setup();
         let cb_only = run_policy(&config, &trace, Policy::CbOnly);
-        let ours = run_policy(&config, &trace, Policy::ReservedTripTime(Seconds::new(30.0)));
+        let ours = run_policy(
+            &config,
+            &trace,
+            Policy::ReservedTripTime(Seconds::new(30.0)),
+        );
         // The paper: CB-only sustains just 26% of the coordinated run.
         assert!(
             ours.sustained.as_secs() > 2.5 * cb_only.sustained.as_secs(),
@@ -159,7 +163,9 @@ mod tests {
     fn ours_beats_cb_first_at_best_reserve() {
         let (config, trace) = setup();
         let cb_first = run_policy(&config, &trace, Policy::CbFirst);
-        let reserves: Vec<Seconds> = (0..=12).map(|i| Seconds::new(10.0 * f64::from(i) + 5.0)).collect();
+        let reserves: Vec<Seconds> = (0..=12)
+            .map(|i| Seconds::new(10.0 * f64::from(i) + 5.0))
+            .collect();
         let best = sustained_time_curve(&config, &trace, &reserves)
             .into_iter()
             .map(|(_, s)| s)
@@ -174,8 +180,7 @@ mod tests {
     #[test]
     fn sustained_curve_peaks_at_intermediate_reserve() {
         let (config, trace) = setup();
-        let reserves: Vec<Seconds> =
-            [5.0, 30.0, 300.0].map(Seconds::new).to_vec();
+        let reserves: Vec<Seconds> = [5.0, 30.0, 300.0].map(Seconds::new).to_vec();
         let curve = sustained_time_curve(&config, &trace, &reserves);
         let tiny = curve[0].1;
         let mid = curve[1].1;
@@ -190,7 +195,11 @@ mod tests {
     #[test]
     fn records_account_power() {
         let (config, trace) = setup();
-        let out = run_policy(&config, &trace, Policy::ReservedTripTime(Seconds::new(30.0)));
+        let out = run_policy(
+            &config,
+            &trace,
+            Policy::ReservedTripTime(Seconds::new(30.0)),
+        );
         for r in &out.records {
             let sum = r.cb_power + r.ups_power;
             assert!((sum.as_watts() - r.load.as_watts()).abs() < 1e-6);

@@ -69,7 +69,12 @@ impl TestbedRig {
     pub fn new(config: TestbedConfig) -> TestbedRig {
         let cb = CircuitBreaker::new("testbed", config.cb_rated, config.trip_curve.clone());
         let ups = Battery::from_energy(Chemistry::LithiumIronPhosphate, config.ups_energy);
-        TestbedRig { config, cb, ups, down: false }
+        TestbedRig {
+            config,
+            cb,
+            ups,
+            down: false,
+        }
     }
 
     /// Returns the configuration.

@@ -99,7 +99,10 @@ impl CoolingPlant {
     /// Panics if either heat rate is negative.
     #[must_use]
     pub fn electric_power(&self, via_chiller: Power, via_tes: Power) -> Power {
-        assert!(via_chiller >= Power::ZERO, "chiller heat must be non-negative");
+        assert!(
+            via_chiller >= Power::ZERO,
+            "chiller heat must be non-negative"
+        );
         assert!(via_tes >= Power::ZERO, "TES heat must be non-negative");
         via_chiller * self.unit_cost + via_tes * (self.unit_cost * (1.0 - CHILLER_SHARE))
     }
@@ -154,7 +157,10 @@ mod tests {
             p.chiller_absorption(Power::from_megawatts(4.0)),
             Power::from_megawatts(4.0)
         );
-        assert_eq!(p.chiller_absorption(Power::from_megawatts(-1.0)), Power::ZERO);
+        assert_eq!(
+            p.chiller_absorption(Power::from_megawatts(-1.0)),
+            Power::ZERO
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[must_use]
 pub fn tes_activation_deadline(peak_normal: Power, max_additional: Power) -> Seconds {
-    assert!(peak_normal > Power::ZERO, "peak normal power must be positive");
+    assert!(
+        peak_normal > Power::ZERO,
+        "peak normal power must be positive"
+    );
     assert!(
         max_additional >= Power::ZERO,
         "additional power must be non-negative"
@@ -209,10 +212,18 @@ impl RoomModel {
     /// ```
     #[must_use]
     pub fn time_to_threshold(&self, gap: Power) -> Seconds {
+        self.time_to_threshold_from(self.temperature, gap)
+    }
+
+    /// Like [`RoomModel::time_to_threshold`] but starting from an assumed
+    /// `temperature` instead of the model's own state — used by controllers
+    /// planning against a noisy or pessimistically biased sensor reading.
+    #[must_use]
+    pub fn time_to_threshold_from(&self, temperature: Celsius, gap: Power) -> Seconds {
         if gap <= Power::ZERO {
             return Seconds::NEVER;
         }
-        let rise = (self.threshold - self.temperature).max_zero().as_celsius();
+        let rise = (self.threshold - temperature).max_zero().as_celsius();
         Seconds::new(rise * self.capacitance / gap.as_watts())
     }
 }
@@ -263,7 +274,11 @@ mod tests {
     #[test]
     fn temperature_floors_at_setpoint() {
         let mut r = room();
-        r.step(Power::ZERO, Power::from_megawatts(50.0), Seconds::from_hours(1.0));
+        r.step(
+            Power::ZERO,
+            Power::from_megawatts(50.0),
+            Seconds::from_hours(1.0),
+        );
         assert_eq!(r.temperature(), r.setpoint());
     }
 
@@ -280,7 +295,11 @@ mod tests {
     fn headroom_shrinks_as_room_heats() {
         let mut r = room();
         let before = r.headroom();
-        r.step(Power::from_megawatts(10.0), Power::ZERO, Seconds::from_minutes(1.0));
+        r.step(
+            Power::from_megawatts(10.0),
+            Power::ZERO,
+            Seconds::from_minutes(1.0),
+        );
         assert!(r.headroom() < before);
     }
 

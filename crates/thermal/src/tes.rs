@@ -31,6 +31,10 @@ pub struct TesTank {
     stored: Energy,
     /// Maximum heat-absorption rate; a real tank is limited by coolant flow.
     max_rate: Power,
+    /// Fault injection: absorption-rate factor (valve lag), in `(0, 1]`.
+    rate_factor: f64,
+    /// Fault injection: accessible-capacity factor (coolant loss), `(0, 1]`.
+    capacity_factor: f64,
 }
 
 impl TesTank {
@@ -55,7 +59,50 @@ impl TesTank {
             capacity,
             stored: capacity,
             max_rate: load * 2.0,
+            rate_factor: 1.0,
+            capacity_factor: 1.0,
         }
+    }
+
+    /// Sets the fault-injection derates: the achievable absorption rate is
+    /// `rate_factor ×` the flow limit (a lagging valve), and the bottom
+    /// `1 - capacity_factor` of the tank is stranded (coolant loss) —
+    /// inaccessible until the fault clears. `(1.0, 1.0)` restores nominal
+    /// behavior exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either factor is outside `(0, 1]`.
+    pub fn set_derating(&mut self, rate_factor: f64, capacity_factor: f64) {
+        assert!(
+            rate_factor > 0.0 && rate_factor <= 1.0,
+            "rate factor must be in (0, 1]"
+        );
+        assert!(
+            capacity_factor > 0.0 && capacity_factor <= 1.0,
+            "capacity factor must be in (0, 1]"
+        );
+        self.rate_factor = rate_factor;
+        self.capacity_factor = capacity_factor;
+    }
+
+    /// Returns the fault-injection derates `(rate_factor, capacity_factor)`.
+    #[must_use]
+    pub fn derating(&self) -> (f64, f64) {
+        (self.rate_factor, self.capacity_factor)
+    }
+
+    /// The flow limit after the rate derate.
+    fn effective_max_rate(&self) -> Power {
+        self.max_rate * self.rate_factor
+    }
+
+    /// The stored budget after the capacity derate. Coolant loss strands
+    /// the bottom `1 - capacity_factor` of the tank: that slice can be
+    /// neither discharged nor re-chilled, but reappears once the fault
+    /// clears.
+    fn usable_stored(&self) -> Energy {
+        (self.stored - self.capacity * (1.0 - self.capacity_factor)).max_zero()
     }
 
     /// Sets the maximum heat-absorption rate and returns the tank.
@@ -94,7 +141,7 @@ impl TesTank {
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
         );
-        (self.stored.max_zero() / dt).min(self.max_rate)
+        (self.usable_stored() / dt).min(self.effective_max_rate())
     }
 
     /// Returns the remaining heat-absorption budget.
@@ -122,7 +169,7 @@ impl TesTank {
         if load <= Power::ZERO {
             return Seconds::NEVER;
         }
-        self.stored / load.min(self.max_rate)
+        self.usable_stored() / load.min(self.effective_max_rate())
     }
 
     /// Absorbs up to `heat` for `dt`, returning the heat rate actually
@@ -138,9 +185,9 @@ impl TesTank {
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
         );
-        let rate = heat.min(self.max_rate);
+        let rate = heat.min(self.effective_max_rate());
         let wanted = rate * dt;
-        let taken = wanted.min(self.stored.max_zero());
+        let taken = wanted.min(self.usable_stored());
         self.stored -= taken;
         taken / dt
     }
@@ -159,7 +206,7 @@ impl TesTank {
             "time step must be positive and finite"
         );
         let room = (self.capacity - self.stored).max_zero();
-        let offered = rate.min(self.max_rate) * dt;
+        let offered = rate.min(self.effective_max_rate()) * dt;
         let accepted = offered.min(room);
         self.stored += accepted;
         accepted / dt
@@ -168,7 +215,13 @@ impl TesTank {
 
 impl std::fmt::Display for TesTank {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TES {} / {} ({})", self.stored, self.capacity, self.state_of_charge())
+        write!(
+            f,
+            "TES {} / {} ({})",
+            self.stored,
+            self.capacity,
+            self.state_of_charge()
+        )
     }
 }
 
@@ -228,6 +281,46 @@ mod tests {
         // Full tank accepts nothing.
         let r = t.recharge(Power::from_megawatts(1.0), Seconds::new(1.0));
         assert!(r.is_zero());
+    }
+
+    #[test]
+    fn rate_derate_throttles_absorption() {
+        let mut t = tank(); // max rate 20 MW
+        t.set_derating(0.25, 1.0);
+        let got = t.discharge(Power::from_megawatts(50.0), Seconds::new(60.0));
+        assert_eq!(got.as_megawatts(), 5.0);
+        assert_eq!(t.available_rate(Seconds::new(1.0)).as_megawatts(), 5.0);
+    }
+
+    #[test]
+    fn capacity_loss_hides_budget_without_destroying_it() {
+        let mut t = tank(); // 2 MWh-scale heat budget, 12 min at 10 MW
+        t.set_derating(1.0, 0.5);
+        let rt = t.runtime_at(Power::from_megawatts(10.0));
+        assert!((rt.as_minutes() - 6.0).abs() < 1e-9);
+        // Drain everything accessible.
+        t.discharge(Power::from_megawatts(10.0), Seconds::from_minutes(12.0));
+        assert!(t.available_rate(Seconds::new(1.0)).is_zero());
+        // While faulted, recharging re-chills the accessible slice.
+        let accepted = t.recharge(Power::from_megawatts(10.0), Seconds::new(60.0));
+        assert_eq!(accepted.as_megawatts(), 10.0);
+        assert!(t.available_rate(Seconds::new(60.0)) > Power::ZERO);
+        // The stranded half returns when the fault clears.
+        t.set_derating(1.0, 1.0);
+        let rt = t.runtime_at(Power::from_megawatts(10.0));
+        assert!((rt.as_minutes() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_derating_is_identity() {
+        let mut a = tank();
+        let mut b = tank();
+        b.set_derating(1.0, 1.0);
+        assert_eq!(
+            a.discharge(Power::from_megawatts(15.0), Seconds::new(30.0)),
+            b.discharge(Power::from_megawatts(15.0), Seconds::new(30.0))
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn constructor_validates() {
         assert!(Charge::try_from_amp_hours(f64::NAN).is_err());
-        assert_eq!(
-            Charge::try_from_amp_hours(-0.5),
-            Err(UnitError::Negative)
-        );
+        assert_eq!(Charge::try_from_amp_hours(-0.5), Err(UnitError::Negative));
         assert!(Charge::try_from_amp_hours(0.0).is_ok());
     }
 

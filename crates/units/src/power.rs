@@ -345,10 +345,7 @@ mod tests {
         let b = Power::from_watts(9.0);
         assert_eq!(a.min(b), a);
         assert_eq!(a.max(b), b);
-        assert_eq!(
-            Power::from_watts(20.0).clamp(a, b),
-            Power::from_watts(9.0)
-        );
+        assert_eq!(Power::from_watts(20.0).clamp(a, b), Power::from_watts(9.0));
         assert_eq!(Power::from_watts(-4.0).max_zero(), Power::ZERO);
     }
 }

@@ -141,7 +141,10 @@ impl Battery {
     /// Panics if `requested` is negative or `dt` is not strictly positive
     /// and finite.
     pub fn discharge(&mut self, requested: Power, dt: Seconds) -> Power {
-        assert!(requested >= Power::ZERO, "requested power must be non-negative");
+        assert!(
+            requested >= Power::ZERO,
+            "requested power must be non-negative"
+        );
         assert!(
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
@@ -271,9 +274,7 @@ mod tests {
         let delivered = Energy::from_joules(3600.0);
         let drawn = before - b.stored();
         assert!(drawn > delivered);
-        assert!(
-            (drawn.as_joules() - delivered.as_joules() / 0.95).abs() < 1e-6
-        );
+        assert!((drawn.as_joules() - delivered.as_joules() / 0.95).abs() < 1e-6);
     }
 
     #[test]

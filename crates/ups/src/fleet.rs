@@ -47,6 +47,10 @@ pub struct UpsFleet {
     aggregate: Battery,
     units: usize,
     on_battery: usize,
+    /// Fault injection: fraction of strings online, in `[0, 1]`.
+    available_fraction: f64,
+    /// Fault injection: capacity-fade factor on surviving strings, `(0, 1]`.
+    capacity_factor: f64,
 }
 
 impl UpsFleet {
@@ -65,7 +69,52 @@ impl UpsFleet {
             aggregate: Battery::from_energy(chemistry, each * units as f64),
             units,
             on_battery: 0,
+            available_fraction: 1.0,
+            capacity_factor: 1.0,
         }
+    }
+
+    /// Sets the fault-injection derates: `available_fraction` of the
+    /// strings are online (shrinking both the offload headcount and the
+    /// accessible energy), and the survivors deliver `capacity_factor` of
+    /// their energy. `(1.0, 1.0)` restores nominal behavior exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `available_fraction` is outside `[0, 1]` or
+    /// `capacity_factor` is outside `(0, 1]`.
+    pub fn set_derating(&mut self, available_fraction: f64, capacity_factor: f64) {
+        assert!(
+            (0.0..=1.0).contains(&available_fraction),
+            "available fraction must be in [0, 1]"
+        );
+        assert!(
+            capacity_factor > 0.0 && capacity_factor <= 1.0,
+            "capacity factor must be in (0, 1]"
+        );
+        self.available_fraction = available_fraction;
+        self.capacity_factor = capacity_factor;
+    }
+
+    /// Returns the fault-injection derates
+    /// `(available_fraction, capacity_factor)`.
+    #[must_use]
+    pub fn derating(&self) -> (f64, f64) {
+        (self.available_fraction, self.capacity_factor)
+    }
+
+    /// The combined usable-energy factor the derates impose.
+    fn usable_factor(&self) -> f64 {
+        self.available_fraction * self.capacity_factor
+    }
+
+    /// Energy stranded by the derates: offline strings and faded cells
+    /// hold charge the coordinator cannot reach until the fault clears.
+    fn stranded(&self) -> Energy {
+        let full = self.aggregate.capacity()
+            * self.aggregate.chemistry().max_depth_of_discharge()
+            * self.aggregate.chemistry().discharge_efficiency();
+        full * (1.0 - self.usable_factor())
     }
 
     /// Returns the number of UPS units.
@@ -74,10 +123,11 @@ impl UpsFleet {
         self.units
     }
 
-    /// Returns the aggregate energy still deliverable.
+    /// Returns the aggregate energy still deliverable (derated by any
+    /// injected string-failure or capacity-fade faults).
     #[must_use]
     pub fn deliverable(&self) -> Energy {
-        self.aggregate.deliverable()
+        (self.aggregate.deliverable() - self.stranded()).max_zero()
     }
 
     /// Returns the aggregate state of charge.
@@ -89,7 +139,10 @@ impl UpsFleet {
     /// Returns how long the fleet can sustain an offload of `power`.
     #[must_use]
     pub fn runtime_at(&self, power: Power) -> Seconds {
-        self.aggregate.runtime_at(power)
+        if power <= Power::ZERO {
+            return Seconds::NEVER;
+        }
+        self.deliverable() / power
     }
 
     /// Offloads at least `requested` power onto batteries for `dt`, in
@@ -105,15 +158,26 @@ impl UpsFleet {
     /// Panics if `per_server` is not strictly positive, `requested` is
     /// negative, or `dt` is not strictly positive and finite.
     pub fn offload(&mut self, requested: Power, per_server: Power, dt: Seconds) -> Power {
-        assert!(per_server > Power::ZERO, "per-server power must be positive");
-        assert!(requested >= Power::ZERO, "requested power must be non-negative");
+        assert!(
+            per_server > Power::ZERO,
+            "per-server power must be positive"
+        );
+        assert!(
+            requested >= Power::ZERO,
+            "requested power must be non-negative"
+        );
         if requested.is_zero() {
             self.on_battery = 0;
             return Power::ZERO;
         }
-        let servers =
-            ((requested.as_watts() / per_server.as_watts()).ceil() as usize).min(self.units);
-        let want = per_server * servers as f64;
+        let online = (self.units as f64 * self.available_fraction).floor() as usize;
+        let servers = ((requested.as_watts() / per_server.as_watts()).ceil() as usize).min(online);
+        let mut want = per_server * servers as f64;
+        if self.usable_factor() < 1.0 {
+            // Derated strings cap the accessible energy below what the
+            // aggregate battery still physically holds.
+            want = want.min(self.deliverable() / dt);
+        }
         let got = self.aggregate.discharge(want, dt);
         // Report how many servers were actually carried (floor: a partially
         // carried server still draws the remainder from the PDU).
@@ -171,7 +235,11 @@ mod tests {
     use dcs_units::Charge;
 
     fn fleet(n: usize) -> UpsFleet {
-        UpsFleet::new(n, Chemistry::LithiumIronPhosphate, Charge::from_amp_hours(0.5))
+        UpsFleet::new(
+            n,
+            Chemistry::LithiumIronPhosphate,
+            Charge::from_amp_hours(0.5),
+        )
     }
 
     #[test]
@@ -226,7 +294,11 @@ mod tests {
     #[test]
     fn recharge_restores_capacity() {
         let mut f = fleet(4);
-        f.offload(Power::from_watts(220.0), Power::from_watts(55.0), Seconds::from_minutes(2.0));
+        f.offload(
+            Power::from_watts(220.0),
+            Power::from_watts(55.0),
+            Seconds::from_minutes(2.0),
+        );
         let before = f.state_of_charge();
         f.recharge(Power::from_watts(500.0), Seconds::from_minutes(10.0));
         assert!(f.state_of_charge() > before);
@@ -236,17 +308,84 @@ mod tests {
     #[test]
     fn zero_request_clears_on_battery() {
         let mut f = fleet(4);
-        f.offload(Power::from_watts(110.0), Power::from_watts(55.0), Seconds::new(1.0));
+        f.offload(
+            Power::from_watts(110.0),
+            Power::from_watts(55.0),
+            Seconds::new(1.0),
+        );
         assert_eq!(f.status().on_battery, 2);
         f.offload(Power::ZERO, Power::from_watts(55.0), Seconds::new(1.0));
         assert_eq!(f.status().on_battery, 0);
     }
 
     #[test]
+    fn string_failure_derates_headcount_and_energy() {
+        let mut f = fleet(10);
+        let full = f.deliverable();
+        f.set_derating(0.5, 1.0);
+        assert!((f.deliverable().as_joules() - full.as_joules() * 0.5).abs() < 1e-6);
+        // Only 5 strings online: a fleet-sized request carries 5 servers.
+        let got = f.offload(
+            Power::from_kilowatts(10.0),
+            Power::from_watts(55.0),
+            Seconds::new(1.0),
+        );
+        assert!((got.as_watts() - 275.0).abs() < 1e-9);
+        assert_eq!(f.status().on_battery, 5);
+    }
+
+    #[test]
+    fn capacity_fade_shortens_runtime() {
+        let mut f = fleet(10);
+        let nominal = f.runtime_at(Power::from_watts(550.0));
+        f.set_derating(1.0, 0.6);
+        let faded = f.runtime_at(Power::from_watts(550.0));
+        assert!((faded.as_secs() - nominal.as_secs() * 0.6).abs() < 1e-6);
+        // Draining stops at the derated energy, not the physical store.
+        let mut drained = Power::ZERO;
+        for _ in 0..3600 {
+            drained = f.offload(
+                Power::from_watts(550.0),
+                Power::from_watts(55.0),
+                Seconds::new(1.0),
+            );
+        }
+        assert!(drained.is_zero());
+        assert!(f.deliverable().as_joules() < 1e-6);
+        // The inaccessible 40% is still physically there: clearing the
+        // fault restores it.
+        f.set_derating(1.0, 1.0);
+        assert!(f.deliverable() > Energy::ZERO);
+    }
+
+    #[test]
+    fn nominal_derating_is_identity() {
+        let mut a = fleet(10);
+        let mut b = fleet(10);
+        b.set_derating(1.0, 1.0);
+        let ga = a.offload(
+            Power::from_watts(300.0),
+            Power::from_watts(55.0),
+            Seconds::new(1.0),
+        );
+        let gb = b.offload(
+            Power::from_watts(300.0),
+            Power::from_watts(55.0),
+            Seconds::new(1.0),
+        );
+        assert_eq!(ga, gb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn discharged_fraction_tracks_soc() {
         let mut f = fleet(10);
         assert_eq!(f.discharged_fraction().as_f64(), 0.0);
-        f.offload(Power::from_watts(550.0), Power::from_watts(55.0), Seconds::from_minutes(1.0));
+        f.offload(
+            Power::from_watts(550.0),
+            Power::from_watts(55.0),
+            Seconds::from_minutes(1.0),
+        );
         assert!(f.discharged_fraction().as_f64() > 0.0);
     }
 }

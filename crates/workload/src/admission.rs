@@ -29,6 +29,8 @@ pub struct AdmissionLog {
     served_integral: f64,
     demand_integral: f64,
     elapsed: f64,
+    #[serde(default)]
+    invalid_samples: u64,
 }
 
 impl AdmissionLog {
@@ -41,20 +43,30 @@ impl AdmissionLog {
     /// Records one interval: `demand` arrived, at most `capacity` of it was
     /// served, for `dt`. Returns the served demand for convenience.
     ///
+    /// Demand and capacity come from telemetry, which a faulted sensor can
+    /// corrupt: a NaN or negative value is clamped to `0.0` (served and
+    /// offered nothing) rather than poisoning the run's integrals, and the
+    /// sample is counted in [`AdmissionLog::invalid_samples`]. `dt` is the
+    /// caller's own step size, so a bad `dt` is still a programming error.
+    ///
     /// # Panics
     ///
-    /// Panics if `demand` or `capacity` is negative or not finite, or `dt`
-    /// is not strictly positive and finite.
+    /// Panics if `dt` is not strictly positive and finite.
     pub fn record(&mut self, demand: f64, capacity: f64, dt: Seconds) -> f64 {
-        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
-        assert!(
-            capacity.is_finite() && capacity >= 0.0,
-            "capacity must be non-negative"
-        );
         assert!(
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
         );
+        let mut sanitize = |x: f64| {
+            if x.is_finite() && x >= 0.0 {
+                x
+            } else {
+                self.invalid_samples += 1;
+                0.0
+            }
+        };
+        let demand = sanitize(demand);
+        let capacity = sanitize(capacity);
         let served = demand.min(capacity);
         self.served_integral += served * dt.as_secs();
         self.demand_integral += demand * dt.as_secs();
@@ -96,6 +108,14 @@ impl AdmissionLog {
     #[must_use]
     pub fn elapsed(&self) -> Seconds {
         Seconds::new(self.elapsed)
+    }
+
+    /// Returns how many NaN or negative demand/capacity samples were
+    /// clamped to zero by [`AdmissionLog::record`] — a nonzero count flags
+    /// corrupted telemetry feeding the accounting.
+    #[must_use]
+    pub fn invalid_samples(&self) -> u64 {
+        self.invalid_samples
     }
 
     /// Returns the ratio of this log's average served demand over a
@@ -168,5 +188,26 @@ mod tests {
     fn improvement_over_empty_panics() {
         let log = AdmissionLog::new();
         let _ = log.improvement_over(&AdmissionLog::new());
+    }
+
+    #[test]
+    fn corrupt_samples_are_clamped_and_counted() {
+        let mut log = AdmissionLog::new();
+        log.record(1.0, 1.0, Seconds::new(10.0));
+        log.record(f64::NAN, 1.0, Seconds::new(10.0));
+        log.record(-0.5, f64::INFINITY, Seconds::new(10.0));
+        assert_eq!(log.invalid_samples(), 3);
+        // The corrupt intervals contribute zero served/offered, not NaN.
+        assert!((log.average_served() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((log.average_demand() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(log.drop_fraction().abs() < 1e-12);
+        assert_eq!(log.elapsed(), Seconds::new(30.0));
+    }
+
+    #[test]
+    fn clean_samples_leave_counter_zero() {
+        let mut log = AdmissionLog::new();
+        log.record(2.0, 1.5, Seconds::new(60.0));
+        assert_eq!(log.invalid_samples(), 0);
     }
 }

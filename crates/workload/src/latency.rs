@@ -71,7 +71,10 @@ impl LatencyModel {
     /// Panics if `cap` is not in `(0, 1)`.
     #[must_use]
     pub fn with_max_utilization(mut self, cap: f64) -> LatencyModel {
-        assert!((0.0..1.0).contains(&cap) && cap > 0.0, "cap must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&cap) && cap > 0.0,
+            "cap must be in (0, 1)"
+        );
         self.max_utilization = cap;
         self
     }

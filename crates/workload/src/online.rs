@@ -58,7 +58,10 @@ impl OnlineBurstPredictor {
             threshold.is_finite() && threshold >= 0.0,
             "threshold must be non-negative"
         );
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha must be in (0, 1]"
+        );
         OnlineBurstPredictor {
             threshold,
             alpha,
@@ -77,7 +80,10 @@ impl OnlineBurstPredictor {
     /// Panics if `demand` is negative or not finite, or `dt` is not
     /// strictly positive and finite.
     pub fn observe(&mut self, demand: f64, dt: Seconds) {
-        assert!(demand.is_finite() && demand >= 0.0, "demand must be non-negative");
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "demand must be non-negative"
+        );
         assert!(
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"

@@ -144,7 +144,10 @@ impl Trace {
     /// Panics if `factor` is negative or not finite.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Trace {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be non-negative"
+        );
         Trace {
             step: self.step,
             samples: self.samples.iter().map(|s| s * factor).collect(),
@@ -201,7 +204,10 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert_eq!(Trace::new(Seconds::new(1.0), vec![]), Err(TraceError::Empty));
+        assert_eq!(
+            Trace::new(Seconds::new(1.0), vec![]),
+            Err(TraceError::Empty)
+        );
         assert_eq!(
             Trace::new(Seconds::ZERO, vec![1.0]),
             Err(TraceError::BadStep)

@@ -100,7 +100,10 @@ pub fn with_burst(seed: u64, degree: f64, burst_len: Seconds) -> Trace {
 }
 
 fn generate(seed: u64, degree: f64, burst_len: Seconds) -> Trace {
-    assert!(degree >= 0.0 && degree.is_finite(), "degree must be non-negative");
+    assert!(
+        degree >= 0.0 && degree.is_finite(),
+        "degree must be non-negative"
+    );
     let burst_end = burst_start() + burst_len;
     let total = duration().max(burst_end + Seconds::from_minutes(5.0));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -111,7 +114,11 @@ fn generate(seed: u64, degree: f64, burst_len: Seconds) -> Trace {
             let minute = t.as_secs() / 60.0;
             let in_burst =
                 degree > 1.0 && burst_len > Seconds::ZERO && t >= burst_start() && t < burst_end;
-            let clean = if in_burst { degree } else { baseline_at(minute) };
+            let clean = if in_burst {
+                degree
+            } else {
+                baseline_at(minute)
+            };
             let noisy = clean * (1.0 + rng.gen_range(-NOISE..NOISE));
             if in_burst {
                 // Noise must not drop burst samples below capacity.

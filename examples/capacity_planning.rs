@@ -29,7 +29,11 @@ fn main() {
         let scenario = Scenario::new(spec, ControllerConfig::default(), trace.clone());
         let base = run_no_sprint(&scenario);
         let sprint = run(&scenario, Box::new(Greedy));
-        (h, sprint.burst_performance(1.0), sprint.burst_improvement_over(&base, 1.0))
+        (
+            h,
+            sprint.burst_performance(1.0),
+            sprint.burst_improvement_over(&base, 1.0),
+        )
     });
     for (h, perf, factor) in rows {
         println!("{h:>6.0}%   {perf:>10.2}   {factor:>10.2}x");
@@ -43,10 +47,15 @@ fn main() {
             ups_rating: Charge::from_amp_hours(ah),
             ..ControllerConfig::default()
         };
-        let scenario = Scenario::new(DataCenterSpec::paper_default(), config.clone(), trace.clone());
+        let scenario = Scenario::new(
+            DataCenterSpec::paper_default(),
+            config.clone(),
+            trace.clone(),
+        );
         let base = run_no_sprint(&scenario);
         let sprint = run(&scenario, Box::new(Greedy));
-        let battery = datacenter_sprinting::ups::Battery::new(config.ups_chemistry, config.ups_rating);
+        let battery =
+            datacenter_sprinting::ups::Battery::new(config.ups_chemistry, config.ups_rating);
         (
             ah,
             battery.runtime_at(datacenter_sprinting::units::Power::from_watts(55.0)),

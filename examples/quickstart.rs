@@ -20,8 +20,7 @@ fn main() {
         spec.dc_rated()
     );
 
-    let mut controller =
-        SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+    let mut controller = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
 
     // Two quiet minutes, a six-minute burst at 2.5x capacity, two quiet
     // minutes to recover.
@@ -54,5 +53,8 @@ fn main() {
 
     let (cb, ups, tes) = controller.energy_split();
     println!("\nadditional energy drawn:  CB overload {cb},  UPS {ups},  TES heat {tes}");
-    println!("UPS state of charge after the burst: {}", controller.ups().state_of_charge());
+    println!(
+        "UPS state of charge after the burst: {}",
+        controller.ups().state_of_charge()
+    );
 }

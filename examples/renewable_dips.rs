@@ -22,15 +22,18 @@ fn main() {
     // paper's 0-20% sweep) - think of the missing headroom as the slice a
     // renewable feed normally covers.
     let spec = DataCenterSpec::paper_default().with_dc_headroom(Ratio::ZERO);
-    let mut controller =
-        SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+    let mut controller = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
 
     // Demand bursts to 1.4x right as the facility is at its tightest.
     let dt = Seconds::new(1.0);
     println!("  time    demand  served  on-battery  phase");
     for step in 0..900 {
         let t = f64::from(step);
-        let demand = if (120.0..720.0).contains(&t) { 1.4 } else { 0.95 };
+        let demand = if (120.0..720.0).contains(&t) {
+            1.4
+        } else {
+            0.95
+        };
         let record = controller.step(demand, dt);
         assert!(!record.tripped, "ESD coordination must prevent trips");
         if step % 60 == 0 {

@@ -25,6 +25,7 @@
 pub use dcs_breaker as breaker;
 pub use dcs_core as core;
 pub use dcs_econ as econ;
+pub use dcs_faults as faults;
 pub use dcs_power as power;
 pub use dcs_server as server;
 pub use dcs_sim as sim;

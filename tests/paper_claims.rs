@@ -18,7 +18,11 @@ fn spec() -> DataCenterSpec {
 }
 
 fn ms_scenario() -> Scenario {
-    Scenario::new(spec(), ControllerConfig::default(), ms_trace::paper_default())
+    Scenario::new(
+        spec(),
+        ControllerConfig::default(),
+        ms_trace::paper_default(),
+    )
 }
 
 /// §VII-A / Fig. 8(a): uncontrolled chip-level sprinting trips a breaker a
@@ -106,10 +110,13 @@ fn oracle_constrains_and_beats_greedy_on_long_bursts() {
     let base = run_no_sprint(&scenario);
     let greedy = run(&scenario, Box::new(Greedy));
     let oracle = oracle_search(&scenario);
-    assert!(oracle.best_bound.as_f64() < 4.0, "bound {}", oracle.best_bound);
     assert!(
-        oracle.best.burst_improvement_over(&base, 1.0)
-            > greedy.burst_improvement_over(&base, 1.0)
+        oracle.best_bound.as_f64() < 4.0,
+        "bound {}",
+        oracle.best_bound
+    );
+    assert!(
+        oracle.best.burst_improvement_over(&base, 1.0) > greedy.burst_improvement_over(&base, 1.0)
     );
 }
 
@@ -146,6 +153,9 @@ fn no_trips_or_overheating_across_the_sweep() {
         );
         let result = run(&scenario, Box::new(Greedy));
         assert!(!result.any_tripped(), "tripped at ({degree}, {minutes})");
-        assert!(!result.any_overheated(), "overheated at ({degree}, {minutes})");
+        assert!(
+            !result.any_overheated(),
+            "overheated at ({degree}, {minutes})"
+        );
     }
 }

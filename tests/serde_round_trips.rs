@@ -42,7 +42,12 @@ fn upper_bound_table_round_trips() {
     let table = UpperBoundTable::new(
         vec![5.0, 15.0],
         vec![2.0, 4.0],
-        vec![Ratio::new(4.0), Ratio::new(3.5), Ratio::new(2.0), Ratio::new(2.5)],
+        vec![
+            Ratio::new(4.0),
+            Ratio::new(3.5),
+            Ratio::new(2.0),
+            Ratio::new(2.5),
+        ],
     )
     .unwrap();
     let back = round_trip(&table);
