@@ -28,4 +28,29 @@ cargo test --workspace --offline -q
 echo "== fault suite =="
 cargo test -p dcs-sim --test faults --offline -q
 
+echo "== benches compile =="
+cargo bench --workspace --offline --no-run -q
+
+echo "== perf report smoke =="
+# Tiny-scale run of the perf-trajectory harness; the binary exits non-zero
+# if the pruned search diverges from the exhaustive one or the JSON does
+# not round-trip.
+smoke_json="$(mktemp)"
+cargo run --release -p dcs-bench --bin perf_report --offline -q -- \
+  --tiny --out "$smoke_json" > /dev/null
+python3 - "$smoke_json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+required = ["schema", "mode", "run_full", "run_lean", "oracle_exhaustive",
+            "oracle_pruned", "table_exhaustive", "table_pruned", "best_bound"]
+missing = [k for k in required if k not in report]
+assert not missing, f"perf report missing sections: {missing}"
+assert report["schema"] == "dcs-bench/perf-report-v1", report["schema"]
+assert report["mode"] == "tiny", report["mode"]
+for k in required[2:8]:
+    assert report[k]["time_ms"] > 0, f"{k} has no timing"
+print(f"perf report OK ({len(required)} sections)")
+EOF
+rm -f "$smoke_json"
+
 echo "CI green."

@@ -16,14 +16,22 @@ fn bench_trip_time(c: &mut Criterion) {
 
 fn bench_breaker_step(c: &mut Criterion) {
     c.bench_function("breaker/apply_load", |b| {
-        let mut cb = CircuitBreaker::new("b", Power::from_kilowatts(13.75), TripCurve::bulletin_1489());
+        let mut cb = CircuitBreaker::new(
+            "b",
+            Power::from_kilowatts(13.75),
+            TripCurve::bulletin_1489(),
+        );
         let load = Power::from_kilowatts(15.0);
         b.iter(|| {
             let _ = cb.apply_load(black_box(load), Seconds::new(0.001));
         })
     });
     c.bench_function("breaker/max_load_with_reserve", |b| {
-        let cb = CircuitBreaker::new("b", Power::from_kilowatts(13.75), TripCurve::bulletin_1489());
+        let cb = CircuitBreaker::new(
+            "b",
+            Power::from_kilowatts(13.75),
+            TripCurve::bulletin_1489(),
+        );
         b.iter(|| cb.max_load_with_reserve(black_box(Seconds::new(60.0))))
     });
 }

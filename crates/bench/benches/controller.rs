@@ -10,7 +10,8 @@ fn bench_controller_step(c: &mut Criterion) {
     for (label, pdus) in [("4_pdus", 4usize), ("64_pdus", 64)] {
         group.bench_function(format!("step_sprinting/{label}"), |b| {
             let spec = DataCenterSpec::paper_default().with_scale(pdus, 200);
-            let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+            let config = ControllerConfig::default();
+            let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
             b.iter(|| ctl.step(black_box(2.5), Seconds::new(1.0)))
         });
     }
@@ -19,7 +20,8 @@ fn bench_controller_step(c: &mut Criterion) {
 
 fn bench_energy_budget(c: &mut Criterion) {
     let spec = DataCenterSpec::paper_default().with_scale(4, 200);
-    let ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+    let config = ControllerConfig::default();
+    let ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     c.bench_function("controller/total_energy_budget", |b| {
         b.iter(|| black_box(&ctl).total_energy_budget())
     });

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcs_core::{ControllerConfig, Greedy};
-use dcs_sim::{run, run_uncontrolled, Scenario, UncontrolledMode};
+use dcs_sim::{
+    oracle_search, oracle_search_exhaustive, run, run_summary, run_uncontrolled, Scenario,
+    UncontrolledMode,
+};
 use dcs_units::Seconds;
 use dcs_workload::{ms_trace, yahoo_trace};
 
@@ -29,8 +32,22 @@ fn bench_full_runs(c: &mut Criterion) {
     group.bench_function("yahoo_burst_greedy_30min", |b| {
         b.iter(|| run(&yahoo, Box::new(Greedy)))
     });
+    group.bench_function("yahoo_burst_greedy_30min_lean", |b| {
+        b.iter(|| run_summary(&yahoo, Box::new(Greedy)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_full_runs);
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    let s = scenario().with_trace(yahoo_trace::with_burst(1, 3.2, Seconds::from_minutes(15.0)));
+    group.bench_function("search_exhaustive", |b| {
+        b.iter(|| oracle_search_exhaustive(&s))
+    });
+    group.bench_function("search_pruned", |b| b.iter(|| oracle_search(&s)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_runs, bench_oracle);
 criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Perf-trajectory report: times the canonical hot paths and writes a
+//! machine-readable `BENCH_PR2.json`, so future PRs can diff simulator
+//! performance against this one.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin perf_report            # full run
+//! cargo run --release -p dcs-bench --bin perf_report -- --tiny  # CI smoke
+//! cargo run --release -p dcs-bench --bin perf_report -- --out path.json
+//! ```
+//!
+//! The report covers the two optimizations of this PR — the lean-telemetry
+//! run and the pruned Oracle search — and *asserts* their exactness while
+//! timing them: the pruned Oracle must reproduce the exhaustive
+//! `best_bound` bit-for-bit, and the pruned table must equal the
+//! exhaustive table cell-for-cell. A timing report that silently measured
+//! a wrong answer would be worse than no report.
+
+use std::time::Instant;
+
+use dcs_core::{ControllerConfig, Greedy};
+use dcs_power::DataCenterSpec;
+use dcs_sim::{
+    build_upper_bound_table_with, oracle_search, oracle_search_exhaustive, run, run_summary,
+    OracleMode, Scenario,
+};
+use dcs_units::Seconds;
+use dcs_workload::yahoo_trace;
+use serde::{Deserialize, Serialize};
+
+/// Pre-PR baselines, measured on this machine at the same canonical
+/// workloads (scale 4x200, Yahoo trace, 3.2x/15-min burst; 5x4 table)
+/// immediately before the fast paths landed. They anchor
+/// `speedup_vs_pre_pr` in full mode; tiny mode (different scale) skips
+/// the comparison.
+const PRE_PR_RUN_MS: f64 = 2.559;
+const PRE_PR_ORACLE_MS: f64 = 64.809;
+const PRE_PR_TABLE_MS: f64 = 1065.195;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Section {
+    /// Wall-clock milliseconds (best of `iters` runs).
+    time_ms: f64,
+    /// Timed repetitions.
+    iters: u32,
+    /// Simulated runs (or controller steps, for the single-run sections)
+    /// this operation performed; 0 where the count varies internally.
+    sim_runs: usize,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    pr: String,
+    mode: String,
+    scale_pdus: usize,
+    scale_servers_per_pdu: usize,
+    run_full: Section,
+    run_lean: Section,
+    oracle_exhaustive: Section,
+    oracle_pruned: Section,
+    table_exhaustive: Section,
+    table_pruned: Section,
+    best_bound: f64,
+    /// run_full / run_lean.
+    speedup_lean_run: f64,
+    /// oracle_exhaustive / oracle_pruned.
+    speedup_pruned_oracle: f64,
+    /// table_exhaustive / table_pruned.
+    speedup_pruned_table: f64,
+    /// Pre-PR exhaustive-oracle time over this PR's pruned time (full
+    /// mode only; `None` in tiny mode).
+    speedup_oracle_vs_pre_pr: Option<f64>,
+    /// Pre-PR table-build time over this PR's pruned build (full mode
+    /// only).
+    speedup_table_vs_pre_pr: Option<f64>,
+    /// Pre-PR full-telemetry run time over this PR's lean run (full mode
+    /// only).
+    speedup_run_vs_pre_pr: Option<f64>,
+}
+
+/// Times `op` (discarding its output) `iters` times and returns the best
+/// wall-clock milliseconds — the least-noise estimator for a determinist
+/// workload.
+fn time_ms<T>(iters: u32, mut op: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = op();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        drop(out);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+
+    let (pdus, servers, iters_run, iters_oracle, iters_table) = if tiny {
+        (1, 50, 1, 1, 1)
+    } else {
+        (4, 200, 5, 3, 1)
+    };
+    let spec = DataCenterSpec::paper_default().with_scale(pdus, servers);
+    let config = ControllerConfig::default();
+    let scenario = Scenario::new(
+        spec.clone(),
+        config.clone(),
+        yahoo_trace::with_burst(1, 3.2, Seconds::from_minutes(15.0)),
+    );
+    let (durations, degrees): (Vec<f64>, Vec<f64>) = if tiny {
+        (vec![1.0], vec![2.0, 3.0])
+    } else {
+        (vec![1.0, 5.0, 10.0, 15.0, 30.0], vec![1.5, 2.0, 3.0, 4.0])
+    };
+
+    eprintln!("timing: 30-min Greedy run (full vs lean telemetry)...");
+    let run_full_ms = time_ms(iters_run, || run(&scenario, Box::new(Greedy)));
+    let run_lean_ms = time_ms(iters_run, || run_summary(&scenario, Box::new(Greedy)));
+    let full = run(&scenario, Box::new(Greedy));
+    assert_eq!(
+        run_summary(&scenario, Box::new(Greedy)),
+        full.summarize(),
+        "lean run diverged from the summarized full run"
+    );
+    let steps = full.records.len();
+
+    eprintln!("timing: oracle_search (exhaustive vs pruned)...");
+    let oracle_ex_ms = time_ms(iters_oracle, || oracle_search_exhaustive(&scenario));
+    let oracle_pr_ms = time_ms(iters_oracle, || oracle_search(&scenario));
+    let exhaustive = oracle_search_exhaustive(&scenario);
+    let pruned = oracle_search(&scenario);
+    assert_eq!(
+        pruned.best_bound, exhaustive.best_bound,
+        "pruned oracle diverged from exhaustive"
+    );
+    assert_eq!(pruned.best, exhaustive.best);
+
+    eprintln!("timing: build_upper_bound_table (exhaustive vs pruned)...");
+    let table_ex_ms = time_ms(iters_table, || {
+        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Exhaustive)
+    });
+    let table_pr_ms = time_ms(iters_table, || {
+        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Pruned)
+    });
+    let table_ex =
+        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Exhaustive);
+    let table_pr =
+        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Pruned);
+    for &minutes in &durations {
+        for &degree in &degrees {
+            assert_eq!(
+                table_pr.lookup(Seconds::from_minutes(minutes), degree),
+                table_ex.lookup(Seconds::from_minutes(minutes), degree),
+                "pruned table diverged at ({minutes} min, {degree}x)"
+            );
+        }
+    }
+
+    let grid_points = dcs_sim::degree_grid(&spec).len();
+    let cells = durations.len() * degrees.len();
+    let report = Report {
+        schema: "dcs-bench/perf-report-v1".to_owned(),
+        pr: "PR2".to_owned(),
+        mode: if tiny { "tiny" } else { "full" }.to_owned(),
+        scale_pdus: pdus,
+        scale_servers_per_pdu: servers,
+        run_full: Section {
+            time_ms: run_full_ms,
+            iters: iters_run,
+            sim_runs: steps,
+        },
+        run_lean: Section {
+            time_ms: run_lean_ms,
+            iters: iters_run,
+            sim_runs: steps,
+        },
+        oracle_exhaustive: Section {
+            time_ms: oracle_ex_ms,
+            iters: iters_oracle,
+            // One full run per grid point.
+            sim_runs: grid_points,
+        },
+        oracle_pruned: Section {
+            time_ms: oracle_pr_ms,
+            iters: iters_oracle,
+            // Lean runs at the visited points, plus the final full run.
+            sim_runs: pruned.tried.len() + 1,
+        },
+        table_exhaustive: Section {
+            time_ms: table_ex_ms,
+            iters: iters_table,
+            sim_runs: cells * grid_points,
+        },
+        table_pruned: Section {
+            time_ms: table_pr_ms,
+            iters: iters_table,
+            // Lean runs per cell vary with each cell's pruning.
+            sim_runs: 0,
+        },
+        best_bound: pruned.best_bound.as_f64(),
+        speedup_lean_run: run_full_ms / run_lean_ms,
+        speedup_pruned_oracle: oracle_ex_ms / oracle_pr_ms,
+        speedup_pruned_table: table_ex_ms / table_pr_ms,
+        speedup_oracle_vs_pre_pr: (!tiny).then(|| PRE_PR_ORACLE_MS / oracle_pr_ms),
+        speedup_table_vs_pre_pr: (!tiny).then(|| PRE_PR_TABLE_MS / table_pr_ms),
+        speedup_run_vs_pre_pr: (!tiny).then(|| PRE_PR_RUN_MS / run_lean_ms),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("report written");
+
+    // Validate the artifact end-to-end: re-read, re-parse, sanity-check.
+    let text = std::fs::read_to_string(&out_path).expect("report readable");
+    let parsed: Report = serde_json::from_str(&text).expect("report parses back");
+    assert_eq!(parsed.schema, "dcs-bench/perf-report-v1");
+    for (name, section) in [
+        ("run_full", &parsed.run_full),
+        ("run_lean", &parsed.run_lean),
+        ("oracle_exhaustive", &parsed.oracle_exhaustive),
+        ("oracle_pruned", &parsed.oracle_pruned),
+        ("table_exhaustive", &parsed.table_exhaustive),
+        ("table_pruned", &parsed.table_pruned),
+    ] {
+        assert!(
+            section.time_ms.is_finite() && section.time_ms > 0.0,
+            "section {name} has no valid timing"
+        );
+    }
+
+    println!("{json}");
+    eprintln!(
+        "\nwrote {out_path}: oracle {:.1}x faster pruned ({:.2} ms -> {:.2} ms), \
+         table {:.1}x ({:.1} ms -> {:.1} ms), lean run {:.2}x ({:.3} ms -> {:.3} ms)",
+        report.speedup_pruned_oracle,
+        oracle_ex_ms,
+        oracle_pr_ms,
+        report.speedup_pruned_table,
+        table_ex_ms,
+        table_pr_ms,
+        report.speedup_lean_run,
+        run_full_ms,
+        run_lean_ms,
+    );
+}

@@ -318,6 +318,32 @@ impl CircuitBreaker {
         Ok(None)
     }
 
+    /// Returns `true` if `other` would respond identically to any applied
+    /// load: same rating, trip curve, cool-down, derating, and thermal
+    /// state. Names may differ — this is electrical/thermal equivalence,
+    /// not identity.
+    ///
+    /// Uniform-load fast paths use this to advance one representative
+    /// breaker and replicate the outcome across equivalent siblings.
+    #[must_use]
+    pub fn behaves_like(&self, other: &CircuitBreaker) -> bool {
+        self.rated == other.rated
+            && self.curve == other.curve
+            && self.cooldown == other.cooldown
+            && self.derating == other.derating
+            && self.state == other.state
+            && self.tripped == other.tripped
+    }
+
+    /// Copies the thermal state (trip progress and open/closed flag) from
+    /// another breaker. The counterpart of [`CircuitBreaker::behaves_like`]:
+    /// after a representative breaker takes a load step, its equivalent
+    /// siblings adopt the resulting state without re-integrating it.
+    pub fn sync_state_from(&mut self, other: &CircuitBreaker) {
+        self.state = other.state;
+        self.tripped = other.tripped;
+    }
+
     /// Closes a tripped breaker again and clears its thermal state.
     ///
     /// # Examples
@@ -521,6 +547,36 @@ mod tests {
     #[should_panic(expected = "derating factor")]
     fn zero_derating_panics() {
         cb(100.0).set_derating(0.0);
+    }
+
+    #[test]
+    fn behaves_like_ignores_name_but_not_state() {
+        let mut a = CircuitBreaker::new("a", Power::from_watts(100.0), TripCurve::bulletin_1489());
+        let mut b = CircuitBreaker::new("b", Power::from_watts(100.0), TripCurve::bulletin_1489());
+        assert!(a.behaves_like(&b));
+        let load = Power::from_watts(160.0);
+        a.apply_load(load, Seconds::new(10.0)).unwrap();
+        assert!(!a.behaves_like(&b));
+        b.apply_load(load, Seconds::new(10.0)).unwrap();
+        assert!(a.behaves_like(&b));
+        b.set_derating(0.9);
+        assert!(!a.behaves_like(&b));
+    }
+
+    #[test]
+    fn sync_state_matches_independent_integration() {
+        let mut a = cb(100.0);
+        let mut b = cb(100.0);
+        let load = Power::from_watts(160.0);
+        a.apply_load(load, Seconds::new(25.0)).unwrap();
+        b.sync_state_from(&a);
+        assert!(b.behaves_like(&a));
+        // From here the two evolve identically.
+        let ea = a.apply_load(load, Seconds::new(60.0)).unwrap();
+        let eb = b.apply_load(load, Seconds::new(60.0)).unwrap();
+        assert_eq!(ea.map(|e| e.after), eb.map(|e| e.after));
+        assert_eq!(a.trip_progress(), b.trip_progress());
+        assert_eq!(a.is_tripped(), b.is_tripped());
     }
 
     #[test]

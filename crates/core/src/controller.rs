@@ -171,6 +171,14 @@ struct CoolingPlan {
     feasible: bool,
 }
 
+/// An accepted core-count candidate from the feasibility search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    per_server: Power,
+    plan: CoolingPlan,
+    deficit: Power,
+}
+
 /// Cumulative sprint bookkeeping across consecutive bursts.
 ///
 /// The paper's burst statistics are aggregates: the MS trace's "real burst
@@ -187,19 +195,37 @@ struct RunState {
     tes_engaged: bool,
 }
 
+/// The empty schedule the controller starts with; a `static` (not a
+/// promoted temporary) because `FaultSchedule` owns a `Vec`.
+static NO_FAULTS: FaultSchedule = FaultSchedule::NONE;
+
 /// The Data Center Sprinting controller: owns the plant and runs the
 /// three-phase methodology each control period.
 ///
+/// The facility spec, configuration, and fault schedule are *borrowed* for
+/// the controller's lifetime: search loops (the Oracle's grid scan, the
+/// table builder's cells) construct thousands of controllers against the
+/// same spec and must not deep-clone it per run.
+///
 /// See the [crate documentation](crate) for an example.
-pub struct SprintController {
-    spec: DataCenterSpec,
-    config: ControllerConfig,
+pub struct SprintController<'a> {
+    spec: &'a DataCenterSpec,
+    config: &'a ControllerConfig,
     strategy: Box<dyn SprintStrategy>,
     topo: PowerTopology,
     ups: UpsFleet,
     plant: CoolingPlant,
     tes: TesTank,
     room: RoomModel,
+    // Per-run invariants of the spec, hoisted out of the per-step hot path.
+    normal_cores: u32,
+    n_servers: f64,
+    servers_per_pdu_f: f64,
+    pdu_count_f: f64,
+    peak_normal_it: Power,
+    pdu_rated_total: Power,
+    max_degree: Ratio,
+    power_curve: PowerCurve,
     now: Seconds,
     sprint_active: bool,
     run_state: Option<RunState>,
@@ -213,9 +239,9 @@ pub struct SprintController {
     /// Exogenous DC-level load (e.g. an unexpected utility power spike,
     /// §IV-A); subtracted from the DC breaker budget every step.
     external_load: Power,
-    /// Injected fault schedule; [`FaultSchedule::none`] reproduces the
+    /// Injected fault schedule; [`FaultSchedule::NONE`] reproduces the
     /// fault-free run exactly.
-    faults: FaultSchedule,
+    faults: &'a FaultSchedule,
     /// Sensor-noise stream, keyed by the seed that created it so a new
     /// noise window restarts the stream deterministically.
     sensor_rng: Option<(u64, SensorRng)>,
@@ -232,7 +258,7 @@ pub struct SprintController {
     cb_extra_energy: Energy,
 }
 
-impl std::fmt::Debug for SprintController {
+impl std::fmt::Debug for SprintController<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SprintController")
             .field("strategy", &self.strategy.name())
@@ -242,16 +268,16 @@ impl std::fmt::Debug for SprintController {
     }
 }
 
-impl SprintController {
+impl<'a> SprintController<'a> {
     /// Builds a controller for a facility, with every store full and every
     /// breaker cold.
     #[must_use]
     pub fn new(
-        spec: DataCenterSpec,
-        config: ControllerConfig,
+        spec: &'a DataCenterSpec,
+        config: &'a ControllerConfig,
         strategy: Box<dyn SprintStrategy>,
-    ) -> SprintController {
-        let topo = PowerTopology::new(&spec);
+    ) -> SprintController<'a> {
+        let topo = PowerTopology::new(spec);
         let ups = UpsFleet::new(
             spec.total_servers(),
             config.ups_chemistry,
@@ -263,6 +289,7 @@ impl SprintController {
             Seconds::from_minutes(config.tes_minutes),
         );
         let room = RoomModel::calibrated(spec.peak_normal_it_power());
+        let server = spec.server();
         SprintController {
             spec,
             config,
@@ -272,6 +299,14 @@ impl SprintController {
             plant,
             tes,
             room,
+            normal_cores: server.normal_cores(),
+            n_servers: spec.total_servers() as f64,
+            servers_per_pdu_f: spec.servers_per_pdu() as f64,
+            pdu_count_f: spec.pdu_count() as f64,
+            peak_normal_it: spec.peak_normal_it_power(),
+            pdu_rated_total: spec.pdu_rated() * spec.pdu_count() as f64,
+            max_degree: server.max_degree(),
+            power_curve: PowerCurve::new(server.clone(), spec.total_servers()),
             now: Seconds::ZERO,
             sprint_active: false,
             run_state: None,
@@ -279,7 +314,7 @@ impl SprintController {
             terminated: false,
             hold_until_quiet: false,
             external_load: Power::ZERO,
-            faults: FaultSchedule::none(),
+            faults: &NO_FAULTS,
             sensor_rng: None,
             stale_reading: None,
             thermal_bias: TempDelta::ZERO,
@@ -292,14 +327,14 @@ impl SprintController {
 
     /// Returns the facility spec.
     #[must_use]
-    pub fn spec(&self) -> &DataCenterSpec {
-        &self.spec
+    pub fn spec(&self) -> &'a DataCenterSpec {
+        self.spec
     }
 
     /// Returns the configuration.
     #[must_use]
-    pub fn config(&self) -> &ControllerConfig {
-        &self.config
+    pub fn config(&self) -> &'a ControllerConfig {
+        self.config
     }
 
     /// Returns the strategy name.
@@ -364,18 +399,18 @@ impl SprintController {
 
     /// Installs a fault schedule and returns the controller. Each step
     /// looks up the faults active at the current simulation time and
-    /// derates the plant models accordingly; [`FaultSchedule::none`]
+    /// derates the plant models accordingly; [`FaultSchedule::NONE`]
     /// reproduces the fault-free run exactly.
     #[must_use]
-    pub fn with_faults(mut self, faults: FaultSchedule) -> SprintController {
+    pub fn with_faults(mut self, faults: &'a FaultSchedule) -> SprintController<'a> {
         self.faults = faults;
         self
     }
 
     /// Returns the installed fault schedule.
     #[must_use]
-    pub fn fault_schedule(&self) -> &FaultSchedule {
-        &self.faults
+    pub fn fault_schedule(&self) -> &'a FaultSchedule {
+        self.faults
     }
 
     /// The sensor-noise stream for `seed`, restarting it when a new noise
@@ -432,7 +467,7 @@ impl SprintController {
     /// never fires on a fault-free plant at normal load.
     fn trip_risk(&self, it_total: Power, ups_relief: Power, cooling: Power) -> bool {
         let net_it = (it_total - ups_relief).max_zero();
-        let per_pdu = net_it / self.topo.pdu_count() as f64;
+        let per_pdu = net_it / self.pdu_count_f;
         self.topo
             .pdu_breakers()
             .iter()
@@ -489,10 +524,6 @@ impl SprintController {
         ups + cb + tes_savings
     }
 
-    fn power_curve(&self) -> PowerCurve {
-        PowerCurve::new(self.spec.server().clone(), self.spec.total_servers())
-    }
-
     /// The cooling plan for a candidate heat load.
     ///
     /// In phases 1–2 the extra heat rides on the room's thermal
@@ -533,6 +564,38 @@ impl SprintController {
         }
     }
 
+    /// Evaluates the power and thermal feasibility of sprinting on `cores`
+    /// active cores this step. On success returns the accepted allocation;
+    /// on failure, why the candidate was rejected.
+    fn sprint_candidate(
+        &self,
+        cores: u32,
+        demand: f64,
+        dt: Seconds,
+        caps: dcs_power::TopologyCaps,
+    ) -> Result<Candidate, ShedReason> {
+        let per_server = self.spec.server().power_serving(cores, Ratio::new(demand));
+        let it_total = per_server * self.n_servers;
+        let plan = self.plan_cooling(it_total, true, dt);
+        if !plan.feasible {
+            return Err(ShedReason::Thermal);
+        }
+        let dc_it_budget = (caps.dc_total - plan.electric - self.external_load).max_zero();
+        let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
+        let per_pdu_desired = per_server * self.servers_per_pdu_f;
+        let deficit = (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f;
+        let ups_max = (self.ups.deliverable() / dt).min(it_total);
+        if deficit <= ups_max + Power::from_watts(1e-6) {
+            Ok(Candidate {
+                per_server,
+                plan,
+                deficit,
+            })
+        } else {
+            Err(ShedReason::Power)
+        }
+    }
+
     /// Advances the controller by one period with the given normalized
     /// demand, returning the step's telemetry.
     ///
@@ -550,10 +613,13 @@ impl SprintController {
             "time step must be positive and finite"
         );
         let time = self.now;
-        let server = self.spec.server().clone();
-        let normal_cores = server.normal_cores();
-        let n_servers = self.spec.total_servers() as f64;
-        let peak_normal_it = self.spec.peak_normal_it_power();
+        // `self.spec` is a shared borrow for the controller's lifetime, so
+        // copying the reference out leaves `self` free for `&mut` calls —
+        // no per-step clone of the server spec.
+        let server = self.spec.server();
+        let normal_cores = self.normal_cores;
+        let n_servers = self.n_servers;
+        let peak_normal_it = self.peak_normal_it;
 
         // --- Fault injection ----------------------------------------------
         // Derate the plant to whatever the schedule says is broken right
@@ -586,8 +652,8 @@ impl SprintController {
             let budget = EnergyBudget::new(self.total_energy_budget());
             let info = SprintInfo {
                 total_energy_budget: budget.total(),
-                power_curve: self.power_curve(),
-                max_degree: server.max_degree(),
+                power_curve: self.power_curve.clone(),
+                max_degree: self.max_degree,
             };
             self.strategy.on_sprint_start(&info);
             self.run_state = Some(RunState {
@@ -612,19 +678,19 @@ impl SprintController {
             let avg_degree = if run.sprint_elapsed > 0.0 {
                 Ratio::new((run.degree_integral / run.sprint_elapsed).max(1.0))
             } else {
-                server.max_degree()
+                self.max_degree
             };
             let ctx = StrategyContext {
                 since_burst_start: Seconds::new(run.sprint_elapsed),
                 demand: observed,
                 max_demand_seen: self.max_demand_seen,
-                max_degree: server.max_degree(),
+                max_degree: self.max_degree,
                 avg_degree,
                 remaining_energy: run.budget.remaining_fraction(),
             };
             self.strategy
                 .upper_bound(&ctx)
-                .clamp(Ratio::ONE, server.max_degree())
+                .clamp(Ratio::ONE, self.max_degree)
         } else {
             Ratio::ONE
         };
@@ -636,8 +702,7 @@ impl SprintController {
             .max(normal_cores);
         let desired_cores = needed_cores.min(bound_cores);
 
-        // Feasibility is monotone in the core count, so walk down from the
-        // desired count; the normal count is always feasible.
+        // The normal count is always feasible; start from it.
         let mut chosen = normal_cores;
         let mut per_server = server.power_serving(normal_cores, Ratio::new(demand));
         let mut plan = self.plan_cooling(per_server * n_servers, false, dt);
@@ -648,37 +713,48 @@ impl SprintController {
         // an exogenous load eating the DC budget): compute its deficit too.
         let mut deficit_total = {
             let dc_it_budget = (caps.dc_total - plan.electric - self.external_load).max_zero();
-            let allowed_per_pdu = caps
-                .per_pdu
-                .min(dc_it_budget / self.topo.pdu_count() as f64);
-            let per_pdu_desired = per_server * self.spec.servers_per_pdu() as f64;
-            (per_pdu_desired - allowed_per_pdu).max_zero() * self.topo.pdu_count() as f64
+            let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
+            let per_pdu_desired = per_server * self.servers_per_pdu_f;
+            (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f
         };
         let mut shed_reason: Option<ShedReason> = None;
-        for cores in (normal_cores + 1..=desired_cores.max(normal_cores)).rev() {
-            let cand_per_server = server.power_serving(cores, Ratio::new(demand));
-            let it_total = cand_per_server * n_servers;
-            let cand_plan = self.plan_cooling(it_total, true, dt);
-            if !cand_plan.feasible {
-                shed_reason.get_or_insert(ShedReason::Thermal);
-                continue;
+        // Feasibility is monotone in the core count (more cores draw more
+        // power and shed more heat, and the breaker caps are fixed this
+        // step), so the best count is found by trying `desired` and, if it
+        // fails, binary-searching the largest feasible count below it. The
+        // reported shed reason is the reason the *desired* count failed,
+        // matching the former walk-down's first-rejection semantics.
+        if desired_cores > normal_cores {
+            match self.sprint_candidate(desired_cores, demand, dt, caps) {
+                Ok(c) => {
+                    chosen = desired_cores;
+                    per_server = c.per_server;
+                    plan = c.plan;
+                    deficit_total = c.deficit;
+                }
+                Err(reason) => {
+                    shed_reason = Some(reason);
+                    let mut lo = normal_cores + 1;
+                    let mut hi = desired_cores - 1;
+                    let mut best: Option<(u32, Candidate)> = None;
+                    while lo <= hi {
+                        let mid = lo + (hi - lo) / 2;
+                        match self.sprint_candidate(mid, demand, dt, caps) {
+                            Ok(c) => {
+                                best = Some((mid, c));
+                                lo = mid + 1;
+                            }
+                            Err(_) => hi = mid - 1,
+                        }
+                    }
+                    if let Some((cores, c)) = best {
+                        chosen = cores;
+                        per_server = c.per_server;
+                        plan = c.plan;
+                        deficit_total = c.deficit;
+                    }
+                }
             }
-            let dc_it_budget = (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
-            let allowed_per_pdu = caps
-                .per_pdu
-                .min(dc_it_budget / self.topo.pdu_count() as f64);
-            let per_pdu_desired = cand_per_server * self.spec.servers_per_pdu() as f64;
-            let cand_deficit =
-                (per_pdu_desired - allowed_per_pdu).max_zero() * self.topo.pdu_count() as f64;
-            let ups_max = (self.ups.deliverable() / dt).min(cand_per_server * n_servers);
-            if cand_deficit <= ups_max + Power::from_watts(1e-6) {
-                chosen = cores;
-                per_server = cand_per_server;
-                plan = cand_plan;
-                deficit_total = cand_deficit;
-                break;
-            }
-            shed_reason.get_or_insert(ShedReason::Power);
         }
 
         let mut it_total = per_server * n_servers;
@@ -701,12 +777,10 @@ impl SprintController {
                     let cand_plan = self.plan_cooling(cand_it, false, dt);
                     let dc_it_budget =
                         (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
-                    let allowed_per_pdu = caps
-                        .per_pdu
-                        .min(dc_it_budget / self.topo.pdu_count() as f64);
-                    let per_pdu_desired = cand_per_server * self.spec.servers_per_pdu() as f64;
-                    let cand_deficit = (per_pdu_desired - allowed_per_pdu).max_zero()
-                        * self.topo.pdu_count() as f64;
+                    let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
+                    let per_pdu_desired = cand_per_server * self.servers_per_pdu_f;
+                    let cand_deficit =
+                        (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f;
                     let cand_ups_max = (self.ups.deliverable() / dt).min(cand_it);
                     let safe = cand_deficit <= cand_ups_max + Power::from_watts(1e-6)
                         || !self.trip_risk(cand_it, cand_ups_max, cand_plan.electric);
@@ -751,7 +825,7 @@ impl SprintController {
             && !self.sprint_active
             && observed < 0.9 * self.config.burst_threshold
         {
-            let pdu_count = self.topo.pdu_count() as f64;
+            let pdu_count = self.pdu_count_f;
             let per_pdu_net = sprint_net_it / pdu_count;
             let pdu_limit = self
                 .topo
@@ -776,7 +850,7 @@ impl SprintController {
         }
 
         let net_it_through_pdus = sprint_net_it + recharge_power;
-        let per_pdu_net = net_it_through_pdus / self.topo.pdu_count() as f64;
+        let per_pdu_net = net_it_through_pdus / self.pdu_count_f;
         let events = self
             .topo
             .step_uniform(per_pdu_net, cooling_power + self.external_load, dt);
@@ -813,8 +887,7 @@ impl SprintController {
         // The finite part of the CB contribution is only the power *above
         // the breaker ratings*: the NEC band between peak normal and rated
         // is sustainable indefinitely and must not drain the sprint budget.
-        let pdu_rated_total = self.spec.pdu_rated() * self.topo.pdu_count() as f64;
-        let cb_above_rated = (sprint_net_it - pdu_rated_total).max_zero();
+        let cb_above_rated = (sprint_net_it - self.pdu_rated_total).max_zero();
         let tes_savings = self.plant.tes_savings(tes_got);
         self.ups_energy += ups_got * dt;
         self.tes_heat_energy += tes_got * dt;
@@ -874,10 +947,20 @@ impl SprintController {
 mod tests {
     use super::*;
     use crate::Greedy;
+    use std::sync::OnceLock;
 
-    fn small() -> SprintController {
-        let spec = DataCenterSpec::paper_default().with_scale(4, 200);
-        SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy))
+    fn small_spec() -> &'static DataCenterSpec {
+        static SPEC: OnceLock<DataCenterSpec> = OnceLock::new();
+        SPEC.get_or_init(|| DataCenterSpec::paper_default().with_scale(4, 200))
+    }
+
+    fn default_config() -> &'static ControllerConfig {
+        static CONFIG: OnceLock<ControllerConfig> = OnceLock::new();
+        CONFIG.get_or_init(ControllerConfig::default)
+    }
+
+    fn small() -> SprintController<'static> {
+        SprintController::new(small_spec(), default_config(), Box::new(Greedy))
     }
 
     #[test]
@@ -1058,7 +1141,7 @@ mod tests {
             tes_minutes: 0.5,
             ..ControllerConfig::default()
         };
-        let mut c = SprintController::new(spec, config, Box::new(Greedy));
+        let mut c = SprintController::new(&spec, &config, Box::new(Greedy));
         let mut terminated_seen = false;
         let mut prev_sprinting = false;
         for _ in 0..1500 {
@@ -1100,8 +1183,9 @@ mod tests {
 
     #[test]
     fn empty_fault_schedule_is_telemetry_identical() {
+        let none = FaultSchedule::none();
         let mut plain = small();
-        let mut faulted = small().with_faults(FaultSchedule::none());
+        let mut faulted = small().with_faults(&none);
         for step in 0..600 {
             let demand = if (120..360).contains(&step) { 2.8 } else { 0.6 };
             let a = plain.step(demand, Seconds::new(1.0));
@@ -1131,7 +1215,8 @@ mod tests {
         // At 0.7x effective rating the *normal* load sits in the tripping
         // region; without the emergency backstop this run trips once the
         // UPS drains.
-        let mut c = small().with_faults(whole_run(FaultKind::BreakerDerated { factor: 0.7 }));
+        let faults = whole_run(FaultKind::BreakerDerated { factor: 0.7 });
+        let mut c = small().with_faults(&faults);
         let mut emergency_seen = false;
         let mut min_cores = u32::MAX;
         for _ in 0..3600 {
@@ -1166,7 +1251,7 @@ mod tests {
                 FaultKind::StaleTelemetry { hold_steps: 20 },
             ),
         ]);
-        let mut c = small().with_faults(faults);
+        let mut c = small().with_faults(&faults);
         for step in 0..1800 {
             let demand = if step % 600 < 300 { 3.0 } else { 0.5 };
             let r = c.step(demand, Seconds::new(1.0));
@@ -1179,7 +1264,8 @@ mod tests {
 
     #[test]
     fn ups_string_failure_still_sprints_safely() {
-        let mut c = small().with_faults(whole_run(FaultKind::UpsStringFailure { fraction: 0.5 }));
+        let faults = whole_run(FaultKind::UpsStringFailure { fraction: 0.5 });
+        let mut c = small().with_faults(&faults);
         let mut peak_served = 0.0_f64;
         for _ in 0..900 {
             let r = c.step(2.5, Seconds::new(1.0));

@@ -33,7 +33,8 @@
 //! use dcs_units::Seconds;
 //!
 //! let spec = DataCenterSpec::paper_default().with_scale(4, 200);
-//! let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+//! let config = ControllerConfig::default();
+//! let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
 //!
 //! // A quiet period serves everything with the normal cores.
 //! let rec = ctl.step(0.8, Seconds::new(1.0));

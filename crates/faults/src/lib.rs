@@ -274,6 +274,10 @@ pub struct FaultSchedule {
 }
 
 impl FaultSchedule {
+    /// The empty schedule as a constant, so fault-free callers can borrow a
+    /// `&'static FaultSchedule` instead of allocating one per run.
+    pub const NONE: FaultSchedule = FaultSchedule { events: Vec::new() };
+
     /// The empty schedule: a facility with no injected faults. Running a
     /// simulation under this schedule reproduces the fault-free telemetry
     /// exactly.

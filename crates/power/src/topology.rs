@@ -115,14 +115,28 @@ impl PowerTopology {
     /// Panics if `reserve` is not strictly positive.
     #[must_use]
     pub fn caps(&self, reserve: Seconds) -> TopologyCaps {
-        let per_pdu = self
-            .pdus
-            .iter()
-            .map(|b| b.max_load_with_reserve(reserve))
-            .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min);
+        // Uniform allocation keeps the PDUs' thermal states in lock-step, so
+        // on the common path one curve inversion covers every PDU.
+        let per_pdu = if self.pdus_equivalent() {
+            self.pdus[0].max_load_with_reserve(reserve)
+        } else {
+            self.pdus
+                .iter()
+                .map(|b| b.max_load_with_reserve(reserve))
+                .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min)
+        };
         TopologyCaps {
             per_pdu,
             dc_total: self.dc.max_load_with_reserve(reserve),
+        }
+    }
+
+    /// Returns `true` if every PDU breaker would respond identically to the
+    /// same load (equal rating, curve, derating, and thermal state).
+    fn pdus_equivalent(&self) -> bool {
+        match self.pdus.split_first() {
+            Some((first, rest)) => rest.iter().all(|b| b.behaves_like(first)),
+            None => false,
         }
     }
 
@@ -157,8 +171,62 @@ impl PowerTopology {
         cooling: Power,
         dt: Seconds,
     ) -> Vec<TripEvent> {
-        let loads = vec![per_pdu_it; self.pdus.len()];
-        self.step_loads(&loads, cooling, dt)
+        assert!(cooling >= Power::ZERO, "cooling must be non-negative");
+        let mut events = Vec::new();
+        let mut delivered = Power::ZERO;
+        if self.pdus_equivalent() {
+            // Equivalent PDUs under the same load stay equivalent: integrate
+            // one representative and replicate its state to the siblings.
+            let (first, rest) = self.pdus.split_first_mut().expect("checked non-empty");
+            if !first.is_tripped() {
+                let outcome = first
+                    .apply_load(per_pdu_it, dt)
+                    .expect("non-tripped breaker");
+                match outcome {
+                    Some(ev) => {
+                        for pdu in rest.iter_mut() {
+                            pdu.sync_state_from(first);
+                        }
+                        let rest_events = self.pdus[1..].iter().map(|pdu| TripEvent {
+                            name: pdu.name().to_owned(),
+                            ratio: ev.ratio,
+                            after: ev.after,
+                        });
+                        events.push(ev.clone());
+                        events.extend(rest_events);
+                    }
+                    None => {
+                        // Repeated addition, not multiplication: keeps the
+                        // DC-breaker load bit-identical to the general path.
+                        delivered += per_pdu_it;
+                        for pdu in rest.iter_mut() {
+                            pdu.sync_state_from(first);
+                            delivered += per_pdu_it;
+                        }
+                    }
+                }
+            }
+        } else {
+            for pdu in &mut self.pdus {
+                if pdu.is_tripped() {
+                    continue;
+                }
+                match pdu.apply_load(per_pdu_it, dt).expect("non-tripped breaker") {
+                    Some(ev) => events.push(ev),
+                    None => delivered += per_pdu_it,
+                }
+            }
+        }
+        if !self.dc.is_tripped() {
+            if let Some(ev) = self
+                .dc
+                .apply_load(delivered + cooling, dt)
+                .expect("non-tripped breaker")
+            {
+                events.push(ev);
+            }
+        }
+        events
     }
 
     /// Applies one interval of per-PDU loads plus DC-level cooling.
@@ -385,6 +453,44 @@ mod tests {
         topo.set_breaker_derating(1.0);
         topo.reset();
         assert_eq!(topo.caps(Seconds::new(60.0)), nominal);
+    }
+
+    #[test]
+    fn uniform_fast_path_matches_per_pdu_integration() {
+        let spec = small_spec();
+        let mut fast = PowerTopology::new(&spec);
+        let mut slow = PowerTopology::new(&spec);
+        let load = spec.pdu_rated() * 1.3; // 30% overload: trips in ~240 s
+        let loads = vec![load; spec.pdu_count()];
+        for _ in 0..300 {
+            let a = fast.step_uniform(load, Power::ZERO, Seconds::new(1.0));
+            let b = slow.step_loads(&loads, Power::ZERO, Seconds::new(1.0));
+            assert_eq!(a, b);
+            assert_eq!(fast, slow);
+            assert_eq!(fast.caps(Seconds::new(60.0)), slow.caps(Seconds::new(60.0)));
+        }
+        assert!(fast.status().any_tripped);
+    }
+
+    #[test]
+    fn diverged_pdus_fall_back_to_per_pdu_path() {
+        let spec = small_spec();
+        let mut topo = PowerTopology::new(&spec);
+        // Diverge pdu-0's thermal state with a heterogeneous step.
+        let mut warmup = vec![spec.pdu_rated() * 0.5; spec.pdu_count()];
+        warmup[0] = spec.pdu_rated() * 1.5;
+        topo.step_loads(&warmup, Power::ZERO, Seconds::new(10.0));
+        let mut reference = topo.clone();
+        let load = spec.pdu_rated() * 1.3;
+        let loads = vec![load; spec.pdu_count()];
+        let a = topo.step_uniform(load, Power::ZERO, Seconds::new(30.0));
+        let b = reference.step_loads(&loads, Power::ZERO, Seconds::new(30.0));
+        assert_eq!(a, b);
+        assert_eq!(topo, reference);
+        assert_eq!(
+            topo.caps(Seconds::new(60.0)),
+            reference.caps(Seconds::new(60.0))
+        );
     }
 
     #[test]

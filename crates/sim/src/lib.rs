@@ -15,8 +15,12 @@
 //! * [`run_power_capped`] — the §II DVFS power-capping baseline that never
 //!   exceeds the rated limits (and never exceeds the NEC headroom's modest
 //!   boost either);
-//! * [`oracle_search`] — the Oracle strategy: exhaustive search over
-//!   constant sprinting-degree bounds (Fig. 9/10's "O" bars);
+//! * [`oracle_search`] — the Oracle strategy: a pruned search over
+//!   constant sprinting-degree bounds (Fig. 9/10's "O" bars), with
+//!   [`oracle_search_exhaustive`] as the historical full-grid fallback;
+//! * [`run_summary`] / [`Telemetry::Aggregate`] — the lean-telemetry fast
+//!   path: the identical controller-step sequence without materializing
+//!   per-step records, for search loops that only consume aggregates;
 //! * [`build_upper_bound_table`] — the Oracle-built table the Prediction
 //!   strategy consumes (§V-A);
 //! * [`parallel_map`] — the scoped-thread sweep helper used by the
@@ -53,9 +57,15 @@ mod table_builder;
 mod uncontrolled;
 
 pub use capped::run_power_capped;
-pub use oracle::{degree_grid, oracle_search, OracleOutcome};
-pub use runner::{run, run_no_sprint, run_no_sprint_with_faults, run_with_faults};
-pub use scenario::{Scenario, SimResult};
+pub use oracle::{
+    degree_grid, oracle_search, oracle_search_exhaustive, oracle_search_with, OracleMode,
+    OracleOutcome,
+};
+pub use runner::{
+    run, run_no_sprint, run_no_sprint_with_faults, run_summary, run_summary_with_faults,
+    run_with_faults, run_with_options, RunOptions, SimOutput, Telemetry,
+};
+pub use scenario::{Scenario, SimResult, SimSummary};
 pub use sweep::parallel_map;
-pub use table_builder::build_upper_bound_table;
+pub use table_builder::{build_upper_bound_table, build_upper_bound_table_with};
 pub use uncontrolled::{run_uncontrolled, UncontrolledMode, UncontrolledResult};

@@ -1,7 +1,8 @@
-//! The Oracle strategy: exhaustive search over constant degree bounds.
+//! The Oracle strategy: search over constant degree bounds.
 
-use crate::{parallel_map, run, Scenario, SimResult};
+use crate::{parallel_map, run_summary_with_faults, run_with_faults, Scenario, SimResult};
 use dcs_core::FixedBound;
+use dcs_faults::{FaultKind, FaultSchedule};
 use dcs_units::Ratio;
 use serde::{Deserialize, Serialize};
 
@@ -12,8 +13,28 @@ pub struct OracleOutcome {
     pub best_bound: Ratio,
     /// The run under the best bound.
     pub best: SimResult,
-    /// Every `(bound, average served demand)` pair tried.
+    /// Every `(bound, average served demand)` pair *evaluated*, in
+    /// ascending bound order. [`OracleMode::Exhaustive`] evaluates the
+    /// whole grid; [`OracleMode::Pruned`] populates only the points its
+    /// search visited (always including the maximum bound).
     pub tried: Vec<(f64, f64)>,
+}
+
+/// How the Oracle explores the degree grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OracleMode {
+    /// Prune the grid before running: bounds too loose to ever bind are
+    /// collapsed into one representative, and the remaining profile —
+    /// empirically unimodal in the bound — is scanned coarse-to-fine with
+    /// lean ([`crate::Telemetry::Aggregate`]) runs. Produces the same
+    /// `best_bound` as [`OracleMode::Exhaustive`] whenever the profile is
+    /// unimodal (plateaus included), at a fraction of the simulated work.
+    #[default]
+    Pruned,
+    /// The historical exhaustive scan: one full-telemetry run per grid
+    /// point. The explicit fallback if a scenario's performance-vs-bound
+    /// profile is ever *not* unimodal.
+    Exhaustive,
 }
 
 /// Returns the sprinting-degree grid the Oracle searches: one point per
@@ -28,9 +49,9 @@ pub fn degree_grid(spec: &dcs_power::DataCenterSpec) -> Vec<Ratio> {
         .collect()
 }
 
-/// Runs the Oracle strategy: simulates a [`FixedBound`] run for every
-/// degree on the grid (in parallel) and keeps the bound with the best
-/// average performance.
+/// Runs the Oracle strategy: finds the constant [`FixedBound`] with the
+/// best average performance over the degree grid, using the default
+/// [`OracleMode::Pruned`] search.
 ///
 /// This is §V-A's *"finds the optimal upper bound by exhaustive search,
 /// with the assumption that the burst degree and burst duration can be
@@ -42,25 +63,191 @@ pub fn degree_grid(spec: &dcs_power::DataCenterSpec) -> Vec<Ratio> {
 /// Panics if the degree grid is empty (impossible for a valid spec).
 #[must_use]
 pub fn oracle_search(scenario: &Scenario) -> OracleOutcome {
-    let grid = degree_grid(scenario.spec());
-    let results = parallel_map(&grid, |&bound| {
-        let result = run(scenario, Box::new(FixedBound::new(bound)));
-        (bound, result)
-    });
-    let tried: Vec<(f64, f64)> = results
-        .iter()
-        .map(|(b, r)| (b.as_f64(), r.average_performance()))
-        .collect();
-    let (best_bound, mut best) = results
-        .into_iter()
-        .max_by(|(_, a), (_, b)| a.average_performance().total_cmp(&b.average_performance()))
-        .expect("degree grid is never empty");
-    best.strategy = "Oracle".into();
-    OracleOutcome {
-        best_bound,
-        best,
-        tried,
+    oracle_search_with(scenario, &FaultSchedule::NONE, OracleMode::Pruned)
+}
+
+/// [`oracle_search`] with the historical exhaustive scan: every grid point
+/// simulated with full telemetry.
+///
+/// # Panics
+///
+/// Panics if the degree grid is empty (impossible for a valid spec).
+#[must_use]
+pub fn oracle_search_exhaustive(scenario: &Scenario) -> OracleOutcome {
+    oracle_search_with(scenario, &FaultSchedule::NONE, OracleMode::Exhaustive)
+}
+
+/// Runs the Oracle search with an explicit fault schedule and search mode.
+///
+/// # Panics
+///
+/// Panics if the degree grid is empty (impossible for a valid spec).
+#[must_use]
+pub fn oracle_search_with(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    mode: OracleMode,
+) -> OracleOutcome {
+    match mode {
+        OracleMode::Exhaustive => {
+            let grid = degree_grid(scenario.spec());
+            let results = parallel_map(&grid, |&bound| {
+                let result = run_with_faults(scenario, Box::new(FixedBound::new(bound)), faults);
+                (bound, result)
+            });
+            let tried: Vec<(f64, f64)> = results
+                .iter()
+                .map(|(b, r)| (b.as_f64(), r.average_performance()))
+                .collect();
+            let (best_bound, mut best) = results
+                .into_iter()
+                .max_by(|(_, a), (_, b)| {
+                    a.average_performance().total_cmp(&b.average_performance())
+                })
+                .expect("degree grid is never empty");
+            best.strategy = "Oracle".into();
+            OracleOutcome {
+                best_bound,
+                best,
+                tried,
+            }
+        }
+        OracleMode::Pruned => {
+            let (best_bound, tried) = pruned_scan(scenario, faults);
+            let mut best = run_with_faults(scenario, Box::new(FixedBound::new(best_bound)), faults);
+            best.strategy = "Oracle".into();
+            OracleOutcome {
+                best_bound,
+                best,
+                tried,
+            }
+        }
     }
+}
+
+/// Bounds at or below this many effective grid points are all evaluated:
+/// the coarse-to-fine machinery only pays off on larger grids.
+const EXHAUST_BELOW: usize = 8;
+
+/// The pruned Oracle scan: returns the best bound and the evaluated
+/// `(bound, average performance)` pairs, without the final full-telemetry
+/// run (the table builder wants only the bound).
+///
+/// Two prunes are applied, both *exact* under stated assumptions:
+///
+/// 1. **Saturation.** A bound whose core count is at least the cores
+///    needed for the largest demand the controller can ever *observe*
+///    (max trace demand plus the worst ±3σ sensor-noise excursion in the
+///    fault schedule) never binds, so all such bounds produce identical
+///    runs. Only the largest is evaluated, as the representative — which
+///    also preserves the exhaustive scan's last-of-ties selection.
+/// 2. **Unimodality.** The performance-vs-bound profile is empirically
+///    unimodal (tight bounds under-sprint, loose bounds over-drain the
+///    stores; plateaus occur where a whole range of bounds acts
+///    identically). A stride-√m coarse scan plus a full scan of the
+///    window around the coarse winner finds the *last* grid argmax of any
+///    unimodal-with-plateaus profile: the true argmax plateau always ends
+///    strictly inside the refined window.
+///
+/// Evaluations use [`crate::Telemetry::Aggregate`] runs, whose average
+/// performance is bit-identical to a full run's.
+pub(crate) fn pruned_scan(scenario: &Scenario, faults: &FaultSchedule) -> (Ratio, Vec<(f64, f64)>) {
+    let spec = scenario.spec();
+    let server = spec.server();
+    let grid = degree_grid(spec);
+    let n = grid.len();
+    assert!(n > 0, "degree grid is never empty");
+    let normal = server.normal_cores();
+
+    // --- Saturation pruning ------------------------------------------------
+    let max_demand = scenario
+        .trace()
+        .iter()
+        .map(|(_, d)| d)
+        .fold(0.0_f64, f64::max);
+    let max_sigma = faults
+        .events()
+        .iter()
+        .map(|e| match e.kind {
+            FaultKind::SensorNoise { demand_sigma, .. } => demand_sigma,
+            _ => 0.0,
+        })
+        .fold(0.0_f64, f64::max);
+    // Sensor noise is truncated at ±3σ, so no observed demand can exceed
+    // this cap (stale telemetry only replays past observations).
+    let observed_cap = max_demand + 3.0 * max_sigma;
+    let saturating_cores = server.cores_for_demand(Ratio::new(observed_cap));
+    let first_saturated = grid
+        .iter()
+        .position(|&b| server.cores_at_degree(b).max(normal) >= saturating_cores)
+        .unwrap_or(n - 1);
+    // Unsaturated bounds, plus the *last* grid point representing the
+    // entire saturated tail.
+    let mut candidates: Vec<usize> = (0..first_saturated).collect();
+    candidates.push(n - 1);
+    let m = candidates.len();
+
+    // --- Coarse-to-fine unimodal scan -------------------------------------
+    let mut values: Vec<Option<f64>> = (0..m).map(|_| None).collect();
+    let evaluate = |positions: &[usize]| -> Vec<f64> {
+        parallel_map(positions, |&p| {
+            run_summary_with_faults(
+                scenario,
+                Box::new(FixedBound::new(grid[candidates[p]])),
+                faults,
+            )
+            .average_performance()
+        })
+    };
+    if m <= EXHAUST_BELOW {
+        let all: Vec<usize> = (0..m).collect();
+        for (p, v) in evaluate(&all).into_iter().enumerate() {
+            values[p] = Some(v);
+        }
+    } else {
+        let stride = (m as f64).sqrt().ceil() as usize;
+        let mut coarse: Vec<usize> = (0..m).step_by(stride).collect();
+        if *coarse.last().expect("m > 0") != m - 1 {
+            coarse.push(m - 1);
+        }
+        for (&p, v) in coarse.iter().zip(evaluate(&coarse)) {
+            values[p] = Some(v);
+        }
+        // The *last* coarse argmax, to preserve last-of-ties selection.
+        let mut pivot = coarse[0];
+        let mut pivot_val = f64::NEG_INFINITY;
+        for &p in &coarse {
+            let v = values[p].expect("coarse point evaluated");
+            if v.total_cmp(&pivot_val).is_ge() {
+                pivot = p;
+                pivot_val = v;
+            }
+        }
+        // Under unimodality the argmax plateau ends strictly between the
+        // coarse neighbors of the pivot: scan that window exhaustively.
+        let lo = pivot.saturating_sub(stride - 1);
+        let hi = (pivot + stride - 1).min(m - 1);
+        let window: Vec<usize> = (lo..=hi).filter(|&p| values[p].is_none()).collect();
+        for (&p, v) in window.iter().zip(evaluate(&window)) {
+            values[p] = Some(v);
+        }
+    }
+
+    // Last argmax over everything evaluated (positions ascend with the
+    // bound, so this matches `max_by`'s last-of-ties result).
+    let mut best_pos = 0;
+    let mut best_val = f64::NEG_INFINITY;
+    let mut tried = Vec::new();
+    for (p, value) in values.iter().enumerate() {
+        if let Some(v) = *value {
+            tried.push((grid[candidates[p]].as_f64(), v));
+            if v.total_cmp(&best_val).is_ge() {
+                best_pos = p;
+                best_val = v;
+            }
+        }
+    }
+    (grid[candidates[best_pos]], tried)
 }
 
 #[cfg(test)]
@@ -127,9 +314,43 @@ mod tests {
     }
 
     #[test]
-    fn tried_covers_whole_grid() {
-        let outcome = oracle_search(&scenario(2.6, 1.0));
+    fn exhaustive_tried_covers_whole_grid() {
+        let outcome = oracle_search_exhaustive(&scenario(2.6, 1.0));
         assert_eq!(outcome.tried.len(), 37);
+        assert_eq!(outcome.best.strategy, "Oracle");
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive() {
+        for (degree, minutes) in [(2.6, 1.0), (3.2, 15.0), (4.0, 30.0)] {
+            let s = scenario(degree, minutes);
+            let pruned = oracle_search(&s);
+            let exhaustive = oracle_search_exhaustive(&s);
+            assert_eq!(
+                pruned.best_bound, exhaustive.best_bound,
+                "best bound diverged at ({degree}, {minutes})"
+            );
+            assert_eq!(pruned.best, exhaustive.best);
+            // Pruned evaluations are a subset of the exhaustive ones, with
+            // identical values where both evaluated.
+            assert!(pruned.tried.len() <= exhaustive.tried.len());
+            for pair in &pruned.tried {
+                assert!(
+                    exhaustive.tried.contains(pair),
+                    "pruned point {pair:?} not in exhaustive scan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_evaluates_fewer_runs_on_long_bursts() {
+        let outcome = oracle_search(&scenario(3.2, 15.0));
+        assert!(
+            outcome.tried.len() < 37,
+            "pruned search evaluated the whole grid ({} points)",
+            outcome.tried.len()
+        );
         assert_eq!(outcome.best.strategy, "Oracle");
     }
 }

@@ -1,10 +1,64 @@
 //! Scenario execution.
 
-use crate::{Scenario, SimResult};
+use crate::{Scenario, SimResult, SimSummary};
 use dcs_core::{FixedBound, SprintController, SprintStrategy};
 use dcs_faults::FaultSchedule;
 use dcs_units::Ratio;
 use dcs_workload::AdmissionLog;
+use serde::{Deserialize, Serialize};
+
+/// How much telemetry a run materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Telemetry {
+    /// Keep the per-step [`dcs_core::StepRecord`] vector (the default;
+    /// bit-identical to the historical behavior of [`run`]).
+    #[default]
+    Full,
+    /// Skip per-step records and fold only what the searches consume —
+    /// admission accounting, the energy split, trip/overheat flags, and
+    /// the peak degree — into a [`SimSummary`]. The controller-step
+    /// sequence is identical to [`Telemetry::Full`]; only the recording
+    /// differs.
+    Aggregate,
+}
+
+/// Options for [`run_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Telemetry mode.
+    pub telemetry: Telemetry,
+}
+
+/// The outcome of [`run_with_options`]: full telemetry or a lean summary,
+/// depending on [`RunOptions::telemetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutput {
+    /// A [`Telemetry::Full`] run.
+    Full(SimResult),
+    /// A [`Telemetry::Aggregate`] run.
+    Aggregate(SimSummary),
+}
+
+impl SimOutput {
+    /// Collapses either variant into a [`SimSummary`]. Exact in both cases:
+    /// an aggregate run folds the same per-step values a full run records.
+    #[must_use]
+    pub fn into_summary(self) -> SimSummary {
+        match self {
+            SimOutput::Full(result) => result.summarize(),
+            SimOutput::Aggregate(summary) => summary,
+        }
+    }
+
+    /// Returns the full result, if this was a [`Telemetry::Full`] run.
+    #[must_use]
+    pub fn into_result(self) -> Option<SimResult> {
+        match self {
+            SimOutput::Full(result) => Some(result),
+            SimOutput::Aggregate(_) => None,
+        }
+    }
+}
 
 /// Simulates a scenario under the given strategy.
 ///
@@ -13,7 +67,7 @@ use dcs_workload::AdmissionLog;
 /// energy split.
 #[must_use]
 pub fn run(scenario: &Scenario, strategy: Box<dyn SprintStrategy>) -> SimResult {
-    run_with_faults(scenario, strategy, &FaultSchedule::none())
+    run_with_faults(scenario, strategy, &FaultSchedule::NONE)
 }
 
 /// Simulates a scenario under the given strategy with an injected fault
@@ -24,27 +78,101 @@ pub fn run_with_faults(
     strategy: Box<dyn SprintStrategy>,
     faults: &FaultSchedule,
 ) -> SimResult {
+    match run_with_options(scenario, strategy, faults, RunOptions::default()) {
+        SimOutput::Full(result) => result,
+        SimOutput::Aggregate(_) => unreachable!("default options request full telemetry"),
+    }
+}
+
+/// Simulates a scenario in [`Telemetry::Aggregate`] mode: no per-step
+/// record vector, just the lean [`SimSummary`] the searches consume.
+#[must_use]
+pub fn run_summary(scenario: &Scenario, strategy: Box<dyn SprintStrategy>) -> SimSummary {
+    run_summary_with_faults(scenario, strategy, &FaultSchedule::NONE)
+}
+
+/// [`run_summary`] with an injected fault schedule.
+#[must_use]
+pub fn run_summary_with_faults(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+) -> SimSummary {
+    run_with_options(
+        scenario,
+        strategy,
+        faults,
+        RunOptions {
+            telemetry: Telemetry::Aggregate,
+        },
+    )
+    .into_summary()
+}
+
+/// Simulates a scenario with explicit run options.
+///
+/// Both telemetry modes drive the identical controller-step sequence; the
+/// borrowed spec/config/faults are never cloned, so search loops (the
+/// Oracle, the table builder) pay no per-run setup beyond plant
+/// construction.
+#[must_use]
+pub fn run_with_options(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+    options: RunOptions,
+) -> SimOutput {
     let mut controller =
-        SprintController::new(scenario.spec().clone(), scenario.config().clone(), strategy)
-            .with_faults(faults.clone());
+        SprintController::new(scenario.spec(), scenario.config(), strategy).with_faults(faults);
     let strategy_name = controller.strategy_name().to_owned();
     let dt = scenario.trace().step();
-    let mut records = Vec::with_capacity(scenario.trace().len());
     let mut admission = AdmissionLog::new();
-    for (_, demand) in scenario.trace().iter() {
-        let rec = controller.step(demand, dt);
-        admission.record(rec.demand, rec.served, dt);
-        records.push(rec);
-    }
-    let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
-    SimResult {
-        strategy: strategy_name,
-        step: dt,
-        records,
-        admission,
-        cb_energy,
-        ups_energy,
-        tes_energy,
+    match options.telemetry {
+        Telemetry::Full => {
+            let mut records = Vec::with_capacity(scenario.trace().len());
+            for (_, demand) in scenario.trace().iter() {
+                let rec = controller.step(demand, dt);
+                admission.record(rec.demand, rec.served, dt);
+                records.push(rec);
+            }
+            let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
+            SimOutput::Full(SimResult {
+                strategy: strategy_name,
+                step: dt,
+                records,
+                admission,
+                cb_energy,
+                ups_energy,
+                tes_energy,
+            })
+        }
+        Telemetry::Aggregate => {
+            let mut steps = 0usize;
+            let mut tripped = false;
+            let mut overheated = false;
+            let mut peak_degree = 0.0_f64;
+            for (_, demand) in scenario.trace().iter() {
+                let rec = controller.step(demand, dt);
+                admission.record(rec.demand, rec.served, dt);
+                steps += 1;
+                tripped |= rec.tripped;
+                overheated |= rec.overheated;
+                peak_degree = peak_degree.max(rec.degree.as_f64());
+            }
+            let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
+            SimOutput::Aggregate(SimSummary {
+                strategy: strategy_name,
+                step: dt,
+                steps,
+                admission,
+                cb_energy,
+                ups_energy,
+                tes_energy,
+                tripped,
+                overheated,
+                peak_degree,
+            })
+        }
     }
 }
 
@@ -55,7 +183,7 @@ pub fn run_with_faults(
 /// cooling) is simulated identically to a sprinting run.
 #[must_use]
 pub fn run_no_sprint(scenario: &Scenario) -> SimResult {
-    run_no_sprint_with_faults(scenario, &FaultSchedule::none())
+    run_no_sprint_with_faults(scenario, &FaultSchedule::NONE)
 }
 
 /// Simulates the no-sprint baseline on a faulted plant: even a facility
@@ -120,5 +248,35 @@ mod tests {
         let a = run(&s, Box::new(Greedy));
         let b = run(&s, Box::new(Greedy));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_run_equals_summarized_full_run() {
+        let s = scenario(3.2, 15.0);
+        let full = run(&s, Box::new(Greedy));
+        let lean = run_summary(&s, Box::new(Greedy));
+        assert_eq!(lean, full.summarize());
+    }
+
+    #[test]
+    fn sim_output_accessors() {
+        let s = scenario(3.0, 1.0);
+        let out = run_with_options(
+            &s,
+            Box::new(Greedy),
+            &FaultSchedule::NONE,
+            RunOptions::default(),
+        );
+        assert!(out.clone().into_result().is_some());
+        let lean = run_with_options(
+            &s,
+            Box::new(Greedy),
+            &FaultSchedule::NONE,
+            RunOptions {
+                telemetry: Telemetry::Aggregate,
+            },
+        );
+        assert!(lean.clone().into_result().is_none());
+        assert_eq!(lean.into_summary(), out.into_summary());
     }
 }

@@ -228,6 +228,93 @@ impl SimResult {
             .map(|r| r.degree.as_f64())
             .fold(0.0, f64::max)
     }
+
+    /// Collapses the full-telemetry result into the lean [`SimSummary`] an
+    /// [`Aggregate`](crate::Telemetry::Aggregate)-mode run would have
+    /// produced directly. The equivalence is exact (not approximate): both
+    /// paths drive the identical controller-step sequence and fold the same
+    /// per-step values.
+    #[must_use]
+    pub fn summarize(&self) -> SimSummary {
+        SimSummary {
+            strategy: self.strategy.clone(),
+            step: self.step,
+            steps: self.records.len(),
+            admission: self.admission,
+            cb_energy: self.cb_energy,
+            ups_energy: self.ups_energy,
+            tes_energy: self.tes_energy,
+            tripped: self.any_tripped(),
+            overheated: self.any_overheated(),
+            peak_degree: self.peak_degree(),
+        }
+    }
+}
+
+/// The lean outcome of one simulated run: everything the searches consume,
+/// with no per-step record vector.
+///
+/// Produced directly by [`Aggregate`](crate::Telemetry::Aggregate)-mode
+/// runs (which never materialize [`StepRecord`]s) or derived from a full
+/// result via [`SimResult::summarize`]; the two are exactly equal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Name of the strategy that produced this run.
+    pub strategy: String,
+    /// The control period / trace step of the run.
+    pub step: Seconds,
+    /// Number of controller steps taken.
+    pub steps: usize,
+    /// Served/dropped accounting.
+    pub admission: AdmissionLog,
+    /// PDU-delivered energy above the facility's peak normal IT power.
+    pub cb_energy: Energy,
+    /// Energy delivered from UPS batteries.
+    pub ups_energy: Energy,
+    /// Electric chiller savings funded by the TES discharge.
+    pub tes_energy: Energy,
+    /// `true` if any breaker tripped during the run.
+    pub tripped: bool,
+    /// `true` if the room hit its thermal threshold.
+    pub overheated: bool,
+    /// Peak sprinting degree reached during the run.
+    pub peak_degree: f64,
+}
+
+impl SimSummary {
+    /// Returns the time-average served demand (the paper's average
+    /// computing performance, normalized to the no-sprint *capacity*).
+    #[must_use]
+    pub fn average_performance(&self) -> f64 {
+        self.admission.average_served()
+    }
+
+    /// Returns the paper's improvement factor: average served demand over a
+    /// baseline run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline served nothing.
+    #[must_use]
+    pub fn improvement_over(&self, baseline: &SimSummary) -> f64 {
+        self.admission.improvement_over(&baseline.admission)
+    }
+
+    /// Returns the shares of additional energy provided by
+    /// `(CB overload, UPS, TES heat)`, each in `[0, 1]` (zeros if no
+    /// additional energy was used).
+    #[must_use]
+    pub fn energy_shares(&self) -> (f64, f64, f64) {
+        let total = (self.cb_energy + self.ups_energy + self.tes_energy).as_joules();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.cb_energy.as_joules() / total,
+            self.ups_energy.as_joules() / total,
+            self.tes_energy.as_joules() / total,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +381,22 @@ mod tests {
             r.time_in_phase(Phase::Ups, Seconds::new(1.0)),
             Seconds::new(2.0)
         );
+    }
+
+    #[test]
+    fn summarize_matches_full_result_queries() {
+        let r = result(vec![
+            record(1.0, Phase::Ups, true),
+            record(0.5, Phase::Normal, false),
+        ]);
+        let s = r.summarize();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.strategy, r.strategy);
+        assert_eq!(s.tripped, r.any_tripped());
+        assert_eq!(s.overheated, r.any_overheated());
+        assert_eq!(s.peak_degree, r.peak_degree());
+        assert_eq!(s.average_performance(), r.average_performance());
+        assert_eq!(s.energy_shares(), r.energy_shares());
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Parallel sweep helper.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Maps `f` over `inputs` in parallel using scoped std threads, preserving
 /// input order in the output.
@@ -9,6 +8,15 @@ use std::sync::Mutex;
 /// Used by the Oracle search, the upper-bound-table builder, and the
 /// benches to parallelize independent simulation runs. The worker count is
 /// the available parallelism, capped by the input length.
+///
+/// Work is handed out in contiguous chunks (a few per worker, for load
+/// balance) and each worker accumulates results into its own private
+/// buffer — no shared lock is touched while `f` runs, so cheap per-item
+/// closures don't serialize on a mutex.
+///
+/// # Panics
+///
+/// Panics with `"sweep worker panicked"` if `f` panics on any item.
 ///
 /// # Examples
 ///
@@ -27,33 +35,53 @@ where
     if inputs.is_empty() {
         return Vec::new();
     }
+    let len = inputs.len();
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(inputs.len());
-    let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<U>>> = Mutex::new((0..inputs.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
+        .min(len);
+    // A few chunks per worker balances uneven item costs without paying
+    // one atomic fetch per item.
+    let chunk_count = (workers * 4).min(len);
+    let chunk_len = len.div_ceil(chunk_count);
+    let next_chunk = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    let finished: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= inputs.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        let start = chunk * chunk_len;
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk_len).min(len);
+                        let values: Vec<U> = inputs[start..end].iter().map(&f).collect();
+                        produced.push((start, values));
                     }
-                    let value = f(&inputs[i]);
-                    out.lock().expect("sweep output lock")[i] = Some(value);
+                    produced
                 })
             })
             .collect();
+        let mut finished = Vec::with_capacity(chunk_count);
+        let mut panicked = false;
         for handle in handles {
-            if handle.join().is_err() {
-                panic!("sweep worker panicked");
+            match handle.join() {
+                Ok(produced) => finished.extend(produced),
+                Err(_) => panicked = true,
             }
         }
+        assert!(!panicked, "sweep worker panicked");
+        finished
     });
-    out.into_inner()
-        .expect("sweep output lock")
+    for (start, values) in finished {
+        for (offset, value) in values.into_iter().enumerate() {
+            slots[start + offset] = Some(value);
+        }
+    }
+    slots
         .into_iter()
         .map(|v| v.expect("every input is processed"))
         .collect()
@@ -82,8 +110,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
     fn worker_panic_propagates() {
-        let _ = parallel_map(&[1], |_| -> i32 { panic!("boom") });
+        // A panic in one item must surface, and items the panicking worker
+        // never reached must not be silently dropped into the output.
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&[1], |_| -> i32 { panic!("boom") });
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(msg.contains("sweep worker panicked"), "got: {msg}");
+    }
+
+    #[test]
+    fn uneven_chunks_cover_all_inputs() {
+        // Lengths around chunk boundaries: primes, one-short, one-over.
+        for len in [1usize, 2, 3, 5, 7, 8, 9, 13, 31, 32, 33, 97] {
+            let inputs: Vec<usize> = (0..len).collect();
+            let out = parallel_map(&inputs, |&x| x + 1);
+            assert_eq!(out, (1..=len).collect::<Vec<_>>(), "len {len}");
+        }
     }
 }

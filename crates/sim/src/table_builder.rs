@@ -1,7 +1,9 @@
 //! Building the Prediction strategy's upper-bound table with the Oracle.
 
-use crate::{oracle_search, Scenario};
+use crate::oracle::pruned_scan;
+use crate::{oracle_search_with, OracleMode, Scenario};
 use dcs_core::{ControllerConfig, UpperBoundTable};
+use dcs_faults::FaultSchedule;
 use dcs_power::DataCenterSpec;
 use dcs_units::{Ratio, Seconds};
 use dcs_workload::yahoo_trace;
@@ -43,6 +45,29 @@ pub fn build_upper_bound_table(
     durations_min: &[f64],
     degrees: &[f64],
 ) -> UpperBoundTable {
+    build_upper_bound_table_with(spec, config, durations_min, degrees, OracleMode::Pruned)
+}
+
+/// [`build_upper_bound_table`] with an explicit [`OracleMode`].
+///
+/// The pruned mode skips the Oracle's final full-telemetry run per cell —
+/// the table wants only the bound — so a cell costs exactly the pruned
+/// scan's lean runs. The exhaustive mode reproduces the historical
+/// per-cell exhaustive search; both produce the identical table whenever
+/// each cell's performance-vs-bound profile is unimodal.
+///
+/// # Panics
+///
+/// Panics if either axis is empty or not strictly ascending, or if a
+/// degree is not greater than 1.
+#[must_use]
+pub fn build_upper_bound_table_with(
+    spec: &DataCenterSpec,
+    config: &ControllerConfig,
+    durations_min: &[f64],
+    degrees: &[f64],
+    mode: OracleMode,
+) -> UpperBoundTable {
     assert!(
         !durations_min.is_empty() && !degrees.is_empty(),
         "axes must be non-empty"
@@ -58,7 +83,13 @@ pub fn build_upper_bound_table(
     let bounds: Vec<Ratio> = crate::parallel_map(&cells, |&(minutes, degree)| {
         let trace = yahoo_trace::with_burst(0, degree, Seconds::from_minutes(minutes));
         let scenario = Scenario::new(spec.clone(), config.clone(), trace);
-        oracle_search(&scenario).best_bound
+        match mode {
+            OracleMode::Pruned => pruned_scan(&scenario, &FaultSchedule::NONE).0,
+            OracleMode::Exhaustive => {
+                oracle_search_with(&scenario, &FaultSchedule::NONE, OracleMode::Exhaustive)
+                    .best_bound
+            }
+        }
     });
     UpperBoundTable::new(durations_min.to_vec(), degrees.to_vec(), bounds)
         .expect("axes validated above")
@@ -85,5 +116,31 @@ mod tests {
     fn sub_one_degree_panics() {
         let spec = DataCenterSpec::paper_default().with_scale(1, 200);
         let _ = build_upper_bound_table(&spec, &ControllerConfig::default(), &[5.0], &[0.8]);
+    }
+
+    #[test]
+    fn pruned_table_matches_exhaustive() {
+        let spec = DataCenterSpec::paper_default().with_scale(1, 200);
+        let config = ControllerConfig::default();
+        let durations = [1.0, 15.0];
+        let degrees = [2.0, 3.2];
+        let pruned =
+            build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Pruned);
+        let exhaustive = build_upper_bound_table_with(
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Exhaustive,
+        );
+        for &minutes in &durations {
+            for &degree in &degrees {
+                assert_eq!(
+                    pruned.lookup(Seconds::from_minutes(minutes), degree),
+                    exhaustive.lookup(Seconds::from_minutes(minutes), degree),
+                    "cell ({minutes} min, {degree}x) diverged"
+                );
+            }
+        }
     }
 }

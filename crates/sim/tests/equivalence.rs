@@ -1,0 +1,140 @@
+//! Property suite for the PR's two fast paths: the lean-telemetry run and
+//! the pruned Oracle search. Both are claimed *exact* — not approximate —
+//! so every property here is an equality, not a tolerance check.
+
+use dcs_core::{ControllerConfig, FixedBound, Greedy, Heuristic, SprintStrategy};
+use dcs_faults::FaultSchedule;
+use dcs_power::DataCenterSpec;
+use dcs_sim::{
+    oracle_search, oracle_search_exhaustive, oracle_search_with, run_summary_with_faults,
+    run_with_faults, OracleMode, Scenario,
+};
+use dcs_units::{Ratio, Seconds};
+use dcs_workload::yahoo_trace;
+use proptest::prelude::*;
+
+fn scenario(seed: u64, degree: f64, minutes: f64) -> Scenario {
+    Scenario::new(
+        DataCenterSpec::paper_default().with_scale(2, 200),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(seed, degree, Seconds::from_minutes(minutes)),
+    )
+}
+
+fn quiet_scenario(seed: u64) -> Scenario {
+    Scenario::new(
+        DataCenterSpec::paper_default().with_scale(2, 200),
+        ControllerConfig::default(),
+        yahoo_trace::baseline(seed),
+    )
+}
+
+type StrategyCtor = fn() -> Box<dyn SprintStrategy>;
+
+fn strategies() -> [StrategyCtor; 3] {
+    [
+        || Box::new(Greedy),
+        || Box::new(FixedBound::new(Ratio::new(2.0))),
+        || {
+            Box::new(Heuristic::with_paper_flexibility(
+                dcs_workload::Estimate::exact(2.0),
+            ))
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A lean ([`dcs_sim::Telemetry::Aggregate`]) run equals the summary of
+    /// a full run *exactly* — same admission accounting, same energy split,
+    /// same flags — across strategies and bursty scenarios.
+    #[test]
+    fn lean_run_equals_full_summary_on_bursts(
+        seed in 0u64..64,
+        degree in 1.5..4.4f64,
+        minutes in 0.5..20.0f64,
+    ) {
+        let s = scenario(seed, degree, minutes);
+        for make in strategies() {
+            let full = dcs_sim::run(&s, make());
+            let lean = dcs_sim::run_summary(&s, make());
+            prop_assert_eq!(&lean.strategy, &full.strategy);
+            prop_assert_eq!(lean, full.summarize());
+        }
+    }
+
+    /// Same exactness on quiet traces (no burst, no sprinting).
+    #[test]
+    fn lean_run_equals_full_summary_when_quiet(seed in 0u64..64) {
+        let s = quiet_scenario(seed);
+        let full = dcs_sim::run(&s, Box::new(Greedy));
+        let lean = dcs_sim::run_summary(&s, Box::new(Greedy));
+        prop_assert_eq!(lean, full.summarize());
+    }
+
+    /// And on a degraded plant: a random fault schedule injected into both
+    /// paths yields identical summaries.
+    #[test]
+    fn lean_run_equals_full_summary_under_faults(
+        seed in 0u64..64,
+        fault_seed in 0u64..64,
+        degree in 1.5..4.0f64,
+    ) {
+        let s = scenario(seed, degree, 10.0);
+        let faults = FaultSchedule::random(fault_seed, s.trace().duration());
+        let full = run_with_faults(&s, Box::new(Greedy), &faults);
+        let lean = run_summary_with_faults(&s, Box::new(Greedy), &faults);
+        prop_assert_eq!(lean, full.summarize());
+    }
+
+    /// The pruned Oracle finds the same best bound — and the same best run,
+    /// field for field — as the exhaustive scan, on random bursts.
+    #[test]
+    fn pruned_oracle_equals_exhaustive_on_bursts(
+        seed in 0u64..32,
+        degree in 1.5..4.4f64,
+        minutes in 0.5..20.0f64,
+    ) {
+        let s = scenario(seed, degree, minutes);
+        let pruned = oracle_search(&s);
+        let exhaustive = oracle_search_exhaustive(&s);
+        prop_assert_eq!(pruned.best_bound, exhaustive.best_bound);
+        prop_assert_eq!(pruned.best, exhaustive.best);
+    }
+
+    /// The same equivalence holds on a degraded plant, where sensor noise
+    /// widens the saturation prune's demand cap.
+    #[test]
+    fn pruned_oracle_equals_exhaustive_under_faults(
+        seed in 0u64..32,
+        fault_seed in 0u64..64,
+        degree in 1.5..4.0f64,
+    ) {
+        let s = scenario(seed, degree, 8.0);
+        let faults = FaultSchedule::random(fault_seed, s.trace().duration());
+        let pruned = oracle_search_with(&s, &faults, OracleMode::Pruned);
+        let exhaustive = oracle_search_with(&s, &faults, OracleMode::Exhaustive);
+        prop_assert_eq!(pruned.best_bound, exhaustive.best_bound);
+        prop_assert_eq!(pruned.best, exhaustive.best);
+    }
+
+    /// Every point the pruned search *did* evaluate carries the identical
+    /// performance value the exhaustive scan measured there.
+    #[test]
+    fn pruned_tried_points_are_a_subset_of_exhaustive(
+        seed in 0u64..32,
+        degree in 1.5..4.4f64,
+    ) {
+        let s = scenario(seed, degree, 10.0);
+        let pruned = oracle_search(&s);
+        let exhaustive = oracle_search_exhaustive(&s);
+        prop_assert!(pruned.tried.len() <= exhaustive.tried.len());
+        for pair in &pruned.tried {
+            prop_assert!(
+                exhaustive.tried.contains(pair),
+                "pruned point {:?} missing from exhaustive scan", pair
+            );
+        }
+    }
+}

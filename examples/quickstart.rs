@@ -20,7 +20,8 @@ fn main() {
         spec.dc_rated()
     );
 
-    let mut controller = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+    let config = ControllerConfig::default();
+    let mut controller = SprintController::new(&spec, &config, Box::new(Greedy));
 
     // Two quiet minutes, a six-minute burst at 2.5x capacity, two quiet
     // minutes to recover.

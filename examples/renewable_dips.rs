@@ -22,7 +22,8 @@ fn main() {
     // paper's 0-20% sweep) - think of the missing headroom as the slice a
     // renewable feed normally covers.
     let spec = DataCenterSpec::paper_default().with_dc_headroom(Ratio::ZERO);
-    let mut controller = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+    let config = ControllerConfig::default();
+    let mut controller = SprintController::new(&spec, &config, Box::new(Greedy));
 
     // Demand bursts to 1.4x right as the facility is at its tightest.
     let dt = Seconds::new(1.0);

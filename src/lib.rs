@@ -14,7 +14,8 @@
 //! use datacenter_sprinting::units::Seconds;
 //!
 //! let spec = DataCenterSpec::paper_default().with_scale(2, 200);
-//! let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+//! let config = ControllerConfig::default();
+//! let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
 //! let record = ctl.step(2.0, Seconds::new(1.0));
 //! assert!(record.served > 1.0);
 //! ```

@@ -15,7 +15,9 @@ fn spec() -> DataCenterSpec {
 /// servers' draw every step.
 #[test]
 fn it_power_is_conserved_each_step() {
-    let mut ctl = SprintController::new(spec(), ControllerConfig::default(), Box::new(Greedy));
+    let spec = spec();
+    let config = ControllerConfig::default();
+    let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     let trace = ms_trace::paper_default();
     for (_, demand) in trace.iter() {
         let r = ctl.step(demand, Seconds::new(1.0));
@@ -40,14 +42,12 @@ fn it_power_is_conserved_each_step() {
 /// efficiency).
 #[test]
 fn ups_energy_accounting_is_consistent() {
-    let mut ctl = SprintController::new(
-        spec(),
-        ControllerConfig {
-            recharge_when_quiet: false,
-            ..ControllerConfig::default()
-        },
-        Box::new(Greedy),
-    );
+    let spec = spec();
+    let config = ControllerConfig {
+        recharge_when_quiet: false,
+        ..ControllerConfig::default()
+    };
+    let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     let full = ctl.ups().deliverable();
     for (_, demand) in ms_trace::paper_default().iter() {
         ctl.step(demand, Seconds::new(1.0));
@@ -66,14 +66,12 @@ fn ups_energy_accounting_is_consistent() {
 /// The TES heat ledger matches the tank's state of charge.
 #[test]
 fn tes_heat_accounting_is_consistent() {
-    let mut ctl = SprintController::new(
-        spec(),
-        ControllerConfig {
-            recharge_when_quiet: false,
-            ..ControllerConfig::default()
-        },
-        Box::new(Greedy),
-    );
+    let spec = spec();
+    let config = ControllerConfig {
+        recharge_when_quiet: false,
+        ..ControllerConfig::default()
+    };
+    let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     let full = ctl.tes().stored();
     for (_, demand) in ms_trace::paper_default().iter() {
         ctl.step(demand, Seconds::new(1.0));
@@ -91,14 +89,12 @@ fn tes_heat_accounting_is_consistent() {
 #[test]
 fn served_and_degree_respect_their_bounds() {
     let bound = Ratio::new(2.5);
-    let mut ctl = SprintController::new(
-        spec(),
-        ControllerConfig::default(),
-        Box::new(FixedBound::new(bound)),
-    );
+    let spec = spec();
+    let config = ControllerConfig::default();
+    let mut ctl = SprintController::new(&spec, &config, Box::new(FixedBound::new(bound)));
     for (_, demand) in ms_trace::paper_default().iter() {
         let r = ctl.step(demand, Seconds::new(1.0));
-        let capacity = spec().server().capacity_at_cores(r.cores);
+        let capacity = spec.server().capacity_at_cores(r.cores);
         assert!(r.served <= capacity + 1e-9);
         assert!(r.served <= r.demand + 1e-9);
         assert!(r.degree <= bound, "degree {} above bound", r.degree);
@@ -110,7 +106,9 @@ fn served_and_degree_respect_their_bounds() {
 /// (sampled via trip progress never reaching 1).
 #[test]
 fn breakers_never_approach_a_trip() {
-    let mut ctl = SprintController::new(spec(), ControllerConfig::default(), Box::new(Greedy));
+    let spec = spec();
+    let config = ControllerConfig::default();
+    let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     for (_, demand) in ms_trace::paper_default().iter() {
         ctl.step(demand, Seconds::new(1.0));
         let status = ctl.topology().status();
@@ -123,7 +121,9 @@ fn breakers_never_approach_a_trip() {
 /// Room temperature stays strictly below the threshold for the whole run.
 #[test]
 fn room_stays_below_threshold() {
-    let mut ctl = SprintController::new(spec(), ControllerConfig::default(), Box::new(Greedy));
+    let spec = spec();
+    let config = ControllerConfig::default();
+    let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
     for (_, demand) in ms_trace::paper_default().iter() {
         let r = ctl.step(demand, Seconds::new(1.0));
         assert!(
@@ -144,7 +144,8 @@ fn normalized_performance_is_scale_invariant() {
     let mut results = Vec::new();
     for pdus in [2usize, 8] {
         let s = DataCenterSpec::paper_default().with_scale(pdus, 200);
-        let mut ctl = SprintController::new(s, ControllerConfig::default(), Box::new(Greedy));
+        let config = ControllerConfig::default();
+        let mut ctl = SprintController::new(&s, &config, Box::new(Greedy));
         let mut served_sum = 0.0;
         for (_, demand) in trace.iter() {
             served_sum += ctl.step(demand, Seconds::new(1.0)).served;

@@ -25,7 +25,8 @@ proptest! {
     #[test]
     fn controller_is_safe_on_random_demand(samples in random_trace()) {
         let spec = DataCenterSpec::paper_default().with_scale(2, 200);
-        let mut ctl = SprintController::new(spec, ControllerConfig::default(), Box::new(Greedy));
+        let config = ControllerConfig::default();
+        let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
         for &demand in &samples {
             let r = ctl.step(demand, Seconds::new(1.0));
             prop_assert!(!r.tripped, "tripped at {}", r.time);
@@ -50,7 +51,7 @@ proptest! {
             ups_rating: Charge::from_amp_hours(battery_ah),
             ..ControllerConfig::default()
         };
-        let mut ctl = SprintController::new(spec, config, Box::new(Greedy));
+        let mut ctl = SprintController::new(&spec, &config, Box::new(Greedy));
         for _ in 0..600 {
             let r = ctl.step(demand, Seconds::new(1.0));
             prop_assert!(!r.tripped && !r.overheated);
@@ -66,10 +67,11 @@ proptest! {
         hi_extra in 0.5..2.0f64,
     ) {
         let spec = DataCenterSpec::paper_default().with_scale(2, 200);
+        let config = ControllerConfig::default();
         let mk = |bound: f64| {
             SprintController::new(
-                spec.clone(),
-                ControllerConfig::default(),
+                &spec,
+                &config,
                 Box::new(FixedBound::new(Ratio::new(bound))),
             )
         };
