@@ -31,25 +31,40 @@ cargo test -p dcs-sim --test faults --offline -q
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run -q
 
-echo "== perf report smoke =="
-# Tiny-scale run of the perf-trajectory harness; the binary exits non-zero
-# if the pruned search diverges from the exhaustive one or the JSON does
-# not round-trip.
+echo "== perf report smoke (batched vs independent) =="
+# Tiny-scale run of the perf-trajectory harness. The binary exits non-zero
+# unless every batched result — Oracle best bounds/outcomes, the table
+# cell-for-cell, and the per-lane summaries under a random fault schedule —
+# is bit-identical to the independent per-lane runs, so a written report is
+# itself the batched-vs-independent smoke; the validator double-checks the
+# flag and that every timed section carries honest work counts.
 smoke_json="$(mktemp)"
 cargo run --release -p dcs-bench --bin perf_report --offline -q -- \
   --tiny --out "$smoke_json" > /dev/null
 python3 - "$smoke_json" <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
-required = ["schema", "mode", "run_full", "run_lean", "oracle_exhaustive",
-            "oracle_pruned", "table_exhaustive", "table_pruned", "best_bound"]
+sections = ["run_full", "run_lean", "oracle_exhaustive", "oracle_pruned",
+            "oracle_pruned_unbatched", "table_exhaustive", "table_pruned",
+            "table_pruned_unbatched"]
+required = ["schema", "mode", "batched_equals_independent", "best_bound"] + sections
 missing = [k for k in required if k not in report]
 assert not missing, f"perf report missing sections: {missing}"
-assert report["schema"] == "dcs-bench/perf-report-v1", report["schema"]
+assert report["schema"] == "dcs-bench/perf-report-v2", report["schema"]
 assert report["mode"] == "tiny", report["mode"]
-for k in required[2:8]:
+assert report["batched_equals_independent"] is True, \
+    "batched engine diverged from independent per-lane runs"
+batched = 0
+for k in sections:
     assert report[k]["time_ms"] > 0, f"{k} has no timing"
-print(f"perf report OK ({len(required)} sections)")
+    assert report[k]["sim_runs"] > 0, f"{k} has no work count"
+    lanes = report[k].get("lane_steps")
+    if lanes is not None:
+        assert lanes["live"] > 0 and lanes["unique_lanes"] > 0, \
+            f"{k} went through the batched engine but reports no lane steps"
+        batched += 1
+assert batched >= 4, f"only {batched} sections report lane steps"
+print(f"perf report OK ({len(sections)} sections, {batched} batched)")
 EOF
 rm -f "$smoke_json"
 

@@ -1,5 +1,5 @@
 //! Perf-trajectory report: times the canonical hot paths and writes a
-//! machine-readable `BENCH_PR2.json`, so future PRs can diff simulator
+//! machine-readable `BENCH_PR3.json`, so future PRs can diff simulator
 //! performance against this one.
 //!
 //! ```text
@@ -8,33 +8,67 @@
 //! cargo run --release -p dcs-bench --bin perf_report -- --out path.json
 //! ```
 //!
-//! The report covers the two optimizations of this PR — the lean-telemetry
-//! run and the pruned Oracle search — and *asserts* their exactness while
-//! timing them: the pruned Oracle must reproduce the exhaustive
-//! `best_bound` bit-for-bit, and the pruned table must equal the
-//! exhaustive table cell-for-cell. A timing report that silently measured
-//! a wrong answer would be worse than no report.
+//! The report covers this PR's batched multi-lane engine — the Oracle
+//! search and the upper-bound-table builder now advance a whole grid of
+//! `FixedBound` lanes through one trace pass — and *asserts* its exactness
+//! while timing it: every batched result must reproduce the corresponding
+//! independent per-lane runs bit-for-bit (best bounds, full outcomes,
+//! tables cell-for-cell, and lane summaries under a random fault
+//! schedule). A timing report that silently measured a wrong answer would
+//! be worse than no report.
+//!
+//! Every timed section carries an honest work count: controller steps for
+//! the single-run sections, evaluated runs for the searches, and — where
+//! the batched engine is involved — the lane-step split between live
+//! controller stepping and arithmetic quiet-tail folding.
 
 use std::time::Instant;
 
-use dcs_core::{ControllerConfig, Greedy};
+use dcs_core::{ControllerConfig, FixedBound, Greedy};
+use dcs_faults::FaultSchedule;
 use dcs_power::DataCenterSpec;
 use dcs_sim::{
-    build_upper_bound_table_with, oracle_search, oracle_search_exhaustive, run, run_summary,
-    OracleMode, Scenario,
+    build_upper_bound_table_stats, build_upper_bound_table_unbatched, oracle_search_stats,
+    oracle_search_unbatched, run, run_bound_batch, run_summary, run_summary_with_faults,
+    BatchStats, OracleMode, Scenario,
 };
 use dcs_units::Seconds;
 use dcs_workload::yahoo_trace;
 use serde::{Deserialize, Serialize};
 
-/// Pre-PR baselines, measured on this machine at the same canonical
+/// PR2 baselines, measured on this machine at the same canonical
 /// workloads (scale 4x200, Yahoo trace, 3.2x/15-min burst; 5x4 table)
-/// immediately before the fast paths landed. They anchor
-/// `speedup_vs_pre_pr` in full mode; tiny mode (different scale) skips
-/// the comparison.
-const PRE_PR_RUN_MS: f64 = 2.559;
-const PRE_PR_ORACLE_MS: f64 = 64.809;
-const PRE_PR_TABLE_MS: f64 = 1065.195;
+/// and recorded in `BENCH_PR2.json` before the batched engine landed.
+/// They anchor `speedup_*_vs_pr2` in full mode; tiny mode (different
+/// scale) skips the comparison.
+const PR2_RUN_LEAN_MS: f64 = 1.072926;
+const PR2_ORACLE_PRUNED_MS: f64 = 19.333493;
+const PR2_TABLE_PRUNED_MS: f64 = 226.439497;
+
+/// Lane-step accounting from the batched engine, copied out of
+/// [`BatchStats`] for the report.
+#[derive(Debug, Serialize, Deserialize)]
+struct LaneSteps {
+    /// Lanes submitted (one per requested bound).
+    lanes: usize,
+    /// Lanes actually simulated after saturation dedup.
+    unique_lanes: usize,
+    /// Controller steps executed on live lanes.
+    live: u64,
+    /// Steps resolved by the arithmetic quiet-tail fold instead.
+    folded: u64,
+}
+
+impl From<BatchStats> for LaneSteps {
+    fn from(s: BatchStats) -> LaneSteps {
+        LaneSteps {
+            lanes: s.lanes,
+            unique_lanes: s.unique_lanes,
+            live: s.live_lane_steps,
+            folded: s.folded_lane_steps,
+        }
+    }
+}
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Section {
@@ -42,9 +76,12 @@ struct Section {
     time_ms: f64,
     /// Timed repetitions.
     iters: u32,
-    /// Simulated runs (or controller steps, for the single-run sections)
-    /// this operation performed; 0 where the count varies internally.
+    /// Honest work count: controller steps for the single-run sections,
+    /// evaluated simulation runs everywhere else. Never zero.
     sim_runs: usize,
+    /// Batched-engine lane-step split; `null` for sections that do not go
+    /// through the batched engine.
+    lane_steps: Option<LaneSteps>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -54,28 +91,40 @@ struct Report {
     mode: String,
     scale_pdus: usize,
     scale_servers_per_pdu: usize,
+    /// `true` once every batched-vs-independent assertion passed: Oracle
+    /// outcomes (both modes, fault-free and faulted), the table
+    /// cell-for-cell, and `run_bound_batch` lane summaries against
+    /// per-lane runs under a random fault schedule. The binary aborts
+    /// before writing the report otherwise, so a written report always
+    /// carries `true` — CI checks it anyway.
+    batched_equals_independent: bool,
     run_full: Section,
     run_lean: Section,
     oracle_exhaustive: Section,
     oracle_pruned: Section,
+    oracle_pruned_unbatched: Section,
     table_exhaustive: Section,
     table_pruned: Section,
+    table_pruned_unbatched: Section,
     best_bound: f64,
     /// run_full / run_lean.
     speedup_lean_run: f64,
-    /// oracle_exhaustive / oracle_pruned.
+    /// oracle_exhaustive / oracle_pruned (both batched).
     speedup_pruned_oracle: f64,
-    /// table_exhaustive / table_pruned.
+    /// oracle_pruned_unbatched / oracle_pruned: the batched engine alone.
+    speedup_batched_oracle: f64,
+    /// table_exhaustive / table_pruned (both batched).
     speedup_pruned_table: f64,
-    /// Pre-PR exhaustive-oracle time over this PR's pruned time (full
-    /// mode only; `None` in tiny mode).
-    speedup_oracle_vs_pre_pr: Option<f64>,
-    /// Pre-PR table-build time over this PR's pruned build (full mode
-    /// only).
-    speedup_table_vs_pre_pr: Option<f64>,
-    /// Pre-PR full-telemetry run time over this PR's lean run (full mode
-    /// only).
-    speedup_run_vs_pre_pr: Option<f64>,
+    /// table_pruned_unbatched / table_pruned: the batched engine alone.
+    speedup_batched_table: f64,
+    /// PR2's recorded pruned-oracle time over this PR's batched time
+    /// (full mode only; `None` in tiny mode).
+    speedup_oracle_vs_pr2: Option<f64>,
+    /// PR2's recorded table-build time over this PR's batched build (full
+    /// mode only). The PR's acceptance target: >= 3x.
+    speedup_table_vs_pr2: Option<f64>,
+    /// PR2's recorded lean-run time over this PR's (full mode only).
+    speedup_run_vs_pr2: Option<f64>,
 }
 
 /// Times `op` (discarding its output) `iters` times and returns the best
@@ -100,7 +149,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
 
     let (pdus, servers, iters_run, iters_oracle, iters_table) = if tiny {
         (1, 50, 1, 1, 1)
@@ -119,6 +168,7 @@ fn main() {
     } else {
         (vec![1.0, 5.0, 10.0, 15.0, 30.0], vec![1.5, 2.0, 3.0, 4.0])
     };
+    let no_faults = FaultSchedule::none();
 
     eprintln!("timing: 30-min Greedy run (full vs lean telemetry)...");
     let run_full_ms = time_ms(iters_run, || run(&scenario, Box::new(Greedy)));
@@ -131,86 +181,170 @@ fn main() {
     );
     let steps = full.records.len();
 
-    eprintln!("timing: oracle_search (exhaustive vs pruned)...");
-    let oracle_ex_ms = time_ms(iters_oracle, || oracle_search_exhaustive(&scenario));
-    let oracle_pr_ms = time_ms(iters_oracle, || oracle_search(&scenario));
-    let exhaustive = oracle_search_exhaustive(&scenario);
-    let pruned = oracle_search(&scenario);
+    eprintln!("timing: oracle_search (batched vs unbatched, exhaustive vs pruned)...");
+    let oracle_ex_ms = time_ms(iters_oracle, || {
+        oracle_search_stats(&scenario, &no_faults, OracleMode::Exhaustive)
+    });
+    let oracle_pr_ms = time_ms(iters_oracle, || {
+        oracle_search_stats(&scenario, &no_faults, OracleMode::Pruned)
+    });
+    let oracle_un_ms = time_ms(iters_oracle, || {
+        oracle_search_unbatched(&scenario, &no_faults, OracleMode::Pruned)
+    });
+    let (exhaustive, oracle_ex_stats) =
+        oracle_search_stats(&scenario, &no_faults, OracleMode::Exhaustive);
+    let (pruned, oracle_pr_stats) = oracle_search_stats(&scenario, &no_faults, OracleMode::Pruned);
     assert_eq!(
         pruned.best_bound, exhaustive.best_bound,
         "pruned oracle diverged from exhaustive"
     );
     assert_eq!(pruned.best, exhaustive.best);
+    // Batched == independent, full outcome (best bound, best run, tried),
+    // both modes, fault-free...
+    assert_eq!(
+        pruned,
+        oracle_search_unbatched(&scenario, &no_faults, OracleMode::Pruned),
+        "batched pruned oracle diverged from the independent per-lane runs"
+    );
+    assert_eq!(
+        exhaustive,
+        oracle_search_unbatched(&scenario, &no_faults, OracleMode::Exhaustive),
+        "batched exhaustive oracle diverged from the independent per-lane runs"
+    );
+    // ...and under a random fault schedule.
+    let faults = FaultSchedule::random(11, scenario.trace().duration());
+    for mode in [OracleMode::Pruned, OracleMode::Exhaustive] {
+        assert_eq!(
+            oracle_search_stats(&scenario, &faults, mode).0,
+            oracle_search_unbatched(&scenario, &faults, mode),
+            "batched {mode:?} oracle diverged from per-lane runs under faults"
+        );
+    }
+    // run_bound_batch lane summaries == per-lane lean runs, faulted.
+    let grid = dcs_sim::degree_grid(&spec);
+    let batch = run_bound_batch(&scenario, &grid, &faults);
+    for (bound, summary) in grid.iter().zip(&batch.summaries) {
+        assert_eq!(
+            summary,
+            &run_summary_with_faults(&scenario, Box::new(FixedBound::new(*bound)), &faults),
+            "batched lane {bound:?} diverged from its independent run under faults"
+        );
+    }
 
-    eprintln!("timing: build_upper_bound_table (exhaustive vs pruned)...");
+    eprintln!("timing: build_upper_bound_table (batched vs unbatched, exhaustive vs pruned)...");
     let table_ex_ms = time_ms(iters_table, || {
-        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Exhaustive)
+        build_upper_bound_table_stats(&spec, &config, &durations, &degrees, OracleMode::Exhaustive)
     });
     let table_pr_ms = time_ms(iters_table, || {
-        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Pruned)
+        build_upper_bound_table_stats(&spec, &config, &durations, &degrees, OracleMode::Pruned)
     });
-    let table_ex =
-        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Exhaustive);
-    let table_pr =
-        build_upper_bound_table_with(&spec, &config, &durations, &degrees, OracleMode::Pruned);
+    let table_un_ms = time_ms(iters_table, || {
+        build_upper_bound_table_unbatched(&spec, &config, &durations, &degrees, OracleMode::Pruned)
+    });
+    let (table_ex, table_ex_stats) =
+        build_upper_bound_table_stats(&spec, &config, &durations, &degrees, OracleMode::Exhaustive);
+    let (table_pr, table_pr_stats) =
+        build_upper_bound_table_stats(&spec, &config, &durations, &degrees, OracleMode::Pruned);
+    let table_un =
+        build_upper_bound_table_unbatched(&spec, &config, &durations, &degrees, OracleMode::Pruned);
     for &minutes in &durations {
         for &degree in &degrees {
+            let at = Seconds::from_minutes(minutes);
             assert_eq!(
-                table_pr.lookup(Seconds::from_minutes(minutes), degree),
-                table_ex.lookup(Seconds::from_minutes(minutes), degree),
-                "pruned table diverged at ({minutes} min, {degree}x)"
+                table_pr.lookup(at, degree),
+                table_ex.lookup(at, degree),
+                "pruned table diverged from exhaustive at ({minutes} min, {degree}x)"
+            );
+            assert_eq!(
+                table_pr.lookup(at, degree),
+                table_un.lookup(at, degree),
+                "batched table diverged from unbatched at ({minutes} min, {degree}x)"
             );
         }
     }
+    for (name, stats) in [
+        ("oracle_exhaustive", &oracle_ex_stats),
+        ("oracle_pruned", &oracle_pr_stats),
+        ("table_exhaustive", &table_ex_stats.batch),
+        ("table_pruned", &table_pr_stats.batch),
+    ] {
+        assert!(
+            stats.live_lane_steps > 0 && stats.unique_lanes > 0,
+            "{name} reports no lane work: {stats:?}"
+        );
+    }
 
-    let grid_points = dcs_sim::degree_grid(&spec).len();
+    let grid_points = grid.len();
     let cells = durations.len() * degrees.len();
     let report = Report {
-        schema: "dcs-bench/perf-report-v1".to_owned(),
-        pr: "PR2".to_owned(),
+        schema: "dcs-bench/perf-report-v2".to_owned(),
+        pr: "PR3".to_owned(),
         mode: if tiny { "tiny" } else { "full" }.to_owned(),
         scale_pdus: pdus,
         scale_servers_per_pdu: servers,
+        batched_equals_independent: true,
         run_full: Section {
             time_ms: run_full_ms,
             iters: iters_run,
             sim_runs: steps,
+            lane_steps: None,
         },
         run_lean: Section {
             time_ms: run_lean_ms,
             iters: iters_run,
             sim_runs: steps,
+            lane_steps: None,
         },
         oracle_exhaustive: Section {
             time_ms: oracle_ex_ms,
             iters: iters_oracle,
-            // One full run per grid point.
-            sim_runs: grid_points,
+            // One lane per grid point, plus the final full run.
+            sim_runs: grid_points + 1,
+            lane_steps: Some(oracle_ex_stats.into()),
         },
         oracle_pruned: Section {
             time_ms: oracle_pr_ms,
             iters: iters_oracle,
-            // Lean runs at the visited points, plus the final full run.
+            // Lanes at the visited points, plus the final full run.
             sim_runs: pruned.tried.len() + 1,
+            lane_steps: Some(oracle_pr_stats.into()),
+        },
+        oracle_pruned_unbatched: Section {
+            time_ms: oracle_un_ms,
+            iters: iters_oracle,
+            sim_runs: pruned.tried.len() + 1,
+            lane_steps: None,
         },
         table_exhaustive: Section {
             time_ms: table_ex_ms,
             iters: iters_table,
-            sim_runs: cells * grid_points,
+            sim_runs: table_ex_stats.evaluations,
+            lane_steps: Some(table_ex_stats.batch.into()),
         },
         table_pruned: Section {
             time_ms: table_pr_ms,
             iters: iters_table,
-            // Lean runs per cell vary with each cell's pruning.
-            sim_runs: 0,
+            sim_runs: table_pr_stats.evaluations,
+            lane_steps: Some(table_pr_stats.batch.into()),
+        },
+        table_pruned_unbatched: Section {
+            time_ms: table_un_ms,
+            iters: iters_table,
+            // One independent pruned scan per cell; its per-cell run
+            // counts match the coarse+window plan the batched path also
+            // starts from.
+            sim_runs: cells,
+            lane_steps: None,
         },
         best_bound: pruned.best_bound.as_f64(),
         speedup_lean_run: run_full_ms / run_lean_ms,
         speedup_pruned_oracle: oracle_ex_ms / oracle_pr_ms,
+        speedup_batched_oracle: oracle_un_ms / oracle_pr_ms,
         speedup_pruned_table: table_ex_ms / table_pr_ms,
-        speedup_oracle_vs_pre_pr: (!tiny).then(|| PRE_PR_ORACLE_MS / oracle_pr_ms),
-        speedup_table_vs_pre_pr: (!tiny).then(|| PRE_PR_TABLE_MS / table_pr_ms),
-        speedup_run_vs_pre_pr: (!tiny).then(|| PRE_PR_RUN_MS / run_lean_ms),
+        speedup_batched_table: table_un_ms / table_pr_ms,
+        speedup_oracle_vs_pr2: (!tiny).then(|| PR2_ORACLE_PRUNED_MS / oracle_pr_ms),
+        speedup_table_vs_pr2: (!tiny).then(|| PR2_TABLE_PRUNED_MS / table_pr_ms),
+        speedup_run_vs_pr2: (!tiny).then(|| PR2_RUN_LEAN_MS / run_lean_ms),
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -219,33 +353,51 @@ fn main() {
     // Validate the artifact end-to-end: re-read, re-parse, sanity-check.
     let text = std::fs::read_to_string(&out_path).expect("report readable");
     let parsed: Report = serde_json::from_str(&text).expect("report parses back");
-    assert_eq!(parsed.schema, "dcs-bench/perf-report-v1");
+    assert_eq!(parsed.schema, "dcs-bench/perf-report-v2");
+    assert!(parsed.batched_equals_independent);
     for (name, section) in [
         ("run_full", &parsed.run_full),
         ("run_lean", &parsed.run_lean),
         ("oracle_exhaustive", &parsed.oracle_exhaustive),
         ("oracle_pruned", &parsed.oracle_pruned),
+        ("oracle_pruned_unbatched", &parsed.oracle_pruned_unbatched),
         ("table_exhaustive", &parsed.table_exhaustive),
         ("table_pruned", &parsed.table_pruned),
+        ("table_pruned_unbatched", &parsed.table_pruned_unbatched),
     ] {
         assert!(
             section.time_ms.is_finite() && section.time_ms > 0.0,
             "section {name} has no valid timing"
         );
+        assert!(section.sim_runs > 0, "section {name} has no work count");
+        if let Some(ls) = &section.lane_steps {
+            assert!(
+                ls.live > 0 && ls.unique_lanes > 0,
+                "section {name} went through the batched engine but reports \
+                 no lane steps"
+            );
+        }
     }
 
     println!("{json}");
     eprintln!(
-        "\nwrote {out_path}: oracle {:.1}x faster pruned ({:.2} ms -> {:.2} ms), \
-         table {:.1}x ({:.1} ms -> {:.1} ms), lean run {:.2}x ({:.3} ms -> {:.3} ms)",
-        report.speedup_pruned_oracle,
-        oracle_ex_ms,
+        "\nwrote {out_path}: table batched {:.1}x vs unbatched ({:.1} ms -> {:.1} ms), \
+         oracle batched {:.1}x ({:.2} ms -> {:.2} ms), \
+         pruned-vs-exhaustive table {:.1}x, lean run {:.2}x",
+        report.speedup_batched_table,
+        table_un_ms,
+        table_pr_ms,
+        report.speedup_batched_oracle,
+        oracle_un_ms,
         oracle_pr_ms,
         report.speedup_pruned_table,
-        table_ex_ms,
-        table_pr_ms,
         report.speedup_lean_run,
-        run_full_ms,
-        run_lean_ms,
     );
+    if let Some(s) = report.speedup_table_vs_pr2 {
+        eprintln!(
+            "vs BENCH_PR2.json: table {s:.2}x (target >= 3x), oracle {:.2}x, run {:.2}x",
+            report.speedup_oracle_vs_pr2.unwrap_or(f64::NAN),
+            report.speedup_run_vs_pr2.unwrap_or(f64::NAN),
+        );
+    }
 }

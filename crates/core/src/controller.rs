@@ -2,7 +2,7 @@
 
 use crate::budget::{cb_overload_energy, EnergyBudget};
 use crate::{PowerCurve, SprintInfo, SprintStrategy, StrategyContext};
-use dcs_faults::{ActiveFaults, FaultSchedule, SensorRng};
+use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, Observation};
 use dcs_power::{DataCenterSpec, PowerTopology};
 use dcs_thermal::{CoolingPlant, RoomModel, TesTank};
 use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds, TempDelta};
@@ -242,15 +242,15 @@ pub struct SprintController<'a> {
     /// Injected fault schedule; [`FaultSchedule::NONE`] reproduces the
     /// fault-free run exactly.
     faults: &'a FaultSchedule,
-    /// Sensor-noise stream, keyed by the seed that created it so a new
-    /// noise window restarts the stream deterministically.
-    sensor_rng: Option<(u64, SensorRng)>,
-    /// Stale-telemetry sample-and-hold: the held demand reading and its
-    /// age in steps.
-    stale_reading: Option<(f64, u32)>,
+    /// Sensor pipeline: noise stream keyed by the window seed, plus the
+    /// stale-telemetry sample-and-hold.
+    observer: FaultObserver,
     /// Pessimistic margin added to the room-temperature reading while a
     /// temperature-noise fault is active.
     thermal_bias: TempDelta,
+    /// Energy budget pre-computed by a batched driver for the sprint the
+    /// *next* step starts; consumed (and checked) by the lifecycle.
+    primed_budget: Option<Energy>,
     // Lifetime additional-energy accounting, for the §VII-A split.
     ups_energy: Energy,
     tes_heat_energy: Energy,
@@ -315,9 +315,9 @@ impl<'a> SprintController<'a> {
             hold_until_quiet: false,
             external_load: Power::ZERO,
             faults: &NO_FAULTS,
-            sensor_rng: None,
-            stale_reading: None,
+            observer: FaultObserver::new(),
             thermal_bias: TempDelta::ZERO,
+            primed_budget: None,
             ups_energy: Energy::ZERO,
             tes_heat_energy: Energy::ZERO,
             tes_savings_energy: Energy::ZERO,
@@ -413,52 +413,79 @@ impl<'a> SprintController<'a> {
         self.faults
     }
 
-    /// The sensor-noise stream for `seed`, restarting it when a new noise
-    /// window (different seed) begins.
-    fn sensor_rng(&mut self, seed: u64) -> &mut SensorRng {
-        let refresh = !matches!(&self.sensor_rng, Some((s, _)) if *s == seed);
-        if refresh {
-            self.sensor_rng = Some((seed, SensorRng::new(seed)));
-        }
-        &mut self.sensor_rng.as_mut().expect("sensor rng set").1
+    /// Returns the cooling plant state.
+    #[must_use]
+    pub fn plant(&self) -> &CoolingPlant {
+        &self.plant
     }
 
-    /// The demand reading the controller's *decisions* see: the true
-    /// demand passed through any active sensor-noise and stale-telemetry
-    /// faults.
-    fn observe_demand(&mut self, demand: f64, active: &ActiveFaults) -> f64 {
-        let mut observed = demand;
-        if active.demand_sigma > 0.0 {
-            let noise = self
-                .sensor_rng(active.noise_seed)
-                .truncated_gauss(active.demand_sigma);
-            observed = (demand + noise).max(0.0);
-        }
-        if active.stale_hold_steps > 1 {
-            let (held, age) = match self.stale_reading.take() {
-                Some((held, age)) if age + 1 < active.stale_hold_steps => (held, age + 1),
-                _ => (observed, 0),
-            };
-            self.stale_reading = Some((held, age));
-            observed = held;
-        } else {
-            self.stale_reading = None;
-        }
-        observed
+    /// Pre-computes the energy budget a sprint starting under `active`'s
+    /// deratings would fix, by applying those deratings now.
+    ///
+    /// The budget depends only on plant state plus the step's deratings —
+    /// never on the sprint bound — and [`SprintController::step_observed`]
+    /// re-applies the same deratings (idempotently) before any use, so a
+    /// batched driver can compute the budget once, [`Self::prime_energy_budget`]
+    /// it into every cloned lane, and stay bit-identical to N independent
+    /// runs.
+    pub fn energy_budget_under(&mut self, active: &ActiveFaults, dt: Seconds) -> Energy {
+        self.ups
+            .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
+        self.tes
+            .set_derating(active.tes_rate_factor(dt), active.tes_capacity_factor);
+        self.topo.set_breaker_derating(active.breaker_factor);
+        self.total_energy_budget()
     }
 
-    /// Pessimistic margin for the temperature sensor: under a noise fault
-    /// the controller assumes the room is at `reading + 3σ`, which is at
-    /// least the true temperature (the noise is truncated at ±3σ), so the
-    /// TES engages no later than it would with a perfect sensor.
-    fn observe_thermal_bias(&mut self, active: &ActiveFaults) -> TempDelta {
-        if active.temp_sigma <= 0.0 {
-            return TempDelta::ZERO;
+    /// Primes the energy budget the next sprint start will fix, skipping
+    /// the per-lane budget integration in batched runs. Debug builds
+    /// verify the primed value against a fresh computation when consumed.
+    pub fn prime_energy_budget(&mut self, total: Energy) {
+        self.primed_budget = Some(total);
+    }
+
+    /// Clones the controller mid-run with a replacement strategy, for
+    /// forking batched lanes off a shared prefix.
+    ///
+    /// The caller is responsible for strategy-state equivalence: the
+    /// replacement must be in the state its own `observe`/`on_sprint_start`
+    /// calls over the prefix would have produced (trivially true for
+    /// stateless strategies such as `FixedBound`).
+    #[must_use]
+    pub fn clone_with_strategy(&self, strategy: Box<dyn SprintStrategy>) -> SprintController<'a> {
+        SprintController {
+            spec: self.spec,
+            config: self.config,
+            strategy,
+            topo: self.topo.clone(),
+            ups: self.ups.clone(),
+            plant: self.plant.clone(),
+            tes: self.tes.clone(),
+            room: self.room.clone(),
+            normal_cores: self.normal_cores,
+            n_servers: self.n_servers,
+            servers_per_pdu_f: self.servers_per_pdu_f,
+            pdu_count_f: self.pdu_count_f,
+            peak_normal_it: self.peak_normal_it,
+            pdu_rated_total: self.pdu_rated_total,
+            max_degree: self.max_degree,
+            power_curve: self.power_curve.clone(),
+            now: self.now,
+            sprint_active: self.sprint_active,
+            run_state: self.run_state.clone(),
+            max_demand_seen: self.max_demand_seen,
+            terminated: self.terminated,
+            hold_until_quiet: self.hold_until_quiet,
+            external_load: self.external_load,
+            faults: self.faults,
+            observer: self.observer.clone(),
+            thermal_bias: self.thermal_bias,
+            primed_budget: self.primed_budget,
+            ups_energy: self.ups_energy,
+            tes_heat_energy: self.tes_heat_energy,
+            tes_savings_energy: self.tes_savings_energy,
+            cb_extra_energy: self.cb_extra_energy,
         }
-        let noise = self
-            .sensor_rng(active.noise_seed)
-            .truncated_gauss(active.temp_sigma);
-        TempDelta::new(noise + 3.0 * active.temp_sigma).max_zero()
     }
 
     /// `true` if holding this allocation would accumulate trip progress on
@@ -608,6 +635,31 @@ impl<'a> SprintController<'a> {
             demand.is_finite() && demand >= 0.0,
             "demand must be non-negative"
         );
+        let active = self.faults.active_at(self.now);
+        let obs = self.observer.observe(demand, &active);
+        self.step_observed(demand, &obs, dt)
+    }
+
+    /// Advances the controller by one period using a pre-computed sensor
+    /// observation instead of resolving faults and drawing sensor noise
+    /// internally.
+    ///
+    /// This is the lane-reusable core of [`SprintController::step`]: a
+    /// batched driver resolves the fault windows and runs one
+    /// [`FaultObserver`] pass for the whole lane set, then feeds the same
+    /// `Observation` sequence to every lane. Feeding the observations a
+    /// controller's own `step` loop would have produced yields a
+    /// bit-identical run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step_observed(&mut self, demand: f64, obs: &Observation, dt: Seconds) -> StepRecord {
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "demand must be non-negative"
+        );
         assert!(
             dt > Seconds::ZERO && !dt.is_never(),
             "time step must be positive and finite"
@@ -627,15 +679,15 @@ impl<'a> SprintController<'a> {
         // see. Power computations below keep using the true demand: the
         // paper's §IV-A real-time measurement is at the breakers, not at
         // the workload monitor.
-        let active = self.faults.active_at(self.now);
+        let active = &obs.active;
         let fault_active = active.any();
         self.ups
             .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
         self.tes
             .set_derating(active.tes_rate_factor(dt), active.tes_capacity_factor);
         self.topo.set_breaker_derating(active.breaker_factor);
-        let observed = self.observe_demand(demand, &active);
-        self.thermal_bias = self.observe_thermal_bias(&active);
+        let observed = obs.observed;
+        self.thermal_bias = obs.thermal_bias;
 
         if observed <= self.config.burst_threshold {
             self.hold_until_quiet = false;
@@ -648,8 +700,21 @@ impl<'a> SprintController<'a> {
         // --- Sprint lifecycle -------------------------------------------
         if in_burst && !self.sprint_active && self.run_state.is_none() {
             // First burst of the run: fix the energy budget and brief the
-            // strategy. Consecutive bursts share budget and stats.
-            let budget = EnergyBudget::new(self.total_energy_budget());
+            // strategy. Consecutive bursts share budget and stats. A
+            // batched driver may have primed the (lane-independent) budget
+            // so the integration runs once per batch instead of per lane.
+            let total = match self.primed_budget.take() {
+                Some(primed) => {
+                    debug_assert_eq!(
+                        primed,
+                        self.total_energy_budget(),
+                        "primed budget must match a fresh computation"
+                    );
+                    primed
+                }
+                None => self.total_energy_budget(),
+            };
+            let budget = EnergyBudget::new(total);
             let info = SprintInfo {
                 total_energy_budget: budget.total(),
                 power_curve: self.power_curve.clone(),

@@ -32,7 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use dcs_units::Seconds;
+use dcs_units::{Seconds, TempDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -514,6 +514,135 @@ impl SensorRng {
                 return z * sigma;
             }
         }
+    }
+}
+
+/// Everything the controller's sensors report for one control period: the
+/// aggregate fault state, the (possibly noisy/stale) demand reading, and the
+/// pessimistic thermal guard band.
+///
+/// Computed once per step by a [`FaultObserver`] and shared by every lane of
+/// a batched run — the observation depends only on the demand stream and the
+/// fault schedule, never on the lane's sprint bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The aggregate fault state at this step.
+    pub active: ActiveFaults,
+    /// The demand reading the controller's decisions see.
+    pub observed: f64,
+    /// Pessimistic margin added to the room-temperature reading while
+    /// temperature sensors are noisy.
+    pub thermal_bias: TempDelta,
+}
+
+/// The sensor pipeline as a standalone state machine: noise stream keyed by
+/// the active window's seed, plus the stale-telemetry sample-and-hold.
+///
+/// One observer fed the per-step demands produces the exact reading sequence
+/// an embedded controller pipeline would, so N lanes can share a single
+/// observer pass.
+#[derive(Debug, Clone, Default)]
+pub struct FaultObserver {
+    rng: Option<(u64, SensorRng)>,
+    stale: Option<(f64, u32)>,
+}
+
+impl FaultObserver {
+    /// Creates an observer with no noise stream and no held sample.
+    #[must_use]
+    pub fn new() -> FaultObserver {
+        FaultObserver::default()
+    }
+
+    /// Returns the noise stream for `seed`, starting a fresh one whenever a
+    /// new fault window (with a new seed) becomes active.
+    fn rng_for(&mut self, seed: u64) -> &mut SensorRng {
+        match self.rng {
+            Some((s, _)) if s == seed => {}
+            _ => self.rng = Some((seed, SensorRng::new(seed))),
+        }
+        &mut self.rng.as_mut().expect("just set").1
+    }
+
+    /// Produces this step's observation from the true demand and the active
+    /// fault state. Draw order is fixed — demand noise first, thermal bias
+    /// second, from the same stream — so observations are reproducible.
+    pub fn observe(&mut self, demand: f64, active: &ActiveFaults) -> Observation {
+        let mut observed = demand;
+        if active.demand_sigma > 0.0 {
+            let noise = self
+                .rng_for(active.noise_seed)
+                .truncated_gauss(active.demand_sigma);
+            observed = (demand + noise).max(0.0);
+        }
+        if active.stale_hold_steps > 1 {
+            let (held, age) = match self.stale.take() {
+                Some((held, age)) if age + 1 < active.stale_hold_steps => (held, age + 1),
+                _ => (observed, 0),
+            };
+            self.stale = Some((held, age));
+            observed = held;
+        } else {
+            self.stale = None;
+        }
+        let thermal_bias = if active.temp_sigma <= 0.0 {
+            TempDelta::ZERO
+        } else {
+            let noise = self
+                .rng_for(active.noise_seed)
+                .truncated_gauss(active.temp_sigma);
+            TempDelta::new(noise + 3.0 * active.temp_sigma).max_zero()
+        };
+        Observation {
+            active: *active,
+            observed,
+            thermal_bias,
+        }
+    }
+}
+
+/// Per-step fault-window lookups for a fixed control period, resolved once
+/// and shared across batched lanes.
+///
+/// Times are accumulated stepwise (`now += dt`) from zero so the lookups are
+/// bitwise-identical to a controller advancing its own clock.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    active: Vec<ActiveFaults>,
+    nominal_from: usize,
+}
+
+impl FaultTimeline {
+    /// Resolves `schedule` at each of `steps` periods of length `dt`.
+    #[must_use]
+    pub fn new(schedule: &FaultSchedule, dt: Seconds, steps: usize) -> FaultTimeline {
+        let mut active = Vec::with_capacity(steps);
+        let mut now = Seconds::ZERO;
+        for _ in 0..steps {
+            active.push(schedule.active_at(now));
+            now += dt;
+        }
+        let nominal_from = active
+            .iter()
+            .rposition(ActiveFaults::any)
+            .map_or(0, |last| last + 1);
+        FaultTimeline {
+            active,
+            nominal_from,
+        }
+    }
+
+    /// The per-step aggregate fault states, in step order.
+    #[must_use]
+    pub fn active(&self) -> &[ActiveFaults] {
+        &self.active
+    }
+
+    /// The first step index from which every remaining step is
+    /// fault-nominal (equal to `len` if the last step has an active fault).
+    #[must_use]
+    pub fn nominal_from(&self) -> usize {
+        self.nominal_from
     }
 }
 

@@ -1,0 +1,848 @@
+//! Batched multi-lane execution: one trace pass for a whole sprint-bound
+//! grid.
+//!
+//! The Oracle search and the upper-bound-table build evaluate many
+//! `FixedBound` candidates over the *same* trace. Run independently, every
+//! candidate re-samples the trace, re-resolves the fault windows, and
+//! re-draws the sensor-noise stream. The batch runner here computes that
+//! shared per-step work exactly once ([`shared_pass`]), then advances N
+//! lanes — one [`SprintController`] per candidate bound — in lockstep
+//! through the steps, with lane state held structure-of-arrays (parallel
+//! `ctrls`/`folds`/flag vectors) so the per-lane physics is a tight inner
+//! loop over the lane set at each step.
+//!
+//! Three exact accelerations ride on the lockstep structure:
+//!
+//! 1. **Prefix sharing.** Quiet (sub-threshold) steps are bound-independent
+//!    for `FixedBound` lanes: the bound only enters through
+//!    `desired = min(needed, bound_cores)` and quiet `needed` never exceeds
+//!    the normal allocation. One representative lane runs the shared quiet
+//!    prefix; the lane set is forked (cloned) at the first burst step.
+//! 2. **Early lane retirement.** A lane that trips or overheats is
+//!    terminated by the controller; once the remaining schedule is
+//!    fault-nominal (and, for live lanes, the remaining demand is quiet) a
+//!    conservative plant certificate ([`fold_safe`]) proves every remaining
+//!    step contributes a closed-form summary increment, so the lane is
+//!    frozen and its tail folded arithmetically. A lane whose effective
+//!    bound saturates at the normal allocation is likewise exempt from the
+//!    quiet requirement.
+//! 3. **Budget priming.** The sprint energy budget fixed at burst start is
+//!    lane-independent; it is integrated once at the fork and primed into
+//!    every clone instead of once per lane.
+//!
+//! All three preserve bit-identical [`SimSummary`] output versus N
+//! independent `run_with_options` calls — including under random
+//! [`FaultSchedule`]s — which the equivalence property suite and
+//! `perf_report` enforce. The runner is specific to constant-bound lanes:
+//! stateful strategies would observe the shared prefix differently and are
+//! rejected by construction (only `FixedBound` lanes are ever built here).
+
+use crate::scenario::{Scenario, SimSummary};
+use dcs_core::{ControllerConfig, FixedBound, SprintController};
+use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, FaultTimeline, Observation};
+use dcs_power::DataCenterSpec;
+use dcs_units::{Power, Ratio, Seconds, TempDelta};
+use dcs_workload::{AdmissionLog, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Work counters for a batched run: lanes submitted, lanes actually
+/// advanced after saturation dedup, and how many lane-steps ran live
+/// physics versus being folded arithmetically by early retirement.
+///
+/// `live_lane_steps + folded_lane_steps` always equals
+/// `lanes_advanced × trace_len` for an untapped batch, so the counters are
+/// an honest account of where the simulated work went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Candidate bounds submitted to the batch.
+    pub lanes: usize,
+    /// Distinct lanes advanced after saturation dedup (bounds whose
+    /// effective core cap coincides share one lane).
+    pub unique_lanes: usize,
+    /// Controller steps executed with full plant physics.
+    pub live_lane_steps: u64,
+    /// Lane-steps resolved by the closed-form retirement fold.
+    pub folded_lane_steps: u64,
+}
+
+impl BatchStats {
+    /// Accumulates another batch's counters into this one.
+    pub fn merge(&mut self, other: BatchStats) {
+        self.lanes += other.lanes;
+        self.unique_lanes += other.unique_lanes;
+        self.live_lane_steps += other.live_lane_steps;
+        self.folded_lane_steps += other.folded_lane_steps;
+    }
+
+    /// Total lane-steps accounted for, live plus folded.
+    #[must_use]
+    pub fn total_lane_steps(&self) -> u64 {
+        self.live_lane_steps + self.folded_lane_steps
+    }
+}
+
+/// Result of a batched run: one summary per submitted bound, in input
+/// order, plus the work counters.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-bound summaries, parallel to the submitted bound slice.
+    pub summaries: Vec<SimSummary>,
+    /// Work counters for the batch.
+    pub stats: BatchStats,
+}
+
+/// The per-step work every lane shares: true demand, the sensor
+/// observation (fault lookup + noise + staleness), and the indices that
+/// gate retirement.
+struct SharedPass {
+    demands: Vec<f64>,
+    obs: Vec<Observation>,
+    /// First step from which every remaining step is fault-nominal.
+    nominal_from: usize,
+    /// First step from which every remaining step is fault-nominal *and*
+    /// observed demand stays at or below the burst threshold.
+    inert_from: usize,
+    /// First step whose observed demand exceeds the burst threshold.
+    first_burst: Option<usize>,
+}
+
+fn shared_pass(trace: &Trace, faults: &FaultSchedule, threshold: f64) -> SharedPass {
+    let dt = trace.step();
+    let timeline = FaultTimeline::new(faults, dt, trace.len());
+    let mut observer = FaultObserver::new();
+    let mut demands = Vec::with_capacity(trace.len());
+    let mut obs = Vec::with_capacity(trace.len());
+    for ((_, demand), active) in trace.iter().zip(timeline.active()) {
+        demands.push(demand);
+        obs.push(observer.observe(demand, active));
+    }
+    let inert_from = obs
+        .iter()
+        .rposition(|o| o.active.any() || o.observed > threshold)
+        .map_or(0, |last| last + 1);
+    let first_burst = obs.iter().position(|o| o.observed > threshold);
+    SharedPass {
+        demands,
+        obs,
+        nominal_from: timeline.nominal_from(),
+        inert_from,
+        first_burst,
+    }
+}
+
+fn nominal_observation(demand: f64) -> Observation {
+    Observation {
+        active: ActiveFaults::nominal(),
+        observed: demand,
+        thermal_bias: TempDelta::ZERO,
+    }
+}
+
+/// The summary accumulator a lane folds its step records into — exactly
+/// the `Telemetry::Aggregate` accumulation from `run_with_options`, split
+/// out so retired lanes can keep folding without a controller.
+#[derive(Clone)]
+struct LaneFold {
+    admission: AdmissionLog,
+    steps: usize,
+    tripped: bool,
+    overheated: bool,
+    peak_degree: f64,
+}
+
+impl LaneFold {
+    fn new() -> LaneFold {
+        LaneFold {
+            admission: AdmissionLog::new(),
+            steps: 0,
+            tripped: false,
+            overheated: false,
+            peak_degree: 0.0,
+        }
+    }
+
+    fn record(&mut self, rec: &dcs_core::StepRecord, dt: Seconds) {
+        self.admission.record(rec.demand, rec.served, dt);
+        self.steps += 1;
+        self.tripped |= rec.tripped;
+        self.overheated |= rec.overheated;
+        self.peak_degree = self.peak_degree.max(rec.degree.as_f64());
+    }
+
+    /// Folds a span of steps on which the lane provably serves at the
+    /// normal allocation with a frozen plant: each step contributes
+    /// `record(demand, min(demand, normal_capacity))`, one step count, and
+    /// a degree of exactly 1 — nothing else in the summary moves.
+    fn fold_span(&mut self, demands: &[f64], dt: Seconds, normal_capacity: f64) {
+        for &demand in demands {
+            self.admission
+                .record(demand, demand.min(normal_capacity), dt);
+        }
+        self.steps += demands.len();
+        if !demands.is_empty() {
+            self.peak_degree = self.peak_degree.max(1.0);
+        }
+    }
+}
+
+fn summary_of(ctrl: &SprintController<'_>, fold: &LaneFold, dt: Seconds) -> SimSummary {
+    let (cb_energy, ups_energy, tes_energy) = ctrl.energy_split();
+    SimSummary {
+        strategy: ctrl.strategy_name().to_owned(),
+        step: dt,
+        steps: fold.steps,
+        admission: fold.admission,
+        cb_energy,
+        ups_energy,
+        tes_energy,
+        tripped: fold.tripped,
+        overheated: fold.overheated,
+        peak_degree: fold.peak_degree,
+    }
+}
+
+/// Conservative certificate that *every* remaining step of a
+/// quiet-or-terminated, fault-nominal tail leaves the lane's summary
+/// contributions closed-form: the chiller covers peak normal heat (so the
+/// room only cools and never re-overheats), and peak normal power fits
+/// inside the current reserve caps and every breaker's no-trip region (so
+/// there is never a deficit, a shed, a UPS discharge, or a trip).
+///
+/// The checks are monotone-safe: caps only grow as breaker trip progress
+/// decays under no-trip loads, and the derated (current) breaker ratings
+/// under-approximate the nominal ratings the tail runs with, so a
+/// certificate that holds now keeps holding for the rest of the tail. A
+/// tripped breaker zeroes its cap and fails the check, which safely forces
+/// the live-step fallback.
+fn fold_safe(ctrl: &SprintController<'_>) -> bool {
+    let spec = ctrl.spec();
+    let server = spec.server();
+    let plant = ctrl.plant();
+    let peak_normal_it = spec.peak_normal_it_power();
+    if plant.design_capacity() < peak_normal_it {
+        return false;
+    }
+    let caps = ctrl.topology().caps(ctrl.config().reserve);
+    let worst_cooling = plant.electric_power(plant.design_capacity(), Power::ZERO);
+    let dc_it_budget = (caps.dc_total - worst_cooling - ctrl.external_load()).max_zero();
+    let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / spec.pdu_count() as f64);
+    let worst_per_pdu = server.peak_normal_power() * spec.servers_per_pdu() as f64;
+    if worst_per_pdu > allowed_per_pdu {
+        return false;
+    }
+    let topo = ctrl.topology();
+    if topo
+        .pdu_breakers()
+        .iter()
+        .any(|b| !b.trip_time_at(worst_per_pdu).is_never())
+    {
+        return false;
+    }
+    let worst_dc = peak_normal_it + worst_cooling + ctrl.external_load();
+    topo.dc_breaker().trip_time_at(worst_dc).is_never()
+}
+
+/// Lane state, structure-of-arrays: controllers, fold accumulators, and
+/// per-lane flags live in parallel vectors so the lockstep inner loop
+/// walks each array contiguously.
+struct LaneSet<'a> {
+    ctrls: Vec<SprintController<'a>>,
+    folds: Vec<LaneFold>,
+    terminated: Vec<bool>,
+    /// Lane's effective core cap equals the normal allocation, so burst
+    /// steps are also closed-form once faults go nominal.
+    normal_pinned: Vec<bool>,
+    done: Vec<bool>,
+}
+
+impl LaneSet<'_> {
+    fn len(&self) -> usize {
+        self.ctrls.len()
+    }
+}
+
+/// Runs one `FixedBound` lane per candidate bound through a single pass
+/// over the scenario's trace, bit-identical to N independent
+/// `run_summary_with_faults` calls (including under faults).
+///
+/// Returns one summary per bound, in input order.
+///
+/// # Panics
+///
+/// Panics if any bound is below 1 (as `FixedBound::new` would).
+#[must_use]
+pub fn run_bound_batch(
+    scenario: &Scenario,
+    bounds: &[Ratio],
+    faults: &FaultSchedule,
+) -> BatchOutcome {
+    let mut stats = BatchStats {
+        lanes: bounds.len(),
+        ..BatchStats::default()
+    };
+    if bounds.is_empty() {
+        return BatchOutcome {
+            summaries: Vec::new(),
+            stats,
+        };
+    }
+    let spec = scenario.spec();
+    let config = scenario.config();
+    let trace = scenario.trace();
+    let dt = trace.step();
+    let len = trace.len();
+    let shared = shared_pass(trace, faults, config.burst_threshold);
+    let server = spec.server();
+    let normal = server.normal_cores();
+    let normal_capacity = server.capacity_at_cores(normal);
+    let max_degree = server.max_degree();
+
+    // Saturation dedup: a lane's bound only acts through
+    // `bound_cores = cores_at_degree(clamp(bound)).max(normal)`, and only
+    // when it binds below the step's needed cores. Two bounds whose caps
+    // agree everywhere the cap can bind (i.e. after clamping to the max
+    // needed allocation over the whole trace) produce bit-identical
+    // summaries, so they share one lane.
+    let max_needed = shared
+        .obs
+        .iter()
+        .map(|o| server.cores_for_demand(Ratio::new(o.observed)).max(normal))
+        .max()
+        .unwrap_or(normal);
+    let key_of = |bound: Ratio| -> u32 {
+        server
+            .cores_at_degree(bound.min(max_degree))
+            .max(normal)
+            .min(max_needed)
+    };
+    let mut keys: Vec<u32> = Vec::new();
+    let mut rep_bounds: Vec<Ratio> = Vec::new();
+    let mut lane_of_input: Vec<usize> = Vec::with_capacity(bounds.len());
+    for &bound in bounds {
+        assert!(bound >= Ratio::ONE, "bound must be at least 1");
+        let key = key_of(bound);
+        match keys.iter().position(|&k| k == key) {
+            Some(lane) => lane_of_input.push(lane),
+            None => {
+                lane_of_input.push(rep_bounds.len());
+                keys.push(key);
+                rep_bounds.push(bound);
+            }
+        }
+    }
+
+    // --- Shared quiet prefix on one representative lane ------------------
+    let fork_at = shared.first_burst.unwrap_or(len);
+    let mut rep = SprintController::new(spec, config, Box::new(FixedBound::new(rep_bounds[0])))
+        .with_faults(faults);
+    let mut rep_fold = LaneFold::new();
+    let mut rep_terminated = false;
+    let mut rep_done = false;
+    let mut i = 0;
+    while i < fork_at {
+        let quiet_ok = i >= shared.inert_from;
+        let term_ok = rep_terminated && i >= shared.nominal_from;
+        if (quiet_ok || term_ok) && fold_safe(&rep) {
+            rep_fold.fold_span(&shared.demands[i..], dt, normal_capacity);
+            stats.folded_lane_steps += (len - i) as u64;
+            rep_done = true;
+            break;
+        }
+        let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
+        rep_fold.record(&rec, dt);
+        stats.live_lane_steps += 1;
+        if rec.tripped || rec.overheated {
+            rep_terminated = true;
+        }
+        i += 1;
+    }
+
+    // A lane terminated before the first burst never sprints, so every
+    // bound's run is identical: finish the representative alone and
+    // replicate. Likewise when the trace never bursts at all.
+    if rep_done || rep_terminated || fork_at == len {
+        let mut i = fork_at;
+        while !rep_done && i < len {
+            let quiet_ok = i >= shared.inert_from;
+            let term_ok = rep_terminated && i >= shared.nominal_from;
+            if (quiet_ok || term_ok) && fold_safe(&rep) {
+                rep_fold.fold_span(&shared.demands[i..], dt, normal_capacity);
+                stats.folded_lane_steps += (len - i) as u64;
+                break;
+            }
+            let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
+            rep_fold.record(&rec, dt);
+            stats.live_lane_steps += 1;
+            if rec.tripped || rec.overheated {
+                rep_terminated = true;
+            }
+            i += 1;
+        }
+        stats.unique_lanes = 1;
+        let summary = summary_of(&rep, &rep_fold, dt);
+        return BatchOutcome {
+            summaries: bounds.iter().map(|_| summary.clone()).collect(),
+            stats,
+        };
+    }
+
+    // --- Fork: clone the prefix into one lane per distinct bound ----------
+    stats.unique_lanes = rep_bounds.len();
+    let primed = rep.energy_budget_under(&shared.obs[fork_at].active, dt);
+    let mut lanes = LaneSet {
+        ctrls: rep_bounds
+            .iter()
+            .map(|&b| {
+                let mut ctrl = rep.clone_with_strategy(Box::new(FixedBound::new(b)));
+                ctrl.prime_energy_budget(primed);
+                ctrl
+            })
+            .collect(),
+        folds: vec![rep_fold; rep_bounds.len()],
+        terminated: vec![false; rep_bounds.len()],
+        normal_pinned: keys.iter().map(|&k| k <= normal).collect(),
+        done: vec![false; rep_bounds.len()],
+    };
+
+    // --- Lockstep over the remaining steps --------------------------------
+    let mut done_count = 0;
+    for i in fork_at..len {
+        if done_count == lanes.len() {
+            break;
+        }
+        let demand = shared.demands[i];
+        let obs = &shared.obs[i];
+        let quiet_ok = i >= shared.inert_from;
+        let nominal_ok = i >= shared.nominal_from;
+        for lane in 0..lanes.len() {
+            if lanes.done[lane] {
+                continue;
+            }
+            let exempt = lanes.terminated[lane] || lanes.normal_pinned[lane];
+            if (quiet_ok || (exempt && nominal_ok)) && fold_safe(&lanes.ctrls[lane]) {
+                lanes.folds[lane].fold_span(&shared.demands[i..], dt, normal_capacity);
+                stats.folded_lane_steps += (len - i) as u64;
+                lanes.done[lane] = true;
+                done_count += 1;
+                continue;
+            }
+            let rec = lanes.ctrls[lane].step_observed(demand, obs, dt);
+            lanes.folds[lane].record(&rec, dt);
+            stats.live_lane_steps += 1;
+            if rec.tripped || rec.overheated {
+                lanes.terminated[lane] = true;
+            }
+        }
+    }
+
+    let lane_summaries: Vec<SimSummary> = (0..lanes.len())
+        .map(|lane| summary_of(&lanes.ctrls[lane], &lanes.folds[lane], dt))
+        .collect();
+    BatchOutcome {
+        summaries: lane_of_input
+            .iter()
+            .map(|&lane| lane_summaries[lane].clone())
+            .collect(),
+        stats,
+    }
+}
+
+/// A mid-trace evaluation request against a batched master run: report the
+/// summary a lane would have if, after `at` shared steps, the run finished
+/// over `tail` instead of the master trace.
+///
+/// The caller must guarantee `tail` agrees with the master trace bitwise on
+/// `[0, at)` (asserted), so the lane's state after `at` master steps *is*
+/// its state after `at` tail steps.
+pub(crate) struct LaneTap<'t> {
+    /// Index into the batch's bound slice.
+    pub lane: usize,
+    /// Master-trace step count after which the run diverges onto `tail`.
+    pub at: usize,
+    /// The trace this evaluation finishes over.
+    pub tail: &'t Trace,
+}
+
+/// Fault-free batched run over a shared `master` trace that answers
+/// [`LaneTap`] evaluations: traces sharing a common prefix (the table
+/// builder's per-degree columns) are all served by one pass over the
+/// longest of them, each tap cloning its lane at the divergence point and
+/// finishing over its own tail.
+///
+/// Returns one summary per tap, in input order, each bit-identical to an
+/// independent `run_summary_with_faults` of that tap's trace with that
+/// lane's bound.
+pub(crate) fn run_bound_batch_tapped(
+    spec: &DataCenterSpec,
+    config: &ControllerConfig,
+    master: &Trace,
+    bounds: &[Ratio],
+    taps: &[LaneTap<'_>],
+) -> (Vec<SimSummary>, BatchStats) {
+    let dt = master.step();
+    let len = master.len();
+    let threshold = config.burst_threshold;
+    let server = spec.server();
+    let normal = server.normal_cores();
+    let normal_capacity = server.capacity_at_cores(normal);
+    let max_degree = server.max_degree();
+    let mut stats = BatchStats {
+        lanes: bounds.len(),
+        unique_lanes: bounds.len(),
+        ..BatchStats::default()
+    };
+
+    // Validate taps and pre-compute, per tap, whether its tail past the
+    // divergence point is all-quiet (which makes a frozen lane's tap
+    // resolvable arithmetically).
+    let mut tap_order: Vec<usize> = (0..taps.len()).collect();
+    tap_order.sort_by_key(|&t| taps[t].at);
+    let tail_quiet: Vec<bool> = taps
+        .iter()
+        .map(|tap| {
+            assert!(tap.lane < bounds.len(), "tap lane out of range");
+            assert!(
+                tap.at <= len && tap.at <= tap.tail.len(),
+                "tap point must lie inside both traces"
+            );
+            assert!(
+                tap.tail.step() == master.step(),
+                "tap tail must share the master control period"
+            );
+            assert!(
+                tap.tail.samples()[..tap.at] == master.samples()[..tap.at],
+                "tap tail must agree with the master trace before the tap"
+            );
+            tap.tail.samples()[tap.at..].iter().all(|&d| d <= threshold)
+        })
+        .collect();
+    let mut pending: Vec<Vec<usize>> = vec![Vec::new(); bounds.len()];
+    for &t in tap_order.iter().rev() {
+        // Reverse insertion so each lane's queue pops in ascending `at`.
+        pending[taps[t].lane].push(t);
+    }
+
+    let shared = shared_pass(master, &FaultSchedule::NONE, threshold);
+    let fork_at = shared.first_burst.unwrap_or(len);
+    let mut out: Vec<Option<SimSummary>> = (0..taps.len()).map(|_| None).collect();
+
+    // Resolves one tap from a source lane state positioned at `pos`
+    // (`pos == at` for a live lane; `pos < at` for a frozen one, whose gap
+    // and tail are guaranteed fold-safe by the freeze-time checks).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_tap(
+        ctrl: &SprintController<'_>,
+        fold: &LaneFold,
+        terminated: bool,
+        pos: usize,
+        tap: &LaneTap<'_>,
+        tap_is_quiet: bool,
+        bound: Ratio,
+        shared: &SharedPass,
+        threshold: f64,
+        normal_capacity: f64,
+        dt: Seconds,
+        stats: &mut BatchStats,
+    ) -> SimSummary {
+        let tail = tap.tail.samples();
+        if pos < tap.at {
+            // Frozen lane: the master gap [pos, at) is bitwise-equal to the
+            // tail there, and both it and the tail past `at` fold.
+            debug_assert!(terminated || tap_is_quiet);
+            let mut fold = fold.clone();
+            fold.fold_span(&shared.demands[pos..tap.at], dt, normal_capacity);
+            fold.fold_span(&tail[tap.at..], dt, normal_capacity);
+            stats.folded_lane_steps += (tail.len() - pos) as u64;
+            return summary_of(ctrl, &fold, dt);
+        }
+        let mut ctrl = ctrl.clone_with_strategy(Box::new(FixedBound::new(bound)));
+        let mut fold = fold.clone();
+        let mut term = terminated;
+        let tail_inert = tail
+            .iter()
+            .rposition(|&d| d > threshold)
+            .map_or(0, |last| last + 1);
+        let mut j = tap.at;
+        while j < tail.len() {
+            if (j >= tail_inert || term) && fold_safe(&ctrl) {
+                fold.fold_span(&tail[j..], dt, normal_capacity);
+                stats.folded_lane_steps += (tail.len() - j) as u64;
+                break;
+            }
+            let rec = ctrl.step_observed(tail[j], &nominal_observation(tail[j]), dt);
+            fold.record(&rec, dt);
+            stats.live_lane_steps += 1;
+            if rec.tripped || rec.overheated {
+                term = true;
+            }
+            j += 1;
+        }
+        summary_of(&ctrl, &fold, dt)
+    }
+
+    // --- Phase A: shared prefix (and the whole run when no fork happens) --
+    let mut rep = SprintController::new(spec, config, Box::new(FixedBound::new(bounds[0])));
+    let mut rep_fold = LaneFold::new();
+    let mut rep_terminated = false;
+    let mut rep_frozen_at: Option<usize> = None;
+    let mut next_tap = 0usize;
+    let mut i = 0usize;
+    let mut forked = false;
+    while i <= len {
+        while next_tap < tap_order.len() && taps[tap_order[next_tap]].at == i {
+            let t = tap_order[next_tap];
+            let tap = &taps[t];
+            out[t] = Some(resolve_tap(
+                &rep,
+                &rep_fold,
+                rep_terminated,
+                rep_frozen_at.unwrap_or(i),
+                tap,
+                tail_quiet[t],
+                bounds[tap.lane],
+                &shared,
+                threshold,
+                normal_capacity,
+                dt,
+                &mut stats,
+            ));
+            pending[tap.lane].pop();
+            next_tap += 1;
+        }
+        if i == len {
+            break;
+        }
+        if i == fork_at && !rep_terminated && rep_frozen_at.is_none() {
+            forked = true;
+            break;
+        }
+        if rep_frozen_at.is_none() {
+            let quiet_ok = i >= shared.inert_from;
+            let term_ok = rep_terminated && i >= shared.nominal_from;
+            // With no fork ahead every remaining tap resolves from this
+            // lane, so freezing requires every one of them to be
+            // arithmetically resolvable.
+            let taps_ok = tap_order[next_tap..]
+                .iter()
+                .all(|&t| rep_terminated || tail_quiet[t]);
+            if (quiet_ok || term_ok) && taps_ok && fold_safe(&rep) {
+                rep_frozen_at = Some(i);
+            }
+        }
+        if rep_frozen_at.is_none() {
+            let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
+            rep_fold.record(&rec, dt);
+            stats.live_lane_steps += 1;
+            if rec.tripped || rec.overheated {
+                rep_terminated = true;
+            }
+        }
+        i += 1;
+    }
+
+    // --- Phase B: forked lockstep over the burst and beyond ----------------
+    if forked {
+        let primed = rep.energy_budget_under(&shared.obs[fork_at].active, dt);
+        let lane_ids: Vec<usize> = (0..bounds.len())
+            .filter(|&l| !pending[l].is_empty())
+            .collect();
+        let mut lanes = LaneSet {
+            ctrls: lane_ids
+                .iter()
+                .map(|&l| {
+                    let mut ctrl = rep.clone_with_strategy(Box::new(FixedBound::new(bounds[l])));
+                    ctrl.prime_energy_budget(primed);
+                    ctrl
+                })
+                .collect(),
+            folds: vec![rep_fold; lane_ids.len()],
+            terminated: vec![false; lane_ids.len()],
+            normal_pinned: lane_ids
+                .iter()
+                .map(|&l| {
+                    server
+                        .cores_at_degree(bounds[l].min(max_degree))
+                        .max(normal)
+                        <= normal
+                })
+                .collect(),
+            done: vec![false; lane_ids.len()],
+        };
+        let mut frozen_at: Vec<Option<usize>> = vec![None; lane_ids.len()];
+        let mut done_count = 0;
+        for i in fork_at..=len {
+            if done_count == lanes.len() {
+                break;
+            }
+            while next_tap < tap_order.len() && taps[tap_order[next_tap]].at == i {
+                let t = tap_order[next_tap];
+                let tap = &taps[t];
+                let slot = lane_ids
+                    .iter()
+                    .position(|&l| l == tap.lane)
+                    .expect("tap lane was forked");
+                out[t] = Some(resolve_tap(
+                    &lanes.ctrls[slot],
+                    &lanes.folds[slot],
+                    lanes.terminated[slot],
+                    frozen_at[slot].unwrap_or(i),
+                    tap,
+                    tail_quiet[t],
+                    bounds[tap.lane],
+                    &shared,
+                    threshold,
+                    normal_capacity,
+                    dt,
+                    &mut stats,
+                ));
+                pending[tap.lane].pop();
+                if pending[tap.lane].is_empty() && !lanes.done[slot] {
+                    lanes.done[slot] = true;
+                    done_count += 1;
+                }
+                next_tap += 1;
+            }
+            if i == len || done_count == lanes.len() {
+                break;
+            }
+            let demand = shared.demands[i];
+            let obs = &shared.obs[i];
+            let quiet_ok = i >= shared.inert_from;
+            let nominal_ok = i >= shared.nominal_from;
+            for slot in 0..lanes.len() {
+                if lanes.done[slot] || frozen_at[slot].is_some() {
+                    continue;
+                }
+                let exempt = lanes.terminated[slot] || lanes.normal_pinned[slot];
+                let taps_ok = pending[lane_ids[slot]]
+                    .iter()
+                    .all(|&t| lanes.terminated[slot] || tail_quiet[t]);
+                if (quiet_ok || (exempt && nominal_ok)) && taps_ok && fold_safe(&lanes.ctrls[slot])
+                {
+                    frozen_at[slot] = Some(i);
+                    continue;
+                }
+                let rec = lanes.ctrls[slot].step_observed(demand, obs, dt);
+                lanes.folds[slot].record(&rec, dt);
+                stats.live_lane_steps += 1;
+                if rec.tripped || rec.overheated {
+                    lanes.terminated[slot] = true;
+                }
+            }
+        }
+    }
+
+    (
+        out.into_iter()
+            .map(|s| s.expect("every tap is resolved"))
+            .collect(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_summary_with_faults;
+    use dcs_workload::yahoo_trace;
+
+    fn scenario() -> Scenario {
+        let spec = DataCenterSpec::paper_default().with_scale(2, 50);
+        let config = ControllerConfig::default();
+        let trace = yahoo_trace::with_burst(3, 2.8, Seconds::from_minutes(4.0));
+        Scenario::new(spec, config, trace)
+    }
+
+    fn grid_subset(scenario: &Scenario) -> Vec<Ratio> {
+        crate::oracle::degree_grid(scenario.spec())
+            .into_iter()
+            .step_by(7)
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_independent_runs_fault_free() {
+        let s = scenario();
+        let bounds = grid_subset(&s);
+        let batch = run_bound_batch(&s, &bounds, &FaultSchedule::NONE);
+        assert_eq!(batch.summaries.len(), bounds.len());
+        for (&bound, got) in bounds.iter().zip(&batch.summaries) {
+            let want =
+                run_summary_with_faults(&s, Box::new(FixedBound::new(bound)), &FaultSchedule::NONE);
+            assert_eq!(*got, want, "bound {}", bound.as_f64());
+        }
+    }
+
+    #[test]
+    fn batch_matches_independent_runs_under_faults() {
+        let s = scenario();
+        let bounds = grid_subset(&s);
+        for seed in [1u64, 9, 23] {
+            let faults = FaultSchedule::random(seed, s.trace().duration());
+            let batch = run_bound_batch(&s, &bounds, &faults);
+            for (&bound, got) in bounds.iter().zip(&batch.summaries) {
+                let want = run_summary_with_faults(&s, Box::new(FixedBound::new(bound)), &faults);
+                assert_eq!(*got, want, "seed {seed} bound {}", bound.as_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_trace_collapses_to_one_lane() {
+        let spec = DataCenterSpec::paper_default().with_scale(2, 50);
+        let config = ControllerConfig::default();
+        let trace = yahoo_trace::baseline(5);
+        let s = Scenario::new(spec, config, trace);
+        let bounds = grid_subset(&s);
+        let batch = run_bound_batch(&s, &bounds, &FaultSchedule::NONE);
+        assert_eq!(batch.stats.unique_lanes, 1);
+        assert!(batch.stats.folded_lane_steps > 0, "quiet tail must fold");
+        for (&bound, got) in bounds.iter().zip(&batch.summaries) {
+            let want =
+                run_summary_with_faults(&s, Box::new(FixedBound::new(bound)), &FaultSchedule::NONE);
+            assert_eq!(*got, want, "bound {}", bound.as_f64());
+        }
+    }
+
+    #[test]
+    fn tapped_batch_matches_independent_runs_per_tail() {
+        let spec = DataCenterSpec::paper_default().with_scale(2, 50);
+        let config = ControllerConfig::default();
+        let degree = 2.6;
+        let tails: Vec<Trace> = [2.0, 5.0]
+            .iter()
+            .map(|&m| yahoo_trace::with_burst(0, degree, Seconds::from_minutes(m)))
+            .collect();
+        let master = tails.last().expect("two tails").clone();
+        let bounds: Vec<Ratio> = [1.5, 2.5, 3.5].iter().map(|&b| Ratio::new(b)).collect();
+        let mut taps = Vec::new();
+        for tail in &tails {
+            let at = master
+                .samples()
+                .iter()
+                .zip(tail.samples())
+                .position(|(a, b)| a != b)
+                .unwrap_or(tail.len().min(master.len()));
+            for lane in 0..bounds.len() {
+                taps.push(LaneTap { lane, at, tail });
+            }
+        }
+        let (summaries, stats) = run_bound_batch_tapped(&spec, &config, &master, &bounds, &taps);
+        assert!(stats.live_lane_steps > 0);
+        for (tap, got) in taps.iter().zip(&summaries) {
+            let s = Scenario::new(spec.clone(), config.clone(), tap.tail.clone());
+            let want = run_summary_with_faults(
+                &s,
+                Box::new(FixedBound::new(bounds[tap.lane])),
+                &FaultSchedule::NONE,
+            );
+            assert_eq!(
+                *got,
+                want,
+                "tail len {} bound {}",
+                tap.tail.len(),
+                bounds[tap.lane].as_f64()
+            );
+        }
+    }
+}

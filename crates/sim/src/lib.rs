@@ -23,8 +23,13 @@
 //!   per-step records, for search loops that only consume aggregates;
 //! * [`build_upper_bound_table`] — the Oracle-built table the Prediction
 //!   strategy consumes (§V-A);
+//! * [`run_bound_batch`] — the batched multi-lane engine: one pass over
+//!   the trace advances a whole grid of `FixedBound` lanes in lockstep,
+//!   bit-identical to independent runs (the Oracle search and the table
+//!   builder submit their grids through it);
 //! * [`parallel_map`] — the scoped-thread sweep helper used by the
-//!   benches to parallelize parameter sweeps.
+//!   benches to parallelize parameter sweeps (nested calls run inline
+//!   under a per-worker budget instead of oversubscribing the machine).
 //!
 //! # Examples
 //!
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod capped;
 mod oracle;
 mod runner;
@@ -56,10 +62,11 @@ mod sweep;
 mod table_builder;
 mod uncontrolled;
 
+pub use batch::{run_bound_batch, BatchOutcome, BatchStats};
 pub use capped::run_power_capped;
 pub use oracle::{
-    degree_grid, oracle_search, oracle_search_exhaustive, oracle_search_with, OracleMode,
-    OracleOutcome,
+    degree_grid, oracle_search, oracle_search_exhaustive, oracle_search_stats,
+    oracle_search_unbatched, oracle_search_with, OracleMode, OracleOutcome,
 };
 pub use runner::{
     run, run_no_sprint, run_no_sprint_with_faults, run_summary, run_summary_with_faults,
@@ -67,5 +74,8 @@ pub use runner::{
 };
 pub use scenario::{Scenario, SimResult, SimSummary};
 pub use sweep::parallel_map;
-pub use table_builder::{build_upper_bound_table, build_upper_bound_table_with};
+pub use table_builder::{
+    build_upper_bound_table, build_upper_bound_table_stats, build_upper_bound_table_unbatched,
+    build_upper_bound_table_with, TableBuildStats,
+};
 pub use uncontrolled::{run_uncontrolled, UncontrolledMode, UncontrolledResult};

@@ -1,9 +1,11 @@
 //! The Oracle strategy: search over constant degree bounds.
 
+use crate::batch::{run_bound_batch, BatchStats};
 use crate::{parallel_map, run_summary_with_faults, run_with_faults, Scenario, SimResult};
 use dcs_core::FixedBound;
 use dcs_faults::{FaultKind, FaultSchedule};
 use dcs_units::Ratio;
+use dcs_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of an Oracle search.
@@ -31,9 +33,9 @@ pub enum OracleMode {
     /// unimodal (plateaus included), at a fraction of the simulated work.
     #[default]
     Pruned,
-    /// The historical exhaustive scan: one full-telemetry run per grid
-    /// point. The explicit fallback if a scenario's performance-vs-bound
-    /// profile is ever *not* unimodal.
+    /// The historical exhaustive scan: every grid point evaluated. The
+    /// explicit fallback if a scenario's performance-vs-bound profile is
+    /// ever *not* unimodal.
     Exhaustive,
 }
 
@@ -67,7 +69,7 @@ pub fn oracle_search(scenario: &Scenario) -> OracleOutcome {
 }
 
 /// [`oracle_search`] with the historical exhaustive scan: every grid point
-/// simulated with full telemetry.
+/// evaluated.
 ///
 /// # Panics
 ///
@@ -79,11 +81,75 @@ pub fn oracle_search_exhaustive(scenario: &Scenario) -> OracleOutcome {
 
 /// Runs the Oracle search with an explicit fault schedule and search mode.
 ///
+/// Both modes submit their candidate bounds as one
+/// [`run_bound_batch`] per evaluation wave — a single pass over the trace
+/// advances every lane — and finish with one full-telemetry run of the
+/// winner. Results are bit-identical to [`oracle_search_unbatched`].
+///
 /// # Panics
 ///
 /// Panics if the degree grid is empty (impossible for a valid spec).
 #[must_use]
 pub fn oracle_search_with(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    mode: OracleMode,
+) -> OracleOutcome {
+    oracle_search_stats(scenario, faults, mode).0
+}
+
+/// [`oracle_search_with`] plus the batch work counters (lane-steps run
+/// live versus folded by early retirement).
+///
+/// # Panics
+///
+/// Panics if the degree grid is empty (impossible for a valid spec).
+#[must_use]
+pub fn oracle_search_stats(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    mode: OracleMode,
+) -> (OracleOutcome, BatchStats) {
+    let (best_bound, tried, stats) = match mode {
+        OracleMode::Exhaustive => {
+            let grid = degree_grid(scenario.spec());
+            assert!(!grid.is_empty(), "degree grid is never empty");
+            let batch = run_bound_batch(scenario, &grid, faults);
+            let tried: Vec<(f64, f64)> = grid
+                .iter()
+                .zip(&batch.summaries)
+                .map(|(b, s)| (b.as_f64(), s.average_performance()))
+                .collect();
+            (
+                grid[last_argmax(tried.iter().map(|&(_, v)| v))],
+                tried,
+                batch.stats,
+            )
+        }
+        OracleMode::Pruned => pruned_scan_batched(scenario, faults),
+    };
+    let mut best = run_with_faults(scenario, Box::new(FixedBound::new(best_bound)), faults);
+    best.strategy = "Oracle".into();
+    (
+        OracleOutcome {
+            best_bound,
+            best,
+            tried,
+        },
+        stats,
+    )
+}
+
+/// The pre-batching reference implementation: every evaluation is an
+/// independent run. Kept (and exercised by `perf_report` and the
+/// equivalence suite) as the ground truth the batched search must match
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if the degree grid is empty (impossible for a valid spec).
+#[must_use]
+pub fn oracle_search_unbatched(
     scenario: &Scenario,
     faults: &FaultSchedule,
     mode: OracleMode,
@@ -125,13 +191,28 @@ pub fn oracle_search_with(
     }
 }
 
+/// Index of the last maximum of an iterator of values (`max_by` with
+/// `total_cmp` keeps the last of ties; the pruned scan does the same).
+pub(crate) fn last_argmax(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, v) in values.enumerate() {
+        if v.total_cmp(&best_val).is_ge() {
+            best = i;
+            best_val = v;
+        }
+    }
+    best
+}
+
 /// Bounds at or below this many effective grid points are all evaluated:
 /// the coarse-to-fine machinery only pays off on larger grids.
-const EXHAUST_BELOW: usize = 8;
+pub(crate) const EXHAUST_BELOW: usize = 8;
 
-/// The pruned Oracle scan: returns the best bound and the evaluated
-/// `(bound, average performance)` pairs, without the final full-telemetry
-/// run (the table builder wants only the bound).
+/// The pruned scan's candidate set and schedule, split from the evaluation
+/// driver so the same plan can be fed by independent runs (the reference
+/// path) or by batched lanes (including the table builder's tapped
+/// columns).
 ///
 /// Two prunes are applied, both *exact* under stated assumptions:
 ///
@@ -148,23 +229,116 @@ const EXHAUST_BELOW: usize = 8;
 ///    window around the coarse winner finds the *last* grid argmax of any
 ///    unimodal-with-plateaus profile: the true argmax plateau always ends
 ///    strictly inside the refined window.
-///
-/// Evaluations use [`crate::Telemetry::Aggregate`] runs, whose average
-/// performance is bit-identical to a full run's.
-pub(crate) fn pruned_scan(scenario: &Scenario, faults: &FaultSchedule) -> (Ratio, Vec<(f64, f64)>) {
-    let spec = scenario.spec();
+pub(crate) struct ScanPlan {
+    grid: Vec<Ratio>,
+    candidates: Vec<usize>,
+}
+
+impl ScanPlan {
+    /// Number of candidate positions after saturation pruning.
+    pub(crate) fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// The bound at candidate position `p`.
+    pub(crate) fn bound(&self, p: usize) -> Ratio {
+        self.grid[self.candidates[p]]
+    }
+
+    /// The first evaluation wave: every position on small grids, the
+    /// stride-√m coarse set (always including the last position) on large
+    /// ones.
+    pub(crate) fn first_positions(&self) -> Vec<usize> {
+        let m = self.len();
+        if m <= EXHAUST_BELOW {
+            (0..m).collect()
+        } else {
+            let stride = (m as f64).sqrt().ceil() as usize;
+            let mut coarse: Vec<usize> = (0..m).step_by(stride).collect();
+            if *coarse.last().expect("m > 0") != m - 1 {
+                coarse.push(m - 1);
+            }
+            coarse
+        }
+    }
+
+    /// The *last* argmax among the coarse positions — the center the
+    /// refinement window (or the table builder's walk) grows around.
+    /// Preserves last-of-ties selection.
+    pub(crate) fn pivot(&self, values: &[Option<f64>]) -> usize {
+        let coarse = self.first_positions();
+        let mut pivot = coarse[0];
+        let mut pivot_val = f64::NEG_INFINITY;
+        for &p in &coarse {
+            let v = values[p].expect("coarse point evaluated");
+            if v.total_cmp(&pivot_val).is_ge() {
+                pivot = p;
+                pivot_val = v;
+            }
+        }
+        pivot
+    }
+
+    /// The second evaluation wave given the first wave's values: the
+    /// not-yet-evaluated positions in the window around the last coarse
+    /// argmax. Empty when the first wave already covered everything.
+    pub(crate) fn window_positions(&self, values: &[Option<f64>]) -> Vec<usize> {
+        let m = self.len();
+        if m <= EXHAUST_BELOW {
+            return Vec::new();
+        }
+        let stride = (m as f64).sqrt().ceil() as usize;
+        let pivot = self.pivot(values);
+        // Under unimodality the argmax plateau ends strictly between the
+        // coarse neighbors of the pivot: scan that window exhaustively.
+        let lo = pivot.saturating_sub(stride - 1);
+        let hi = (pivot + stride - 1).min(m - 1);
+        (lo..=hi).filter(|&p| values[p].is_none()).collect()
+    }
+
+    /// Final selection: the last argmax over everything evaluated
+    /// (positions ascend with the bound, so this matches `max_by`'s
+    /// last-of-ties result), plus the `tried` pairs in ascending order.
+    pub(crate) fn select(&self, values: &[Option<f64>]) -> (Ratio, Vec<(f64, f64)>) {
+        let mut tried = Vec::new();
+        for (p, value) in values.iter().enumerate() {
+            if let Some(v) = *value {
+                tried.push((self.bound(p).as_f64(), v));
+            }
+        }
+        (self.bound(self.select_pos(values)), tried)
+    }
+
+    /// The selected candidate *position* (last argmax over everything
+    /// evaluated).
+    pub(crate) fn select_pos(&self, values: &[Option<f64>]) -> usize {
+        let mut best_pos = 0;
+        let mut best_val = f64::NEG_INFINITY;
+        for (p, value) in values.iter().enumerate() {
+            if let Some(v) = *value {
+                if v.total_cmp(&best_val).is_ge() {
+                    best_pos = p;
+                    best_val = v;
+                }
+            }
+        }
+        best_pos
+    }
+}
+
+/// Builds the pruned scan's candidate plan for a trace under a fault
+/// schedule.
+pub(crate) fn scan_plan(
+    spec: &dcs_power::DataCenterSpec,
+    trace: &Trace,
+    faults: &FaultSchedule,
+) -> ScanPlan {
     let server = spec.server();
     let grid = degree_grid(spec);
     let n = grid.len();
     assert!(n > 0, "degree grid is never empty");
     let normal = server.normal_cores();
-
-    // --- Saturation pruning ------------------------------------------------
-    let max_demand = scenario
-        .trace()
-        .iter()
-        .map(|(_, d)| d)
-        .fold(0.0_f64, f64::max);
+    let max_demand = trace.iter().map(|(_, d)| d).fold(0.0_f64, f64::max);
     let max_sigma = faults
         .events()
         .iter()
@@ -185,69 +359,60 @@ pub(crate) fn pruned_scan(scenario: &Scenario, faults: &FaultSchedule) -> (Ratio
     // entire saturated tail.
     let mut candidates: Vec<usize> = (0..first_saturated).collect();
     candidates.push(n - 1);
-    let m = candidates.len();
+    ScanPlan { grid, candidates }
+}
 
-    // --- Coarse-to-fine unimodal scan -------------------------------------
-    let mut values: Vec<Option<f64>> = (0..m).map(|_| None).collect();
-    let evaluate = |positions: &[usize]| -> Vec<f64> {
-        parallel_map(positions, |&p| {
-            run_summary_with_faults(
-                scenario,
-                Box::new(FixedBound::new(grid[candidates[p]])),
-                faults,
-            )
-            .average_performance()
-        })
+/// The pruned Oracle scan, reference (unbatched) driver: returns the best
+/// bound and the evaluated `(bound, average performance)` pairs, without
+/// the final full-telemetry run (the table builder wants only the bound).
+///
+/// Evaluations use [`crate::Telemetry::Aggregate`] runs, whose average
+/// performance is bit-identical to a full run's.
+pub(crate) fn pruned_scan(scenario: &Scenario, faults: &FaultSchedule) -> (Ratio, Vec<(f64, f64)>) {
+    let plan = scan_plan(scenario.spec(), scenario.trace(), faults);
+    let mut values: Vec<Option<f64>> = (0..plan.len()).map(|_| None).collect();
+    let evaluate = |positions: &[usize], values: &mut Vec<Option<f64>>| {
+        let got = parallel_map(positions, |&p| {
+            run_summary_with_faults(scenario, Box::new(FixedBound::new(plan.bound(p))), faults)
+                .average_performance()
+        });
+        for (&p, v) in positions.iter().zip(got) {
+            values[p] = Some(v);
+        }
     };
-    if m <= EXHAUST_BELOW {
-        let all: Vec<usize> = (0..m).collect();
-        for (p, v) in evaluate(&all).into_iter().enumerate() {
-            values[p] = Some(v);
-        }
-    } else {
-        let stride = (m as f64).sqrt().ceil() as usize;
-        let mut coarse: Vec<usize> = (0..m).step_by(stride).collect();
-        if *coarse.last().expect("m > 0") != m - 1 {
-            coarse.push(m - 1);
-        }
-        for (&p, v) in coarse.iter().zip(evaluate(&coarse)) {
-            values[p] = Some(v);
-        }
-        // The *last* coarse argmax, to preserve last-of-ties selection.
-        let mut pivot = coarse[0];
-        let mut pivot_val = f64::NEG_INFINITY;
-        for &p in &coarse {
-            let v = values[p].expect("coarse point evaluated");
-            if v.total_cmp(&pivot_val).is_ge() {
-                pivot = p;
-                pivot_val = v;
-            }
-        }
-        // Under unimodality the argmax plateau ends strictly between the
-        // coarse neighbors of the pivot: scan that window exhaustively.
-        let lo = pivot.saturating_sub(stride - 1);
-        let hi = (pivot + stride - 1).min(m - 1);
-        let window: Vec<usize> = (lo..=hi).filter(|&p| values[p].is_none()).collect();
-        for (&p, v) in window.iter().zip(evaluate(&window)) {
-            values[p] = Some(v);
-        }
+    evaluate(&plan.first_positions(), &mut values);
+    let window = plan.window_positions(&values);
+    if !window.is_empty() {
+        evaluate(&window, &mut values);
     }
+    plan.select(&values)
+}
 
-    // Last argmax over everything evaluated (positions ascend with the
-    // bound, so this matches `max_by`'s last-of-ties result).
-    let mut best_pos = 0;
-    let mut best_val = f64::NEG_INFINITY;
-    let mut tried = Vec::new();
-    for (p, value) in values.iter().enumerate() {
-        if let Some(v) = *value {
-            tried.push((grid[candidates[p]].as_f64(), v));
-            if v.total_cmp(&best_val).is_ge() {
-                best_pos = p;
-                best_val = v;
-            }
+/// The pruned Oracle scan, batched driver: each evaluation wave is one
+/// [`run_bound_batch`] — a single pass over the trace for all its lanes —
+/// with results bit-identical to [`pruned_scan`].
+pub(crate) fn pruned_scan_batched(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+) -> (Ratio, Vec<(f64, f64)>, BatchStats) {
+    let plan = scan_plan(scenario.spec(), scenario.trace(), faults);
+    let mut values: Vec<Option<f64>> = (0..plan.len()).map(|_| None).collect();
+    let mut stats = BatchStats::default();
+    let mut evaluate = |positions: &[usize], values: &mut Vec<Option<f64>>| {
+        let bounds: Vec<Ratio> = positions.iter().map(|&p| plan.bound(p)).collect();
+        let batch = run_bound_batch(scenario, &bounds, faults);
+        stats.merge(batch.stats);
+        for (&p, s) in positions.iter().zip(&batch.summaries) {
+            values[p] = Some(s.average_performance());
         }
+    };
+    evaluate(&plan.first_positions(), &mut values);
+    let window = plan.window_positions(&values);
+    if !window.is_empty() {
+        evaluate(&window, &mut values);
     }
-    (grid[candidates[best_pos]], tried)
+    let (best, tried) = plan.select(&values);
+    (best, tried, stats)
 }
 
 #[cfg(test)]
@@ -341,6 +506,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_search_matches_unbatched_reference() {
+        let s = scenario(3.0, 5.0);
+        for mode in [OracleMode::Pruned, OracleMode::Exhaustive] {
+            let batched = oracle_search_with(&s, &FaultSchedule::NONE, mode);
+            let reference = oracle_search_unbatched(&s, &FaultSchedule::NONE, mode);
+            assert_eq!(batched, reference, "mode {mode:?}");
+        }
+        let faults = FaultSchedule::random(11, s.trace().duration());
+        for mode in [OracleMode::Pruned, OracleMode::Exhaustive] {
+            let batched = oracle_search_with(&s, &faults, mode);
+            let reference = oracle_search_unbatched(&s, &faults, mode);
+            assert_eq!(batched, reference, "faulted mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn search_reports_lane_step_accounting() {
+        let s = scenario(3.2, 5.0);
+        let (outcome, stats) = oracle_search_stats(&s, &FaultSchedule::NONE, OracleMode::Pruned);
+        assert!(!outcome.tried.is_empty());
+        assert!(stats.lanes >= outcome.tried.len());
+        assert!(stats.live_lane_steps > 0);
+        assert!(
+            stats.folded_lane_steps > 0,
+            "the post-burst tail should fold"
+        );
     }
 
     #[test]

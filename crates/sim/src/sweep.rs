@@ -1,6 +1,14 @@
 //! Parallel sweep helper.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// How many workers a nested [`parallel_map`] on this thread may use.
+    /// `None` on threads that are not sweep workers (the top level), where
+    /// the hardware parallelism applies.
+    static WORKER_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
 
 /// Maps `f` over `inputs` in parallel using scoped std threads, preserving
 /// input order in the output.
@@ -13,6 +21,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// balance) and each worker accumulates results into its own private
 /// buffer — no shared lock is touched while `f` runs, so cheap per-item
 /// closures don't serialize on a mutex.
+///
+/// Nested calls — `f` itself calling `parallel_map`, as the batched table
+/// builder does around per-column scans — do not oversubscribe the
+/// machine: each worker thread carries a worker budget (its share of the
+/// machine), nested calls spawn at most that many threads, and a budget of
+/// one runs the nested map inline on the calling worker with no spawn at
+/// all.
 ///
 /// # Panics
 ///
@@ -36,10 +51,20 @@ where
         return Vec::new();
     }
     let len = inputs.len();
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(len);
+    let budget = WORKER_BUDGET.with(Cell::get);
+    let cap = budget.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    if budget.is_some() && cap <= 1 {
+        // A nested sweep with no spare workers: run on the calling worker.
+        return inputs.iter().map(&f).collect();
+    }
+    let workers = cap.min(len);
+    // Workers of a nested sweep split the caller's budget; top-level
+    // workers split the machine.
+    let child_budget = (cap / workers).max(1);
     // A few chunks per worker balances uneven item costs without paying
     // one atomic fetch per item.
     let chunk_count = (workers * 4).min(len);
@@ -50,6 +75,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    WORKER_BUDGET.with(|b| b.set(Some(child_budget)));
                     let mut produced: Vec<(usize, Vec<U>)> = Vec::new();
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -132,6 +158,51 @@ mod tests {
             let inputs: Vec<usize> = (0..len).collect();
             let out = parallel_map(&inputs, |&x| x + 1);
             assert_eq!(out, (1..=len).collect::<Vec<_>>(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn nested_sweeps_produce_correct_output() {
+        let outer: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&outer, |&x| {
+            let inner: Vec<usize> = (0..8).collect();
+            parallel_map(&inner, move |&y| x * 10 + y)
+        });
+        for (x, row) in out.iter().enumerate() {
+            assert_eq!(
+                *row,
+                (0..8).map(|y| x * 10 + y).collect::<Vec<_>>(),
+                "row {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_runs_inline() {
+        // A worker whose budget is down to one thread must not spawn: its
+        // nested sweeps run on the worker itself.
+        WORKER_BUDGET.with(|b| b.set(Some(1)));
+        let here = std::thread::current().id();
+        let out = parallel_map(&[1, 2, 3], |&x| (x, std::thread::current().id()));
+        WORKER_BUDGET.with(|b| b.set(None));
+        assert_eq!(
+            out.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert!(
+            out.iter().all(|&(_, id)| id == here),
+            "budget of one must run inline"
+        );
+    }
+
+    #[test]
+    fn workers_inherit_a_budget_share() {
+        // Every spawned worker sees Some(share) with the shares covering
+        // the parent cap at minimum one each.
+        let budgets = parallel_map(&[1, 2, 3, 4], |_| WORKER_BUDGET.with(Cell::get));
+        for b in budgets {
+            let share = b.expect("workers must carry a budget");
+            assert!(share >= 1);
         }
     }
 }

@@ -3,15 +3,27 @@
 //! so every property here is an equality, not a tolerance check.
 
 use dcs_core::{ControllerConfig, FixedBound, Greedy, Heuristic, SprintStrategy};
-use dcs_faults::FaultSchedule;
+use dcs_faults::{FaultEvent, FaultKind, FaultSchedule};
 use dcs_power::DataCenterSpec;
 use dcs_sim::{
-    oracle_search, oracle_search_exhaustive, oracle_search_with, run_summary_with_faults,
-    run_with_faults, OracleMode, Scenario,
+    oracle_search, oracle_search_exhaustive, oracle_search_with, run_bound_batch,
+    run_summary_with_faults, run_with_faults, OracleMode, Scenario,
 };
 use dcs_units::{Ratio, Seconds};
 use dcs_workload::yahoo_trace;
 use proptest::prelude::*;
+
+/// Per-lane reference for the batched engine: N independent lean runs.
+fn independent_lanes(
+    s: &Scenario,
+    bounds: &[Ratio],
+    faults: &FaultSchedule,
+) -> Vec<dcs_sim::SimSummary> {
+    bounds
+        .iter()
+        .map(|&b| run_summary_with_faults(s, Box::new(FixedBound::new(b)), faults))
+        .collect()
+}
 
 fn scenario(seed: u64, degree: f64, minutes: f64) -> Scenario {
     Scenario::new(
@@ -137,4 +149,85 @@ proptest! {
             );
         }
     }
+
+    /// The batched multi-lane engine is *exactly* N independent runs: one
+    /// trace pass over a random bound grid (duplicates and all) yields,
+    /// lane for lane, the summary an independent [`FixedBound`] run
+    /// produces — on random bursty scenarios.
+    #[test]
+    fn batched_lanes_equal_independent_runs(
+        seed in 0u64..64,
+        degree in 1.5..4.4f64,
+        minutes in 0.5..20.0f64,
+        raw_bounds in prop::collection::vec(1.0..4.8f64, 1..7),
+    ) {
+        let s = scenario(seed, degree, minutes);
+        // Duplicate the first bound so the saturation dedup always has at
+        // least one shared lane to exercise.
+        let mut bounds: Vec<Ratio> = raw_bounds.iter().map(|&b| Ratio::new(b)).collect();
+        bounds.push(bounds[0]);
+        let faults = FaultSchedule::none();
+        let batch = run_bound_batch(&s, &bounds, &faults);
+        prop_assert_eq!(batch.stats.lanes, bounds.len());
+        prop_assert_eq!(&batch.summaries, &independent_lanes(&s, &bounds, &faults));
+    }
+
+    /// The same lane-for-lane equality holds under random fault schedules,
+    /// where lanes diverge through sensor noise, stale telemetry, and a
+    /// degraded plant.
+    #[test]
+    fn batched_lanes_equal_independent_runs_under_faults(
+        seed in 0u64..32,
+        fault_seed in 0u64..64,
+        degree in 1.5..4.4f64,
+        raw_bounds in prop::collection::vec(1.0..4.8f64, 1..7),
+    ) {
+        let s = scenario(seed, degree, 10.0);
+        let bounds: Vec<Ratio> = raw_bounds.iter().map(|&b| Ratio::new(b)).collect();
+        let faults = FaultSchedule::random(fault_seed, s.trace().duration());
+        let batch = run_bound_batch(&s, &bounds, &faults);
+        prop_assert_eq!(&batch.summaries, &independent_lanes(&s, &bounds, &faults));
+    }
+
+    /// Quiet traces collapse to the shared representative lane and still
+    /// report per-lane summaries identical to independent runs.
+    #[test]
+    fn batched_lanes_equal_independent_runs_when_quiet(
+        seed in 0u64..64,
+        raw_bounds in prop::collection::vec(1.0..4.8f64, 1..5),
+    ) {
+        let s = quiet_scenario(seed);
+        let bounds: Vec<Ratio> = raw_bounds.iter().map(|&b| Ratio::new(b)).collect();
+        let faults = FaultSchedule::none();
+        let batch = run_bound_batch(&s, &bounds, &faults);
+        prop_assert_eq!(&batch.summaries, &independent_lanes(&s, &bounds, &faults));
+    }
+}
+
+/// Early retirement: a derated breaker under a hard burst trips the
+/// aggressive lanes mid-trace. A tripped lane is frozen to its terminal
+/// summary, and that frozen summary must still match the independent run
+/// bit for bit — while untripped lanes keep advancing live.
+#[test]
+fn tripped_lane_retires_early_and_still_matches() {
+    let s = scenario(3, 4.2, 15.0);
+    let burst_start = yahoo_trace::burst_start();
+    let faults = FaultSchedule::new(vec![FaultEvent::new(
+        burst_start,
+        burst_start + Seconds::from_minutes(5.0),
+        FaultKind::BreakerDerated { factor: 0.35 },
+    )]);
+    let bounds: Vec<Ratio> = [1.2, 2.0, 3.0, 4.2].map(Ratio::new).to_vec();
+    let batch = run_bound_batch(&s, &bounds, &faults);
+    let reference = independent_lanes(&s, &bounds, &faults);
+    assert!(
+        batch.summaries.iter().any(|l| l.tripped),
+        "no lane tripped — the derating factor is not severe enough to \
+         exercise early retirement"
+    );
+    assert!(
+        batch.summaries.iter().any(|l| !l.tripped),
+        "every lane tripped — nothing stayed live past the retirement"
+    );
+    assert_eq!(batch.summaries, reference);
 }
