@@ -28,16 +28,30 @@ cargo test --workspace --offline -q
 echo "== fault suite =="
 cargo test -p dcs-sim --test faults --offline -q
 
+echo "== chaos smoke (supervised execution under injected failures) =="
+# Panic-isolated sweeps, deadline watchdog trips, checkpoint kill/resume,
+# truncation/bit-flip corruption fallback — all asserting bit-identical
+# results against clean runs.
+cargo test -p dcs-sim --test chaos --offline -q
+
+echo "== simulate CLI exit codes =="
+cargo test -p dcs-bench --test simulate_cli --offline -q
+
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run -q
 
-echo "== perf report smoke (batched vs independent) =="
+echo "== perf report smoke (batched vs independent, supervised vs plain) =="
 # Tiny-scale run of the perf-trajectory harness. The binary exits non-zero
 # unless every batched result — Oracle best bounds/outcomes, the table
 # cell-for-cell, and the per-lane summaries under a random fault schedule —
-# is bit-identical to the independent per-lane runs, so a written report is
-# itself the batched-vs-independent smoke; the validator double-checks the
-# flag and that every timed section carries honest work counts.
+# is bit-identical to the independent per-lane runs, the supervised +
+# checkpointed table build reproduces the plain batched build, and a build
+# killed at a snapshot boundary resumes to the identical table. A written
+# report is itself the smoke; the validator double-checks the flags and
+# that every timed section carries honest work counts. (The <=5% supervised
+# overhead budget is enforced by the binary in full mode only — tiny-scale
+# tables finish in ~2 ms, so checkpoint I/O dominates and the ratio is
+# meaningless there.)
 smoke_json="$(mktemp)"
 cargo run --release -p dcs-bench --bin perf_report --offline -q -- \
   --tiny --out "$smoke_json" > /dev/null
@@ -46,14 +60,18 @@ import json, sys
 report = json.load(open(sys.argv[1]))
 sections = ["run_full", "run_lean", "oracle_exhaustive", "oracle_pruned",
             "oracle_pruned_unbatched", "table_exhaustive", "table_pruned",
-            "table_pruned_unbatched"]
-required = ["schema", "mode", "batched_equals_independent", "best_bound"] + sections
+            "table_pruned_unbatched", "table_pruned_supervised"]
+required = ["schema", "mode", "batched_equals_independent", "best_bound",
+            "supervised_table_overhead", "supervised_overhead_within_budget",
+            "kill_resume_reproduces_table"] + sections
 missing = [k for k in required if k not in report]
 assert not missing, f"perf report missing sections: {missing}"
-assert report["schema"] == "dcs-bench/perf-report-v2", report["schema"]
+assert report["schema"] == "dcs-bench/perf-report-v3", report["schema"]
 assert report["mode"] == "tiny", report["mode"]
 assert report["batched_equals_independent"] is True, \
     "batched engine diverged from independent per-lane runs"
+assert report["kill_resume_reproduces_table"] is True, \
+    "kill-and-resume did not reproduce the table"
 batched = 0
 for k in sections:
     assert report[k]["time_ms"] > 0, f"{k} has no timing"
@@ -63,7 +81,7 @@ for k in sections:
         assert lanes["live"] > 0 and lanes["unique_lanes"] > 0, \
             f"{k} went through the batched engine but reports no lane steps"
         batched += 1
-assert batched >= 4, f"only {batched} sections report lane steps"
+assert batched >= 5, f"only {batched} sections report lane steps"
 print(f"perf report OK ({len(sections)} sections, {batched} batched)")
 EOF
 rm -f "$smoke_json"

@@ -1,49 +1,65 @@
 //! Perf-trajectory report: times the canonical hot paths and writes a
-//! machine-readable `BENCH_PR3.json`, so future PRs can diff simulator
+//! machine-readable `BENCH_PR4.json`, so future PRs can diff simulator
 //! performance against this one.
 //!
 //! ```text
 //! cargo run --release -p dcs-bench --bin perf_report            # full run
 //! cargo run --release -p dcs-bench --bin perf_report -- --tiny  # CI smoke
 //! cargo run --release -p dcs-bench --bin perf_report -- --out path.json
+//! cargo run --release -p dcs-bench --bin perf_report -- --resume ckpt/
 //! ```
 //!
-//! The report covers this PR's batched multi-lane engine — the Oracle
-//! search and the upper-bound-table builder now advance a whole grid of
-//! `FixedBound` lanes through one trace pass — and *asserts* its exactness
-//! while timing it: every batched result must reproduce the corresponding
-//! independent per-lane runs bit-for-bit (best bounds, full outcomes,
-//! tables cell-for-cell, and lane summaries under a random fault
-//! schedule). A timing report that silently measured a wrong answer would
-//! be worse than no report.
+//! The report covers the batched multi-lane engine (PR3) plus this PR's
+//! supervised execution layer, and *asserts* exactness while timing:
+//! every batched result must reproduce the corresponding independent
+//! per-lane runs bit-for-bit, the supervised + checkpointed table build
+//! must reproduce the plain batched build cell-for-cell, and a
+//! kill-at-a-snapshot-boundary build must resume to the identical table.
+//! A timing report that silently measured a wrong answer would be worse
+//! than no report.
+//!
+//! The `table_pruned_supervised` section times the supervised clean path
+//! (panic isolation + periodic checkpoints, no failures injected);
+//! `supervised_table_overhead` is its fractional cost over the plain
+//! batched build and must stay within [`SUPERVISED_OVERHEAD_BUDGET`] in
+//! full mode. With `--resume <dir>` the checkpointed sections root their
+//! snapshots under `<dir>` (and leave them in place), so a killed full
+//! run can be relaunched with the same flag and resume its table work.
 //!
 //! Every timed section carries an honest work count: controller steps for
 //! the single-run sections, evaluated runs for the searches, and — where
 //! the batched engine is involved — the lane-step split between live
 //! controller stepping and arithmetic quiet-tail folding.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dcs_core::{ControllerConfig, FixedBound, Greedy};
 use dcs_faults::FaultSchedule;
 use dcs_power::DataCenterSpec;
 use dcs_sim::{
-    build_upper_bound_table_stats, build_upper_bound_table_unbatched, oracle_search_stats,
-    oracle_search_unbatched, run, run_bound_batch, run_summary, run_summary_with_faults,
-    BatchStats, OracleMode, Scenario,
+    build_upper_bound_table_resumable, build_upper_bound_table_stats,
+    build_upper_bound_table_unbatched, oracle_search_stats, oracle_search_unbatched, run,
+    run_bound_batch, run_summary, run_summary_with_faults, table_checkpoint_store, BatchStats,
+    OracleMode, Scenario, SimError, Supervisor,
 };
 use dcs_units::Seconds;
 use dcs_workload::yahoo_trace;
 use serde::{Deserialize, Serialize};
 
-/// PR2 baselines, measured on this machine at the same canonical
+/// PR3 baselines, measured on this machine at the same canonical
 /// workloads (scale 4x200, Yahoo trace, 3.2x/15-min burst; 5x4 table)
-/// and recorded in `BENCH_PR2.json` before the batched engine landed.
-/// They anchor `speedup_*_vs_pr2` in full mode; tiny mode (different
+/// and recorded in `BENCH_PR3.json` before the supervised layer landed.
+/// They anchor `speedup_*_vs_pr3` in full mode; tiny mode (different
 /// scale) skips the comparison.
-const PR2_RUN_LEAN_MS: f64 = 1.072926;
-const PR2_ORACLE_PRUNED_MS: f64 = 19.333493;
-const PR2_TABLE_PRUNED_MS: f64 = 226.439497;
+const PR3_RUN_LEAN_MS: f64 = 1.169214;
+const PR3_ORACLE_PRUNED_MS: f64 = 10.939703;
+const PR3_TABLE_PRUNED_MS: f64 = 57.976669;
+
+/// Acceptance budget for the supervised clean path: the checkpointed,
+/// panic-isolated table build may cost at most this fraction over the
+/// plain batched build in full mode.
+const SUPERVISED_OVERHEAD_BUDGET: f64 = 0.05;
 
 /// Lane-step accounting from the batched engine, copied out of
 /// [`BatchStats`] for the report.
@@ -106,6 +122,19 @@ struct Report {
     table_exhaustive: Section,
     table_pruned: Section,
     table_pruned_unbatched: Section,
+    /// The supervised + checkpointed clean-path build of the same pruned
+    /// table (panic isolation, periodic snapshots, no injected failures).
+    table_pruned_supervised: Section,
+    /// `table_pruned_supervised / table_pruned - 1`: the fractional cost
+    /// of supervision + checkpointing on the clean path.
+    supervised_table_overhead: f64,
+    /// `true` when `supervised_table_overhead` is within
+    /// [`SUPERVISED_OVERHEAD_BUDGET`] (always `true` in a written full
+    /// report — the binary aborts otherwise; advisory in tiny mode).
+    supervised_overhead_within_budget: bool,
+    /// `true` once a build killed at a snapshot boundary was resumed and
+    /// reproduced the plain build cell-for-cell.
+    kill_resume_reproduces_table: bool,
     best_bound: f64,
     /// run_full / run_lean.
     speedup_lean_run: f64,
@@ -117,14 +146,14 @@ struct Report {
     speedup_pruned_table: f64,
     /// table_pruned_unbatched / table_pruned: the batched engine alone.
     speedup_batched_table: f64,
-    /// PR2's recorded pruned-oracle time over this PR's batched time
+    /// PR3's recorded pruned-oracle time over this PR's batched time
     /// (full mode only; `None` in tiny mode).
-    speedup_oracle_vs_pr2: Option<f64>,
-    /// PR2's recorded table-build time over this PR's batched build (full
-    /// mode only). The PR's acceptance target: >= 3x.
-    speedup_table_vs_pr2: Option<f64>,
-    /// PR2's recorded lean-run time over this PR's (full mode only).
-    speedup_run_vs_pr2: Option<f64>,
+    speedup_oracle_vs_pr3: Option<f64>,
+    /// PR3's recorded table-build time over this PR's batched build (full
+    /// mode only; ~1x expected — this PR adds robustness, not speed).
+    speedup_table_vs_pr3: Option<f64>,
+    /// PR3's recorded lean-run time over this PR's (full mode only).
+    speedup_run_vs_pr3: Option<f64>,
 }
 
 /// Times `op` (discarding its output) `iters` times and returns the best
@@ -141,6 +170,54 @@ fn time_ms<T>(iters: u32, mut op: impl FnMut() -> T) -> f64 {
     best
 }
 
+/// Where checkpointed sections root their snapshot directories. With
+/// `--resume <dir>` snapshots persist under `<dir>` across runs; without
+/// it each section uses a scratch directory removed when it finishes.
+struct CheckpointBase {
+    dir: PathBuf,
+    persistent: bool,
+}
+
+impl CheckpointBase {
+    fn new(resume: Option<String>) -> CheckpointBase {
+        match resume {
+            Some(dir) => CheckpointBase {
+                dir: PathBuf::from(dir),
+                persistent: true,
+            },
+            None => CheckpointBase {
+                dir: std::env::temp_dir().join(format!("dcs-perf-ckpt-{}", std::process::id())),
+                persistent: false,
+            },
+        }
+    }
+
+    /// A per-section snapshot directory under the base.
+    fn section(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Drops scratch snapshots; keeps them when `--resume` was given.
+    fn cleanup(&self) {
+        if !self.persistent {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+/// Unwraps a checkpointed-build step, mapping the typed error to a
+/// friendly abort — perf_report treats any supervised failure on the
+/// clean path as fatal.
+fn expect_clean<T>(what: &str, result: Result<T, SimError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(err) => {
+            eprintln!("perf_report: {what} failed: {err}");
+            std::process::exit(i32::from(err.exit_code()));
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -149,7 +226,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+    let resume = args
+        .iter()
+        .position(|a| a == "--resume")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ckpt_base = CheckpointBase::new(resume);
 
     let (pdus, servers, iters_run, iters_oracle, iters_table) = if tiny {
         (1, 50, 1, 1, 1)
@@ -274,11 +357,157 @@ fn main() {
         );
     }
 
+    eprintln!("timing: supervised + checkpointed table build (clean path)...");
+    let supervisor = Supervisor::new();
+    let mut sup_iter = 0u32;
+    let table_sup_ms = time_ms(iters_table, || {
+        sup_iter += 1;
+        let dir = ckpt_base.section(&format!("table-supervised/iter-{sup_iter}"));
+        let mut store = expect_clean(
+            "opening the supervised table checkpoint store",
+            table_checkpoint_store(
+                &dir,
+                &spec,
+                &config,
+                &durations,
+                &degrees,
+                OracleMode::Pruned,
+            ),
+        );
+        expect_clean(
+            "the supervised table build",
+            build_upper_bound_table_resumable(
+                &spec,
+                &config,
+                &durations,
+                &degrees,
+                OracleMode::Pruned,
+                &supervisor,
+                &mut store,
+            ),
+        )
+    });
+    let sup_dir = ckpt_base.section("table-supervised/check");
+    let mut sup_store = expect_clean(
+        "opening the supervised table checkpoint store",
+        table_checkpoint_store(
+            &sup_dir,
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Pruned,
+        ),
+    );
+    let (table_sup, table_sup_stats) = expect_clean(
+        "the supervised table build",
+        build_upper_bound_table_resumable(
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Pruned,
+            &supervisor,
+            &mut sup_store,
+        ),
+    );
+    for &minutes in &durations {
+        for &degree in &degrees {
+            let at = Seconds::from_minutes(minutes);
+            assert_eq!(
+                table_sup.lookup(at, degree),
+                table_pr.lookup(at, degree),
+                "supervised table diverged from the plain batched build at \
+                 ({minutes} min, {degree}x)"
+            );
+        }
+    }
+
+    eprintln!("kill/resume smoke: killing the table build at its first snapshot boundary...");
+    let kill_dir = ckpt_base.section("table-kill-resume");
+    let kill_store = expect_clean(
+        "opening the kill/resume checkpoint store",
+        table_checkpoint_store(
+            &kill_dir,
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Pruned,
+        ),
+    );
+    let mut kill_store = kill_store.with_kill_after(1);
+    match build_upper_bound_table_resumable(
+        &spec,
+        &config,
+        &durations,
+        &degrees,
+        OracleMode::Pruned,
+        &supervisor,
+        &mut kill_store,
+    ) {
+        // A fully-checkpointed directory (e.g. a second `--resume` run)
+        // finishes without ever saving, so the kill hook never fires.
+        Ok(_) => eprintln!("  (resume directory already complete; kill hook did not fire)"),
+        Err(SimError::Interrupted { .. }) => {}
+        Err(other) => {
+            eprintln!("perf_report: kill/resume smoke failed unexpectedly: {other}");
+            std::process::exit(i32::from(other.exit_code()));
+        }
+    }
+    let mut resume_store = expect_clean(
+        "reopening the kill/resume checkpoint store",
+        table_checkpoint_store(
+            &kill_dir,
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Pruned,
+        ),
+    );
+    let (table_resumed, _) = expect_clean(
+        "the resumed table build",
+        build_upper_bound_table_resumable(
+            &spec,
+            &config,
+            &durations,
+            &degrees,
+            OracleMode::Pruned,
+            &supervisor,
+            &mut resume_store,
+        ),
+    );
+    for &minutes in &durations {
+        for &degree in &degrees {
+            let at = Seconds::from_minutes(minutes);
+            assert_eq!(
+                table_resumed.lookup(at, degree),
+                table_pr.lookup(at, degree),
+                "kill-and-resume table diverged from the plain batched build at \
+                 ({minutes} min, {degree}x)"
+            );
+        }
+    }
+    ckpt_base.cleanup();
+
+    let supervised_overhead = table_sup_ms / table_pr_ms - 1.0;
+    let overhead_ok = supervised_overhead <= SUPERVISED_OVERHEAD_BUDGET;
+    if !tiny {
+        assert!(
+            overhead_ok,
+            "supervised clean-path table build costs {:.1}% over the plain batched \
+             build ({table_sup_ms:.3} ms vs {table_pr_ms:.3} ms); budget is {:.0}%",
+            supervised_overhead * 100.0,
+            SUPERVISED_OVERHEAD_BUDGET * 100.0
+        );
+    }
+
     let grid_points = grid.len();
     let cells = durations.len() * degrees.len();
     let report = Report {
-        schema: "dcs-bench/perf-report-v2".to_owned(),
-        pr: "PR3".to_owned(),
+        schema: "dcs-bench/perf-report-v3".to_owned(),
+        pr: "PR4".to_owned(),
         mode: if tiny { "tiny" } else { "full" }.to_owned(),
         scale_pdus: pdus,
         scale_servers_per_pdu: servers,
@@ -336,25 +565,49 @@ fn main() {
             sim_runs: cells,
             lane_steps: None,
         },
+        table_pruned_supervised: Section {
+            time_ms: table_sup_ms,
+            iters: iters_table,
+            sim_runs: table_sup_stats.evaluations,
+            lane_steps: Some(table_sup_stats.batch.into()),
+        },
+        supervised_table_overhead: supervised_overhead,
+        supervised_overhead_within_budget: overhead_ok,
+        kill_resume_reproduces_table: true,
         best_bound: pruned.best_bound.as_f64(),
         speedup_lean_run: run_full_ms / run_lean_ms,
         speedup_pruned_oracle: oracle_ex_ms / oracle_pr_ms,
         speedup_batched_oracle: oracle_un_ms / oracle_pr_ms,
         speedup_pruned_table: table_ex_ms / table_pr_ms,
         speedup_batched_table: table_un_ms / table_pr_ms,
-        speedup_oracle_vs_pr2: (!tiny).then(|| PR2_ORACLE_PRUNED_MS / oracle_pr_ms),
-        speedup_table_vs_pr2: (!tiny).then(|| PR2_TABLE_PRUNED_MS / table_pr_ms),
-        speedup_run_vs_pr2: (!tiny).then(|| PR2_RUN_LEAN_MS / run_lean_ms),
+        speedup_oracle_vs_pr3: (!tiny).then(|| PR3_ORACLE_PRUNED_MS / oracle_pr_ms),
+        speedup_table_vs_pr3: (!tiny).then(|| PR3_TABLE_PRUNED_MS / table_pr_ms),
+        speedup_run_vs_pr3: (!tiny).then(|| PR3_RUN_LEAN_MS / run_lean_ms),
     };
 
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out_path, &json).expect("report written");
+    let json = expect_clean(
+        "serializing the report",
+        serde_json::to_string_pretty(&report)
+            .map_err(|e| SimError::config(format!("report does not serialize: {e}"))),
+    );
+    expect_clean(
+        "writing the report",
+        std::fs::write(&out_path, &json).map_err(|e| SimError::io(&out_path, e.to_string())),
+    );
 
     // Validate the artifact end-to-end: re-read, re-parse, sanity-check.
-    let text = std::fs::read_to_string(&out_path).expect("report readable");
-    let parsed: Report = serde_json::from_str(&text).expect("report parses back");
-    assert_eq!(parsed.schema, "dcs-bench/perf-report-v2");
+    let text = expect_clean(
+        "re-reading the report",
+        std::fs::read_to_string(&out_path).map_err(|e| SimError::io(&out_path, e.to_string())),
+    );
+    let parsed: Report = expect_clean(
+        "re-parsing the report",
+        serde_json::from_str(&text)
+            .map_err(|e| SimError::config(format!("report does not parse back: {e}"))),
+    );
+    assert_eq!(parsed.schema, "dcs-bench/perf-report-v3");
     assert!(parsed.batched_equals_independent);
+    assert!(parsed.kill_resume_reproduces_table);
     for (name, section) in [
         ("run_full", &parsed.run_full),
         ("run_lean", &parsed.run_lean),
@@ -364,6 +617,7 @@ fn main() {
         ("table_exhaustive", &parsed.table_exhaustive),
         ("table_pruned", &parsed.table_pruned),
         ("table_pruned_unbatched", &parsed.table_pruned_unbatched),
+        ("table_pruned_supervised", &parsed.table_pruned_supervised),
     ] {
         assert!(
             section.time_ms.is_finite() && section.time_ms > 0.0,
@@ -393,11 +647,17 @@ fn main() {
         report.speedup_pruned_table,
         report.speedup_lean_run,
     );
-    if let Some(s) = report.speedup_table_vs_pr2 {
+    eprintln!(
+        "supervised clean path: {table_sup_ms:.3} ms vs {table_pr_ms:.3} ms plain \
+         ({:+.1}% overhead, budget {:.0}%); kill-and-resume reproduced the table",
+        supervised_overhead * 100.0,
+        SUPERVISED_OVERHEAD_BUDGET * 100.0,
+    );
+    if let Some(s) = report.speedup_table_vs_pr3 {
         eprintln!(
-            "vs BENCH_PR2.json: table {s:.2}x (target >= 3x), oracle {:.2}x, run {:.2}x",
-            report.speedup_oracle_vs_pr2.unwrap_or(f64::NAN),
-            report.speedup_run_vs_pr2.unwrap_or(f64::NAN),
+            "vs BENCH_PR3.json: table {s:.2}x, oracle {:.2}x, run {:.2}x",
+            report.speedup_oracle_vs_pr3.unwrap_or(f64::NAN),
+            report.speedup_run_vs_pr3.unwrap_or(f64::NAN),
         );
     }
 }

@@ -3,19 +3,29 @@
 //! Rust.
 //!
 //! ```text
-//! cargo run --release -p dcs-bench --bin simulate -- <config.json> [out.json]
+//! cargo run --release -p dcs-bench --bin simulate -- <config.json> [out.json] [--resume <dir>]
 //! cargo run --release -p dcs-bench --bin simulate -- --print-default-config
 //! ```
 //!
 //! The config selects the facility, the controller settings, a workload
 //! (a named synthetic trace or inline samples) and a strategy; the binary
 //! prints a run summary and, optionally, writes the full per-step
-//! telemetry as JSON.
+//! telemetry as JSON. With `--resume <dir>`, the long searches behind the
+//! Oracle and Prediction strategies run supervised and checkpointed under
+//! that directory: a killed run resumes from its last intact snapshot.
+//!
+//! Failures exit with a distinct code per error class: 2 for CLI usage,
+//! 3 for config errors, 4 for I/O, 5 for physics (trace/table/unit), and
+//! 6 for harness failures (exhausted retries, unusable checkpoints).
 
 use dcs_core::{ControllerConfig, FixedBound, Greedy, Heuristic, Prediction, SprintStrategy};
 use dcs_faults::FaultSchedule;
 use dcs_power::DataCenterSpec;
-use dcs_sim::{oracle_search, run_no_sprint_with_faults, run_with_faults, Scenario, SimResult};
+use dcs_sim::{
+    build_upper_bound_table_resumable, oracle_checkpoint_store, oracle_search,
+    oracle_search_resumable, run_no_sprint_with_faults, run_with_faults, table_checkpoint_store,
+    OracleMode, RetryPolicy, Scenario, SimError, SimResult, Supervisor,
+};
 use dcs_units::{Ratio, Seconds};
 use dcs_workload::{ms_trace, yahoo_trace, Estimate, Trace};
 use serde::{Deserialize, Serialize};
@@ -117,7 +127,7 @@ impl SimulateConfig {
     }
 }
 
-fn build_trace(w: &WorkloadConfig) -> Result<Trace, String> {
+fn build_trace(w: &WorkloadConfig) -> Result<Trace, SimError> {
     match w {
         WorkloadConfig::MsTrace { seed } => Ok(ms_trace::generate(*seed)),
         WorkloadConfig::YahooBurst {
@@ -130,12 +140,27 @@ fn build_trace(w: &WorkloadConfig) -> Result<Trace, String> {
             Seconds::from_minutes(*minutes),
         )),
         WorkloadConfig::Inline { step_secs, samples } => {
-            Trace::new(Seconds::new(*step_secs), samples.clone()).map_err(|e| e.to_string())
+            Trace::new(Seconds::new(*step_secs), samples.clone()).map_err(SimError::from)
         }
     }
 }
 
-fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String> {
+/// The standard durations/degrees axes the Prediction strategy's table
+/// is built over (the paper's Table II grid).
+const TABLE_DURATIONS_MIN: [f64; 6] = [1.0, 5.0, 10.0, 15.0, 20.0, 30.0];
+const TABLE_DEGREES: [f64; 5] = [2.0, 2.5, 3.0, 3.5, 4.0];
+
+/// Supervision used when `--resume` is in effect: retry transient
+/// per-item failures a couple of times with a short backoff before
+/// giving up with a typed harness error.
+fn resume_supervisor() -> Supervisor {
+    Supervisor::new().with_retry(RetryPolicy::attempts(3))
+}
+
+fn run_config(
+    config: &SimulateConfig,
+    resume_dir: Option<&str>,
+) -> Result<(SimResult, SimResult), SimError> {
     let spec = DataCenterSpec::paper_default()
         .with_scale(config.pdus, config.servers_per_pdu)
         .with_dc_headroom(Ratio::from_percent(config.dc_headroom_percent))
@@ -144,9 +169,7 @@ fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String>
     let trace = build_trace(&config.workload)?;
     let scenario = Scenario::new(spec.clone(), controller.clone(), trace);
     let faults = config.faults.clone().unwrap_or_else(FaultSchedule::none);
-    faults
-        .validate()
-        .map_err(|e| format!("invalid fault schedule: {e}"))?;
+    faults.validate().map_err(SimError::faults)?;
     let baseline = run_no_sprint_with_faults(&scenario, &faults);
     let run = |strategy: Box<dyn SprintStrategy>| run_with_faults(&scenario, strategy, &faults);
 
@@ -154,29 +177,66 @@ fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String>
         StrategyConfig::Greedy => run(Box::new(Greedy)),
         StrategyConfig::FixedBound { bound } => {
             if *bound < 1.0 {
-                return Err("fixed bound must be at least 1".into());
+                return Err(SimError::config("fixed bound must be at least 1"));
             }
             run(Box::new(FixedBound::new(Ratio::new(*bound))))
         }
         StrategyConfig::Oracle => {
             if !faults.is_empty() {
-                return Err("the oracle search does not support fault schedules; \
-                     pick a concrete strategy"
-                    .into());
+                return Err(SimError::config(
+                    "the oracle search does not support fault schedules; \
+                     pick a concrete strategy",
+                ));
             }
-            oracle_search(&scenario).best
+            match resume_dir {
+                Some(dir) => {
+                    let mut store =
+                        oracle_checkpoint_store(dir, &scenario, &faults, OracleMode::Pruned)?;
+                    let (outcome, _stats) = oracle_search_resumable(
+                        &scenario,
+                        &faults,
+                        OracleMode::Pruned,
+                        &resume_supervisor(),
+                        &mut store,
+                    )?;
+                    outcome.best
+                }
+                None => oracle_search(&scenario).best,
+            }
         }
         StrategyConfig::Heuristic { sde_p, flexibility } => run(Box::new(Heuristic::new(
             Estimate::exact(*sde_p),
             *flexibility,
         ))),
         StrategyConfig::Prediction { minutes } => {
-            let table = dcs_sim::build_upper_bound_table(
-                &spec,
-                &controller,
-                &[1.0, 5.0, 10.0, 15.0, 20.0, 30.0],
-                &[2.0, 2.5, 3.0, 3.5, 4.0],
-            );
+            let table = match resume_dir {
+                Some(dir) => {
+                    let mut store = table_checkpoint_store(
+                        dir,
+                        &spec,
+                        &controller,
+                        &TABLE_DURATIONS_MIN,
+                        &TABLE_DEGREES,
+                        OracleMode::Pruned,
+                    )?;
+                    let (table, _stats) = build_upper_bound_table_resumable(
+                        &spec,
+                        &controller,
+                        &TABLE_DURATIONS_MIN,
+                        &TABLE_DEGREES,
+                        OracleMode::Pruned,
+                        &resume_supervisor(),
+                        &mut store,
+                    )?;
+                    table
+                }
+                None => dcs_sim::build_upper_bound_table(
+                    &spec,
+                    &controller,
+                    &TABLE_DURATIONS_MIN,
+                    &TABLE_DEGREES,
+                ),
+            };
             run(Box::new(Prediction::new(
                 Estimate::exact(minutes * 60.0),
                 table,
@@ -186,37 +246,60 @@ fn run_config(config: &SimulateConfig) -> Result<(SimResult, SimResult), String>
     Ok((result, baseline))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--print-default-config") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&SimulateConfig::example()).expect("serializable")
-        );
-        return ExitCode::SUCCESS;
-    }
-    let Some(config_path) = args.first() else {
-        eprintln!("usage: simulate <config.json> [out.json] | --print-default-config");
-        return ExitCode::FAILURE;
-    };
-    let config: SimulateConfig = match std::fs::read_to_string(config_path)
-        .map_err(|e| e.to_string())
-        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
-    {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("failed to load {config_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// CLI arguments after flag extraction.
+struct CliArgs {
+    config_path: String,
+    out_path: Option<String>,
+    resume_dir: Option<String>,
+}
 
-    let (result, baseline) = match run_config(&config) {
-        Ok(pair) => pair,
-        Err(e) => {
-            eprintln!("simulation failed: {e}");
-            return ExitCode::FAILURE;
+const USAGE: &str =
+    "usage: simulate <config.json> [out.json] [--resume <dir>] | --print-default-config";
+
+fn parse_args(args: &[String]) -> Result<Option<CliArgs>, String> {
+    if args.first().map(String::as_str) == Some("--print-default-config") {
+        return Ok(None);
+    }
+    let mut positional: Vec<&String> = Vec::new();
+    let mut resume_dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--resume" {
+            match iter.next() {
+                Some(dir) => resume_dir = Some(dir.clone()),
+                None => return Err("--resume requires a directory argument".into()),
+            }
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag: {arg}"));
+        } else {
+            positional.push(arg);
         }
-    };
+    }
+    match positional.as_slice() {
+        [] => Err("missing config path".into()),
+        [config] => Ok(Some(CliArgs {
+            config_path: (*config).clone(),
+            out_path: None,
+            resume_dir,
+        })),
+        [config, out] => Ok(Some(CliArgs {
+            config_path: (*config).clone(),
+            out_path: Some((*out).clone()),
+            resume_dir,
+        })),
+        _ => Err("too many positional arguments".into()),
+    }
+}
+
+fn load_config(path: &str) -> Result<SimulateConfig, SimError> {
+    let text = std::fs::read_to_string(path).map_err(|e| SimError::io(path, e.to_string()))?;
+    serde_json::from_str(&text)
+        .map_err(|e| SimError::config(format!("malformed config {path}: {e}")))
+}
+
+fn real_main(cli: &CliArgs) -> Result<(), SimError> {
+    let config = load_config(&cli.config_path)?;
+    let (result, baseline) = run_config(&config, cli.resume_dir.as_deref())?;
 
     println!("strategy:            {}", result.strategy);
     println!("average performance: {:.3}", result.average_performance());
@@ -243,20 +326,40 @@ fn main() -> ExitCode {
         result.any_overheated()
     );
 
-    if let Some(out) = args.get(1) {
-        match serde_json::to_string(&result) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(out, json) {
-                    eprintln!("failed to write {out}: {e}");
-                    return ExitCode::FAILURE;
+    if let Some(out) = &cli.out_path {
+        let json = serde_json::to_string(&result)
+            .map_err(|e| SimError::config(format!("failed to serialize results: {e}")))?;
+        std::fs::write(out, json).map_err(|e| SimError::io(out, e.to_string()))?;
+        println!("full telemetry written to {out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            match serde_json::to_string_pretty(&SimulateConfig::example()) {
+                Ok(json) => println!("{json}"),
+                Err(e) => {
+                    eprintln!("simulate: failed to serialize default config: {e}");
+                    return ExitCode::from(SimError::config(e.to_string()).exit_code());
                 }
-                println!("full telemetry written to {out}");
             }
-            Err(e) => {
-                eprintln!("failed to serialize results: {e}");
-                return ExitCode::FAILURE;
-            }
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("simulate: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match real_main(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("simulate: {err}");
+            ExitCode::from(err.exit_code())
         }
     }
-    ExitCode::SUCCESS
 }

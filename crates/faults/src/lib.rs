@@ -32,6 +32,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
+
+pub use chaos::{ChaosEvent, ChaosKind, ChaosSchedule};
+
 use dcs_units::{Seconds, TempDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};

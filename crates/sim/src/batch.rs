@@ -37,6 +37,7 @@
 //! stateful strategies would observe the shared prefix differently and are
 //! rejected by construction (only `FixedBound` lanes are ever built here).
 
+use crate::error::SimError;
 use crate::scenario::{Scenario, SimSummary};
 use dcs_core::{ControllerConfig, FixedBound, SprintController};
 use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, FaultTimeline, Observation};
@@ -259,6 +260,25 @@ impl LaneSet<'_> {
     fn len(&self) -> usize {
         self.ctrls.len()
     }
+}
+
+/// Fallible [`run_bound_batch`]: a bound below 1 or a malformed fault
+/// schedule returns a typed [`SimError`] instead of panicking.
+pub fn try_run_bound_batch(
+    scenario: &Scenario,
+    bounds: &[Ratio],
+    faults: &FaultSchedule,
+) -> Result<BatchOutcome, SimError> {
+    faults.validate().map_err(SimError::faults)?;
+    for (i, &bound) in bounds.iter().enumerate() {
+        if bound < Ratio::ONE {
+            return Err(SimError::config(format!(
+                "lane {i}: bound {} is below 1",
+                bound.as_f64()
+            )));
+        }
+    }
+    Ok(run_bound_batch(scenario, bounds, faults))
 }
 
 /// Runs one `FixedBound` lane per candidate bound through a single pass

@@ -29,7 +29,18 @@
 //!   builder submit their grids through it);
 //! * [`parallel_map`] — the scoped-thread sweep helper used by the
 //!   benches to parallelize parameter sweeps (nested calls run inline
-//!   under a per-worker budget instead of oversubscribing the machine).
+//!   under a per-worker budget instead of oversubscribing the machine);
+//! * [`parallel_map_supervised`] / [`Supervisor`] — the supervised slow
+//!   path: per-item panic isolation (`catch_unwind`), retries with capped
+//!   exponential backoff, a watchdog-enforced per-item deadline, and a
+//!   structured [`SweepReport`] instead of a blanket abort;
+//! * [`CheckpointStore`] + [`oracle_search_resumable`] /
+//!   [`build_upper_bound_table_resumable`] — atomic, checksummed
+//!   snapshots of completed lanes/cells so a killed provisioning sweep
+//!   resumes from its last snapshot with bit-identical results;
+//! * [`SimError`] — the typed error taxonomy (config / I/O / physics /
+//!   harness) behind the fallible `try_*` entry points and the bench
+//!   binaries' distinct exit codes.
 //!
 //! # Examples
 //!
@@ -55,27 +66,41 @@
 
 mod batch;
 mod capped;
+mod checkpoint;
+mod error;
 mod oracle;
 mod runner;
 mod scenario;
+mod supervisor;
 mod sweep;
 mod table_builder;
 mod uncontrolled;
 
-pub use batch::{run_bound_batch, BatchOutcome, BatchStats};
+pub use batch::{run_bound_batch, try_run_bound_batch, BatchOutcome, BatchStats};
 pub use capped::run_power_capped;
+pub use checkpoint::{
+    fingerprint_of, fnv1a64, CheckpointStore, LoadedSnapshot, SkippedSnapshot, CHECKPOINT_SCHEMA,
+};
+pub use error::{SimError, SimErrorClass};
 pub use oracle::{
-    degree_grid, oracle_search, oracle_search_exhaustive, oracle_search_stats,
-    oracle_search_unbatched, oracle_search_with, OracleMode, OracleOutcome,
+    degree_grid, oracle_checkpoint_store, oracle_search, oracle_search_exhaustive,
+    oracle_search_resumable, oracle_search_stats, oracle_search_unbatched, oracle_search_with,
+    OracleMode, OracleOutcome,
 };
 pub use runner::{
     run, run_no_sprint, run_no_sprint_with_faults, run_summary, run_summary_with_faults,
-    run_with_faults, run_with_options, RunOptions, SimOutput, Telemetry,
+    run_with_faults, run_with_options, try_run, try_run_summary, try_run_with_faults,
+    try_run_with_options, RunOptions, SimOutput, Telemetry,
 };
 pub use scenario::{Scenario, SimResult, SimSummary};
+pub use supervisor::{
+    parallel_map_supervised, FailureCause, RetryPolicy, Supervisor, SweepFailure, SweepRecovery,
+    SweepReport,
+};
 pub use sweep::parallel_map;
 pub use table_builder::{
-    build_upper_bound_table, build_upper_bound_table_stats, build_upper_bound_table_unbatched,
-    build_upper_bound_table_with, TableBuildStats,
+    build_upper_bound_table, build_upper_bound_table_resumable, build_upper_bound_table_stats,
+    build_upper_bound_table_unbatched, build_upper_bound_table_with, table_checkpoint_store,
+    TableBuildStats,
 };
 pub use uncontrolled::{run_uncontrolled, UncontrolledMode, UncontrolledResult};

@@ -1,6 +1,9 @@
 //! The Oracle strategy: search over constant degree bounds.
 
 use crate::batch::{run_bound_batch, BatchStats};
+use crate::checkpoint::{fingerprint_of, fnv1a64, CheckpointStore};
+use crate::error::SimError;
+use crate::supervisor::Supervisor;
 use crate::{parallel_map, run_summary_with_faults, run_with_faults, Scenario, SimResult};
 use dcs_core::FixedBound;
 use dcs_faults::{FaultKind, FaultSchedule};
@@ -138,6 +141,156 @@ pub fn oracle_search_stats(
         },
         stats,
     )
+}
+
+/// Positions evaluated per checkpoint chunk in the resumable search: small
+/// enough that a kill loses little work, large enough that snapshot I/O is
+/// noise next to the simulation itself.
+const CKPT_CHUNK: usize = 8;
+
+/// Checkpoint payload for a resumable Oracle search: every evaluated
+/// candidate position with its value (stored as raw `f64` bits for
+/// bit-exact resume) plus the accumulated batch counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct OracleCkpt {
+    /// `(candidate position, average-performance f64 bits)` pairs.
+    values: Vec<(u64, u64)>,
+    /// Batch counters accumulated over the evaluated chunks.
+    stats: BatchStats,
+}
+
+/// Opens (or reopens) a checkpoint store for a resumable Oracle search
+/// over these exact inputs. The store's fingerprint covers the scenario,
+/// fault schedule, and mode, so resuming against a directory written for
+/// different inputs is rejected instead of producing a silently wrong
+/// answer.
+pub fn oracle_checkpoint_store(
+    dir: impl Into<std::path::PathBuf>,
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    mode: OracleMode,
+) -> Result<CheckpointStore, SimError> {
+    let fp = fnv1a64(
+        format!(
+            "{:016x}:{:016x}:{:016x}",
+            fingerprint_of(scenario),
+            fingerprint_of(faults),
+            fingerprint_of(&mode)
+        )
+        .as_bytes(),
+    );
+    CheckpointStore::open(dir, "oracle", fp)
+}
+
+/// [`oracle_search_stats`] with supervised, checkpointed execution: the
+/// candidate grid is evaluated in small chunks, each chunk runs under the
+/// supervisor's panic isolation and retry policy, and a snapshot of every
+/// completed value is written atomically after each chunk. Killed at any
+/// snapshot boundary (or resumed from a prior run's directory via the same
+/// `store`), the search continues from the last intact snapshot and
+/// returns an [`OracleOutcome`] bit-identical to [`oracle_search_with`].
+///
+/// The returned [`BatchStats`] count the lane-steps *this* execution
+/// path ran (chunked waves, minus whatever a resume restored) — work
+/// accounting, not part of the certified outcome.
+pub fn oracle_search_resumable(
+    scenario: &Scenario,
+    faults: &FaultSchedule,
+    mode: OracleMode,
+    supervisor: &Supervisor,
+    store: &mut CheckpointStore,
+) -> Result<(OracleOutcome, BatchStats), SimError> {
+    // Both modes reduce to "evaluate candidate bounds at these positions,
+    // then select": the pruned mode evaluates its plan's waves, the
+    // exhaustive mode the whole grid.
+    let plan = match mode {
+        OracleMode::Pruned => scan_plan(scenario.spec(), scenario.trace(), faults),
+        OracleMode::Exhaustive => {
+            let grid = degree_grid(scenario.spec());
+            let candidates = (0..grid.len()).collect();
+            ScanPlan { grid, candidates }
+        }
+    };
+    if plan.len() == 0 {
+        return Err(SimError::config("degree grid is empty"));
+    }
+    let mut values: Vec<Option<f64>> = (0..plan.len()).map(|_| None).collect();
+    let mut stats = BatchStats::default();
+    if let Some(loaded) = store.load_latest::<OracleCkpt>()? {
+        for &(p, bits) in &loaded.payload.values {
+            let p = p as usize;
+            if p >= values.len() {
+                return Err(SimError::checkpoint(
+                    store.dir().display().to_string(),
+                    format!("snapshot position {p} exceeds plan size {}", values.len()),
+                ));
+            }
+            values[p] = Some(f64::from_bits(bits));
+        }
+        stats = loaded.payload.stats;
+    }
+
+    let mut chunk_ordinal = 0_usize;
+    let evaluate_chunked = |positions: &[usize],
+                            values: &mut Vec<Option<f64>>,
+                            stats: &mut BatchStats,
+                            store: &mut CheckpointStore,
+                            chunk_ordinal: &mut usize|
+     -> Result<(), SimError> {
+        let pending: Vec<usize> = positions
+            .iter()
+            .copied()
+            .filter(|&p| values[p].is_none())
+            .collect();
+        for chunk in pending.chunks(CKPT_CHUNK) {
+            let bounds: Vec<Ratio> = chunk.iter().map(|&p| plan.bound(p)).collect();
+            let batch = supervisor.call(*chunk_ordinal, || {
+                run_bound_batch(scenario, &bounds, faults)
+            })?;
+            *chunk_ordinal += 1;
+            stats.merge(batch.stats);
+            for (&p, s) in chunk.iter().zip(&batch.summaries) {
+                values[p] = Some(s.average_performance());
+            }
+            let ckpt = OracleCkpt {
+                values: values
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, v)| v.map(|v| (p as u64, v.to_bits())))
+                    .collect(),
+                stats: *stats,
+            };
+            store.save(&ckpt)?;
+        }
+        Ok(())
+    };
+
+    let first: Vec<usize> = match mode {
+        // The pruned search's coarse wave; refinement follows below.
+        OracleMode::Pruned => plan.first_positions(),
+        // Exhaustive means exhaustive: every grid position.
+        OracleMode::Exhaustive => (0..plan.len()).collect(),
+    };
+    evaluate_chunked(&first, &mut values, &mut stats, store, &mut chunk_ordinal)?;
+    if mode == OracleMode::Pruned {
+        let window = plan.window_positions(&values);
+        if !window.is_empty() {
+            evaluate_chunked(&window, &mut values, &mut stats, store, &mut chunk_ordinal)?;
+        }
+    }
+    let (best_bound, tried) = plan.select(&values);
+    let mut best = supervisor.call(plan.len(), || {
+        run_with_faults(scenario, Box::new(FixedBound::new(best_bound)), faults)
+    })?;
+    best.strategy = "Oracle".into();
+    Ok((
+        OracleOutcome {
+            best_bound,
+            best,
+            tried,
+        },
+        stats,
+    ))
 }
 
 /// The pre-batching reference implementation: every evaluation is an

@@ -1,5 +1,6 @@
 //! Scenario execution.
 
+use crate::error::SimError;
 use crate::{Scenario, SimResult, SimSummary};
 use dcs_core::{FixedBound, SprintController, SprintStrategy};
 use dcs_faults::FaultSchedule;
@@ -174,6 +175,62 @@ pub fn run_with_options(
             })
         }
     }
+}
+
+/// Fallible [`run`]: returns a typed error instead of panicking on bad
+/// inputs. With no fault schedule in play, only scenario-level problems
+/// can surface.
+pub fn try_run(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+) -> Result<SimResult, SimError> {
+    try_run_with_faults(scenario, strategy, &FaultSchedule::NONE)
+}
+
+/// Fallible [`run_with_faults`]: a malformed fault schedule (inverted
+/// window, out-of-range severity) returns [`SimError::Faults`] instead of
+/// panicking inside the plant models.
+pub fn try_run_with_faults(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+) -> Result<SimResult, SimError> {
+    try_run_with_options(scenario, strategy, faults, RunOptions::default()).map(|out| match out {
+        SimOutput::Full(result) => result,
+        SimOutput::Aggregate(_) => unreachable!("default options request full telemetry"),
+    })
+}
+
+/// Fallible [`run_summary_with_faults`].
+pub fn try_run_summary(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+) -> Result<SimSummary, SimError> {
+    try_run_with_options(
+        scenario,
+        strategy,
+        faults,
+        RunOptions {
+            telemetry: Telemetry::Aggregate,
+        },
+    )
+    .map(SimOutput::into_summary)
+}
+
+/// Fallible [`run_with_options`]: validates inputs up front and returns a
+/// typed [`SimError`] instead of panicking.
+pub fn try_run_with_options(
+    scenario: &Scenario,
+    strategy: Box<dyn SprintStrategy>,
+    faults: &FaultSchedule,
+    options: RunOptions,
+) -> Result<SimOutput, SimError> {
+    faults.validate().map_err(SimError::faults)?;
+    if scenario.trace().is_empty() {
+        return Err(SimError::config("scenario trace has no samples"));
+    }
+    Ok(run_with_options(scenario, strategy, faults, options))
 }
 
 /// Simulates the no-sprint baseline: the facility never activates extra

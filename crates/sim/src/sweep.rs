@@ -7,7 +7,47 @@ thread_local! {
     /// How many workers a nested [`parallel_map`] on this thread may use.
     /// `None` on threads that are not sweep workers (the top level), where
     /// the hardware parallelism applies.
-    static WORKER_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+    pub(crate) static WORKER_BUDGET: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// RAII guard for [`WORKER_BUDGET`]: sets the thread's budget on
+/// construction and restores the previous value on drop — including drops
+/// during unwinding, so a panic caught above the guard (by a supervisor's
+/// `catch_unwind` or a scoped-thread join) cannot leave a stale nested
+/// budget behind to throttle later sweeps on the same thread.
+pub(crate) struct BudgetGuard {
+    previous: Option<usize>,
+}
+
+impl BudgetGuard {
+    /// Sets the calling thread's worker budget, remembering the old value.
+    pub(crate) fn set(budget: Option<usize>) -> BudgetGuard {
+        let previous = WORKER_BUDGET.with(|b| b.replace(budget));
+        BudgetGuard { previous }
+    }
+
+    /// The calling thread's current budget (what a nested sweep would see).
+    pub(crate) fn current() -> Option<usize> {
+        WORKER_BUDGET.with(Cell::get)
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        WORKER_BUDGET.with(|b| b.set(self.previous));
+    }
+}
+
+/// Renders a caught panic payload for error messages: the common `String`
+/// and `&str` payloads verbatim, anything else a placeholder.
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
 }
 
 /// Maps `f` over `inputs` in parallel using scoped std threads, preserving
@@ -31,7 +71,12 @@ thread_local! {
 ///
 /// # Panics
 ///
-/// Panics with `"sweep worker panicked"` if `f` panics on any item.
+/// If `f` panics on any item, re-panics with the index of the failing item
+/// and the original payload rendered into the message, e.g.
+/// `"sweep worker panicked on item 17: boom"`. When several workers panic
+/// in the same sweep, the lowest failing item index is reported. Callers
+/// that need per-item isolation instead of propagation should use
+/// [`parallel_map_supervised`](crate::parallel_map_supervised).
 ///
 /// # Examples
 ///
@@ -71,11 +116,17 @@ where
     let chunk_len = len.div_ceil(chunk_count);
     let next_chunk = AtomicUsize::new(0);
     let mut slots: Vec<Option<U>> = (0..len).map(|_| None).collect();
+    // Each worker publishes the item it is currently evaluating so a panic
+    // can be attributed to a concrete input index (usize::MAX = idle).
+    let progress: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let f = &f;
+    let next_chunk = &next_chunk;
     let finished: Vec<(usize, Vec<U>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    WORKER_BUDGET.with(|b| b.set(Some(child_budget)));
+        let handles: Vec<_> = progress
+            .iter()
+            .map(|current| {
+                scope.spawn(move || {
+                    let _budget = BudgetGuard::set(Some(child_budget));
                     let mut produced: Vec<(usize, Vec<U>)> = Vec::new();
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -84,22 +135,38 @@ where
                             break;
                         }
                         let end = (start + chunk_len).min(len);
-                        let values: Vec<U> = inputs[start..end].iter().map(&f).collect();
+                        let values: Vec<U> = inputs[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(offset, input)| {
+                                current.store(start + offset, Ordering::Relaxed);
+                                f(input)
+                            })
+                            .collect();
                         produced.push((start, values));
                     }
+                    current.store(usize::MAX, Ordering::Relaxed);
                     produced
                 })
             })
             .collect();
         let mut finished = Vec::with_capacity(chunk_count);
-        let mut panicked = false;
-        for handle in handles {
+        let mut first_failure: Option<(usize, String)> = None;
+        for (worker, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(produced) => finished.extend(produced),
-                Err(_) => panicked = true,
+                Err(payload) => {
+                    let item = progress[worker].load(Ordering::Relaxed);
+                    let message = panic_payload_message(payload.as_ref());
+                    if first_failure.as_ref().is_none_or(|(i, _)| item < *i) {
+                        first_failure = Some((item, message));
+                    }
+                }
             }
         }
-        assert!(!panicked, "sweep worker panicked");
+        if let Some((item, message)) = first_failure {
+            panic!("sweep worker panicked on item {item}: {message}");
+        }
         finished
     });
     for (start, values) in finished {
@@ -137,18 +204,87 @@ mod tests {
 
     #[test]
     fn worker_panic_propagates() {
-        // A panic in one item must surface, and items the panicking worker
-        // never reached must not be silently dropped into the output.
+        // A panic in one item must surface with the failing item's index
+        // and the original payload, not a blanket abort message.
+        let inputs: Vec<usize> = (0..32).collect();
         let result = std::panic::catch_unwind(|| {
-            parallel_map(&[1], |_| -> i32 { panic!("boom") });
+            parallel_map(&inputs, |&x| -> usize {
+                if x == 17 {
+                    panic!("boom at {x}");
+                }
+                x
+            });
         });
         let err = result.expect_err("panic must propagate");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_owned()))
-            .unwrap_or_default();
-        assert!(msg.contains("sweep worker panicked"), "got: {msg}");
+        let msg = panic_payload_message(err.as_ref());
+        assert!(
+            msg.contains("sweep worker panicked on item 17"),
+            "index must survive, got: {msg}"
+        );
+        assert!(
+            msg.contains("boom at 17"),
+            "payload must survive, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_reports_lowest_failing_item() {
+        // With several failing items the reported index is deterministic:
+        // the lowest one, regardless of which worker dies first.
+        let inputs: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&inputs, |&x| -> usize {
+                if x >= 5 {
+                    panic!("bad item");
+                }
+                x
+            });
+        });
+        let msg = panic_payload_message(result.expect_err("must panic").as_ref());
+        assert!(
+            msg.contains("on item 5:"),
+            "expected the first failing item, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn budget_guard_restores_on_panic() {
+        // A caught panic must not leave a stale budget on the thread: the
+        // guard's Drop runs during unwinding and restores the old value.
+        WORKER_BUDGET.with(|b| b.set(None));
+        let result = std::panic::catch_unwind(|| {
+            let _guard = BudgetGuard::set(Some(2));
+            assert_eq!(BudgetGuard::current(), Some(2));
+            panic!("inner sweep died");
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            BudgetGuard::current(),
+            None,
+            "caught panic poisoned the thread's worker budget"
+        );
+    }
+
+    #[test]
+    fn nested_panic_does_not_poison_later_sweeps() {
+        // A sweep whose closure panics mid-item must not throttle the
+        // *next* sweep issued from the same (calling) thread.
+        let inputs: Vec<usize> = (0..8).collect();
+        let _ = std::panic::catch_unwind(|| {
+            parallel_map(&inputs, |&x| -> usize {
+                if x == 3 {
+                    panic!("die");
+                }
+                x
+            });
+        });
+        assert_eq!(
+            BudgetGuard::current(),
+            None,
+            "top-level thread budget must stay unset after a caught panic"
+        );
+        let out = parallel_map(&inputs, |&x| x * 2);
+        assert_eq!(out, (0..8).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
@@ -181,10 +317,9 @@ mod tests {
     fn exhausted_budget_runs_inline() {
         // A worker whose budget is down to one thread must not spawn: its
         // nested sweeps run on the worker itself.
-        WORKER_BUDGET.with(|b| b.set(Some(1)));
+        let _guard = BudgetGuard::set(Some(1));
         let here = std::thread::current().id();
         let out = parallel_map(&[1, 2, 3], |&x| (x, std::thread::current().id()));
-        WORKER_BUDGET.with(|b| b.set(None));
         assert_eq!(
             out.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
             vec![1, 2, 3]

@@ -1,8 +1,11 @@
 //! Building the Prediction strategy's upper-bound table with the Oracle.
 
 use crate::batch::{run_bound_batch, run_bound_batch_tapped, BatchStats, LaneTap};
+use crate::checkpoint::{fingerprint_of, fnv1a64, CheckpointStore};
+use crate::error::SimError;
 use crate::oracle::{last_argmax, pruned_scan, scan_plan, ScanPlan, EXHAUST_BELOW};
 use crate::scenario::SimSummary;
+use crate::supervisor::Supervisor;
 use crate::{degree_grid, oracle_search_unbatched, OracleMode, Scenario};
 use dcs_core::{ControllerConfig, UpperBoundTable};
 use dcs_faults::FaultSchedule;
@@ -147,6 +150,173 @@ pub fn build_upper_bound_table_stats(
             .expect("axes validated above"),
         stats,
     )
+}
+
+/// Checkpoint payload for a resumable table build: one entry per
+/// completed column (degree), with the column's bounds as raw `f64` bits
+/// for bit-exact resume and its work counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TableColumnCkpt {
+    /// Column index into the degrees axis.
+    index: u64,
+    /// One bound per duration, as `f64` bits.
+    bounds: Vec<u64>,
+    /// The column's build counters.
+    stats: TableBuildStats,
+}
+
+/// Checkpoint payload wrapper (the snapshot's whole body).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TableCkpt {
+    /// Completed columns in completion order.
+    columns: Vec<TableColumnCkpt>,
+}
+
+/// Opens (or reopens) a checkpoint store for a resumable table build over
+/// these exact inputs. The fingerprint covers the spec, config, both
+/// axes, and the mode, so a directory written for a different grid is
+/// rejected on resume.
+pub fn table_checkpoint_store(
+    dir: impl Into<std::path::PathBuf>,
+    spec: &DataCenterSpec,
+    config: &ControllerConfig,
+    durations_min: &[f64],
+    degrees: &[f64],
+    mode: OracleMode,
+) -> Result<CheckpointStore, SimError> {
+    let fp = fnv1a64(
+        format!(
+            "{:016x}:{:016x}:{:016x}:{:016x}:{:016x}",
+            fingerprint_of(spec),
+            fingerprint_of(config),
+            fingerprint_of(&durations_min.to_vec()),
+            fingerprint_of(&degrees.to_vec()),
+            fingerprint_of(&mode)
+        )
+        .as_bytes(),
+    );
+    CheckpointStore::open(dir, "table", fp)
+}
+
+/// [`build_upper_bound_table_stats`] with supervised, checkpointed
+/// execution: columns (one per degree) are built in waves sized to the
+/// available parallelism, each wave runs under the supervisor's panic
+/// isolation and retry policy, and a snapshot of every completed column
+/// is written atomically after each wave. Killed at any snapshot boundary
+/// (or resumed via the same `store`), the build continues from the last
+/// intact snapshot and produces the identical table cell-for-cell —
+/// column results are deterministic, and stats are merged in ascending
+/// column order exactly as the plain build does.
+pub fn build_upper_bound_table_resumable(
+    spec: &DataCenterSpec,
+    config: &ControllerConfig,
+    durations_min: &[f64],
+    degrees: &[f64],
+    mode: OracleMode,
+    supervisor: &Supervisor,
+    store: &mut CheckpointStore,
+) -> Result<(UpperBoundTable, TableBuildStats), SimError> {
+    try_validate_axes(durations_min, degrees)?;
+    let mut columns: Vec<Option<(Vec<Ratio>, TableBuildStats)>> =
+        (0..degrees.len()).map(|_| None).collect();
+    if let Some(loaded) = store.load_latest::<TableCkpt>()? {
+        for col in &loaded.payload.columns {
+            let index = col.index as usize;
+            if index >= columns.len() || col.bounds.len() != durations_min.len() {
+                return Err(SimError::checkpoint(
+                    store.dir().display().to_string(),
+                    format!("snapshot column {index} does not fit the requested grid"),
+                ));
+            }
+            let bounds = col
+                .bounds
+                .iter()
+                .map(|&bits| Ratio::new(f64::from_bits(bits)))
+                .collect();
+            columns[index] = Some((bounds, col.stats));
+        }
+    }
+
+    let wave_size = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    loop {
+        let missing: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            break;
+        }
+        let wave: Vec<usize> = missing.into_iter().take(wave_size).collect();
+        let report = supervisor.map(&wave, |&col| {
+            let degree = degrees[col];
+            match mode {
+                OracleMode::Pruned => pruned_column(spec, config, durations_min, degree),
+                OracleMode::Exhaustive => exhaustive_column(spec, config, durations_min, degree),
+            }
+        });
+        // Supervisor item indices are wave-local; re-map the first failure
+        // to its column index for the error report.
+        if let Some(first) = report.failures.first() {
+            return Err(SimError::Sweep {
+                item: wave[first.item],
+                attempts: first.attempts,
+                message: first.cause.to_string(),
+            });
+        }
+        let results = report
+            .into_results()
+            .expect("no failures recorded in this wave");
+        for (&col, built) in wave.iter().zip(results) {
+            columns[col] = Some(built);
+        }
+        let ckpt = TableCkpt {
+            columns: columns
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    c.as_ref().map(|(bounds, stats)| TableColumnCkpt {
+                        index: i as u64,
+                        bounds: bounds.iter().map(|b| b.as_f64().to_bits()).collect(),
+                        stats: *stats,
+                    })
+                })
+                .collect(),
+        };
+        store.save(&ckpt)?;
+    }
+
+    // Assemble exactly as the plain build: stats merged in ascending
+    // column order, cell order durations-outer / degrees-inner.
+    let mut stats = TableBuildStats::default();
+    let mut by_column: Vec<Vec<Ratio>> = Vec::with_capacity(degrees.len());
+    for col in columns {
+        let (bounds, col_stats) = col.expect("all columns completed above");
+        stats.merge(col_stats);
+        by_column.push(bounds);
+    }
+    let mut bounds = Vec::with_capacity(durations_min.len() * degrees.len());
+    for d in 0..durations_min.len() {
+        for column in &by_column {
+            bounds.push(column[d]);
+        }
+    }
+    let table = UpperBoundTable::new(durations_min.to_vec(), degrees.to_vec(), bounds)
+        .map_err(SimError::from)?;
+    Ok((table, stats))
+}
+
+/// Fallible [`validate_axes`], with messages matching the panicking path.
+fn try_validate_axes(durations_min: &[f64], degrees: &[f64]) -> Result<(), SimError> {
+    if durations_min.is_empty() || degrees.is_empty() {
+        return Err(SimError::config("axes must be non-empty"));
+    }
+    if !degrees.iter().all(|&d| d > 1.0) {
+        return Err(SimError::config("burst degrees must exceed 1"));
+    }
+    Ok(())
 }
 
 /// The pre-batching reference implementation: every cell is an independent
