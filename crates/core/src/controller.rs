@@ -1,11 +1,19 @@
 //! The three-phase sprinting controller.
+//!
+//! Since the step-kernel refactor the controller is a thin composition:
+//! a [`crate::FacilityState`] (the physical plant) driven through
+//! [`crate::step_cycle`] by a [`SprintPolicy`] (the paper's three-phase
+//! decision logic). The physics live in exactly one place —
+//! `FacilityState::advance` — and this module only decides.
 
-use crate::budget::{cb_overload_energy, EnergyBudget};
+use crate::budget::EnergyBudget;
+use crate::facility::{Candidate, CoreDecision, FacilityState, StepInput};
+use crate::kernel::{search_largest_feasible, step_cycle, NullSink, StepPolicy};
 use crate::{PowerCurve, SprintInfo, SprintStrategy, StrategyContext};
 use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, Observation};
-use dcs_power::{DataCenterSpec, PowerTopology};
+use dcs_power::DataCenterSpec;
 use dcs_thermal::{CoolingPlant, RoomModel, TesTank};
-use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds, TempDelta};
+use dcs_units::{Celsius, Charge, Energy, Power, Ratio, Seconds};
 use dcs_ups::{Chemistry, UpsFleet};
 use serde::{Deserialize, Serialize};
 
@@ -160,25 +168,6 @@ pub struct StepRecord {
     pub shed_reason: Option<ShedReason>,
 }
 
-/// A candidate cooling assignment for one step.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct CoolingPlan {
-    via_tes: Power,
-    via_chiller: Power,
-    electric: Power,
-    /// `false` when the sprint's heat gap cannot be absorbed (TES depleted
-    /// or flow-limited) — the core count must shrink.
-    feasible: bool,
-}
-
-/// An accepted core-count candidate from the feasibility search.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Candidate {
-    per_server: Power,
-    plan: CoolingPlan,
-    deficit: Power,
-}
-
 /// Cumulative sprint bookkeeping across consecutive bursts.
 ///
 /// The paper's burst statistics are aggregates: the MS trace's "real burst
@@ -199,34 +188,17 @@ struct RunState {
 /// promoted temporary) because `FaultSchedule` owns a `Vec`.
 static NO_FAULTS: FaultSchedule = FaultSchedule::NONE;
 
-/// The Data Center Sprinting controller: owns the plant and runs the
-/// three-phase methodology each control period.
+/// The paper's three-phase decision logic as a [`StepPolicy`] over
+/// [`FacilityState`]: burst detection, the strategy's sprinting-degree
+/// bound, the core-count feasibility search, the emergency-shed backstop,
+/// and the post-step termination latches and budget debits.
 ///
-/// The facility spec, configuration, and fault schedule are *borrowed* for
-/// the controller's lifetime: search loops (the Oracle's grid scan, the
-/// table builder's cells) construct thousands of controllers against the
-/// same spec and must not deep-clone it per run.
-///
-/// See the [crate documentation](crate) for an example.
-pub struct SprintController<'a> {
-    spec: &'a DataCenterSpec,
-    config: &'a ControllerConfig,
+/// The policy owns no physics; everything it reads comes from the
+/// immutable facility borrow [`StepPolicy::decide`] receives.
+#[derive(Debug)]
+pub struct SprintPolicy {
     strategy: Box<dyn SprintStrategy>,
-    topo: PowerTopology,
-    ups: UpsFleet,
-    plant: CoolingPlant,
-    tes: TesTank,
-    room: RoomModel,
-    // Per-run invariants of the spec, hoisted out of the per-step hot path.
-    normal_cores: u32,
-    n_servers: f64,
-    servers_per_pdu_f: f64,
-    pdu_count_f: f64,
-    peak_normal_it: Power,
-    pdu_rated_total: Power,
-    max_degree: Ratio,
     power_curve: PowerCurve,
-    now: Seconds,
     sprint_active: bool,
     run_state: Option<RunState>,
     /// Highest demand seen so far across the whole run: consecutive bursts
@@ -236,105 +208,31 @@ pub struct SprintController<'a> {
     /// Strict §V-C termination latch: sprinting stays off until the
     /// current burst has passed.
     hold_until_quiet: bool,
-    /// Exogenous DC-level load (e.g. an unexpected utility power spike,
-    /// §IV-A); subtracted from the DC breaker budget every step.
-    external_load: Power,
-    /// Injected fault schedule; [`FaultSchedule::NONE`] reproduces the
-    /// fault-free run exactly.
-    faults: &'a FaultSchedule,
-    /// Sensor pipeline: noise stream keyed by the window seed, plus the
-    /// stale-telemetry sample-and-hold.
-    observer: FaultObserver,
-    /// Pessimistic margin added to the room-temperature reading while a
-    /// temperature-noise fault is active.
-    thermal_bias: TempDelta,
     /// Energy budget pre-computed by a batched driver for the sprint the
     /// *next* step starts; consumed (and checked) by the lifecycle.
     primed_budget: Option<Energy>,
-    // Lifetime additional-energy accounting, for the §VII-A split.
-    ups_energy: Energy,
-    tes_heat_energy: Energy,
-    tes_savings_energy: Energy,
-    cb_extra_energy: Energy,
 }
 
-impl std::fmt::Debug for SprintController<'_> {
+impl std::fmt::Debug for dyn SprintStrategy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SprintController")
-            .field("strategy", &self.strategy.name())
-            .field("now", &self.now)
-            .field("sprinting", &self.sprint_active)
-            .finish_non_exhaustive()
+        write!(f, "{}", self.name())
     }
 }
 
-impl<'a> SprintController<'a> {
-    /// Builds a controller for a facility, with every store full and every
-    /// breaker cold.
+impl SprintPolicy {
+    /// Builds the policy in its initial (quiet, unterminated) state.
     #[must_use]
-    pub fn new(
-        spec: &'a DataCenterSpec,
-        config: &'a ControllerConfig,
-        strategy: Box<dyn SprintStrategy>,
-    ) -> SprintController<'a> {
-        let topo = PowerTopology::new(spec);
-        let ups = UpsFleet::new(
-            spec.total_servers(),
-            config.ups_chemistry,
-            config.ups_rating,
-        );
-        let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
-        let tes = TesTank::sized_for(
-            spec.peak_normal_it_power(),
-            Seconds::from_minutes(config.tes_minutes),
-        );
-        let room = RoomModel::calibrated(spec.peak_normal_it_power());
-        let server = spec.server();
-        SprintController {
-            spec,
-            config,
+    pub fn new(strategy: Box<dyn SprintStrategy>, spec: &DataCenterSpec) -> SprintPolicy {
+        SprintPolicy {
             strategy,
-            topo,
-            ups,
-            plant,
-            tes,
-            room,
-            normal_cores: server.normal_cores(),
-            n_servers: spec.total_servers() as f64,
-            servers_per_pdu_f: spec.servers_per_pdu() as f64,
-            pdu_count_f: spec.pdu_count() as f64,
-            peak_normal_it: spec.peak_normal_it_power(),
-            pdu_rated_total: spec.pdu_rated() * spec.pdu_count() as f64,
-            max_degree: server.max_degree(),
-            power_curve: PowerCurve::new(server.clone(), spec.total_servers()),
-            now: Seconds::ZERO,
+            power_curve: PowerCurve::new(spec.server().clone(), spec.total_servers()),
             sprint_active: false,
             run_state: None,
             max_demand_seen: 0.0,
             terminated: false,
             hold_until_quiet: false,
-            external_load: Power::ZERO,
-            faults: &NO_FAULTS,
-            observer: FaultObserver::new(),
-            thermal_bias: TempDelta::ZERO,
             primed_budget: None,
-            ups_energy: Energy::ZERO,
-            tes_heat_energy: Energy::ZERO,
-            tes_savings_energy: Energy::ZERO,
-            cb_extra_energy: Energy::ZERO,
         }
-    }
-
-    /// Returns the facility spec.
-    #[must_use]
-    pub fn spec(&self) -> &'a DataCenterSpec {
-        self.spec
-    }
-
-    /// Returns the configuration.
-    #[must_use]
-    pub fn config(&self) -> &'a ControllerConfig {
-        self.config
     }
 
     /// Returns the strategy name.
@@ -343,357 +241,47 @@ impl<'a> SprintController<'a> {
         self.strategy.name()
     }
 
-    /// Returns the current simulation time.
+    /// `true` while the policy considers a sprint active.
     #[must_use]
-    pub fn now(&self) -> Seconds {
-        self.now
+    pub fn sprint_active(&self) -> bool {
+        self.sprint_active
     }
 
-    /// Returns the UPS fleet state.
+    /// Clones the policy with a replacement strategy (the caller is
+    /// responsible for strategy-state equivalence — see
+    /// [`SprintController::clone_with_strategy`]).
     #[must_use]
-    pub fn ups(&self) -> &UpsFleet {
-        &self.ups
-    }
-
-    /// Returns the TES tank state.
-    #[must_use]
-    pub fn tes(&self) -> &TesTank {
-        &self.tes
-    }
-
-    /// Returns the room model state.
-    #[must_use]
-    pub fn room(&self) -> &RoomModel {
-        &self.room
-    }
-
-    /// Returns the breaker topology state.
-    #[must_use]
-    pub fn topology(&self) -> &PowerTopology {
-        &self.topo
-    }
-
-    /// Sets an exogenous DC-level load that persists until changed.
-    ///
-    /// §IV-A: *"some special cases that occur during the sprinting
-    /// process, such as unexpected power spikes in the utility power
-    /// supply. When these issues lead to higher CB overload, which can be
-    /// detected with real-time power measurement, we immediately lower the
-    /// sprinting degree or end sprinting."* The allocator subtracts this
-    /// load from the DC budget, so the next step's feasibility search
-    /// sheds cores automatically.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `load` is negative.
-    pub fn set_external_load(&mut self, load: Power) {
-        assert!(load >= Power::ZERO, "external load must be non-negative");
-        self.external_load = load;
-    }
-
-    /// Returns the current exogenous DC-level load.
-    #[must_use]
-    pub fn external_load(&self) -> Power {
-        self.external_load
-    }
-
-    /// Installs a fault schedule and returns the controller. Each step
-    /// looks up the faults active at the current simulation time and
-    /// derates the plant models accordingly; [`FaultSchedule::NONE`]
-    /// reproduces the fault-free run exactly.
-    #[must_use]
-    pub fn with_faults(mut self, faults: &'a FaultSchedule) -> SprintController<'a> {
-        self.faults = faults;
-        self
-    }
-
-    /// Returns the installed fault schedule.
-    #[must_use]
-    pub fn fault_schedule(&self) -> &'a FaultSchedule {
-        self.faults
-    }
-
-    /// Returns the cooling plant state.
-    #[must_use]
-    pub fn plant(&self) -> &CoolingPlant {
-        &self.plant
-    }
-
-    /// Pre-computes the energy budget a sprint starting under `active`'s
-    /// deratings would fix, by applying those deratings now.
-    ///
-    /// The budget depends only on plant state plus the step's deratings —
-    /// never on the sprint bound — and [`SprintController::step_observed`]
-    /// re-applies the same deratings (idempotently) before any use, so a
-    /// batched driver can compute the budget once, [`Self::prime_energy_budget`]
-    /// it into every cloned lane, and stay bit-identical to N independent
-    /// runs.
-    pub fn energy_budget_under(&mut self, active: &ActiveFaults, dt: Seconds) -> Energy {
-        self.ups
-            .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
-        self.tes
-            .set_derating(active.tes_rate_factor(dt), active.tes_capacity_factor);
-        self.topo.set_breaker_derating(active.breaker_factor);
-        self.total_energy_budget()
-    }
-
-    /// Primes the energy budget the next sprint start will fix, skipping
-    /// the per-lane budget integration in batched runs. Debug builds
-    /// verify the primed value against a fresh computation when consumed.
-    pub fn prime_energy_budget(&mut self, total: Energy) {
-        self.primed_budget = Some(total);
-    }
-
-    /// Clones the controller mid-run with a replacement strategy, for
-    /// forking batched lanes off a shared prefix.
-    ///
-    /// The caller is responsible for strategy-state equivalence: the
-    /// replacement must be in the state its own `observe`/`on_sprint_start`
-    /// calls over the prefix would have produced (trivially true for
-    /// stateless strategies such as `FixedBound`).
-    #[must_use]
-    pub fn clone_with_strategy(&self, strategy: Box<dyn SprintStrategy>) -> SprintController<'a> {
-        SprintController {
-            spec: self.spec,
-            config: self.config,
+    pub fn clone_with_strategy(&self, strategy: Box<dyn SprintStrategy>) -> SprintPolicy {
+        SprintPolicy {
             strategy,
-            topo: self.topo.clone(),
-            ups: self.ups.clone(),
-            plant: self.plant.clone(),
-            tes: self.tes.clone(),
-            room: self.room.clone(),
-            normal_cores: self.normal_cores,
-            n_servers: self.n_servers,
-            servers_per_pdu_f: self.servers_per_pdu_f,
-            pdu_count_f: self.pdu_count_f,
-            peak_normal_it: self.peak_normal_it,
-            pdu_rated_total: self.pdu_rated_total,
-            max_degree: self.max_degree,
             power_curve: self.power_curve.clone(),
-            now: self.now,
             sprint_active: self.sprint_active,
             run_state: self.run_state.clone(),
             max_demand_seen: self.max_demand_seen,
             terminated: self.terminated,
             hold_until_quiet: self.hold_until_quiet,
-            external_load: self.external_load,
-            faults: self.faults,
-            observer: self.observer.clone(),
-            thermal_bias: self.thermal_bias,
             primed_budget: self.primed_budget,
-            ups_energy: self.ups_energy,
-            tes_heat_energy: self.tes_heat_energy,
-            tes_savings_energy: self.tes_savings_energy,
-            cb_extra_energy: self.cb_extra_energy,
         }
     }
+}
 
-    /// `true` if holding this allocation would accumulate trip progress on
-    /// some breaker — the emergency-shed criterion. Unlike the reserve
-    /// rule this only reacts to loads inside the tripping region, so it
-    /// never fires on a fault-free plant at normal load.
-    fn trip_risk(&self, it_total: Power, ups_relief: Power, cooling: Power) -> bool {
-        let net_it = (it_total - ups_relief).max_zero();
-        let per_pdu = net_it / self.pdu_count_f;
-        self.topo
-            .pdu_breakers()
-            .iter()
-            .any(|b| !b.trip_time_at(per_pdu).is_never())
-            || !self
-                .topo
-                .dc_breaker()
-                .trip_time_at(net_it + cooling + self.external_load)
-                .is_never()
-    }
+impl<'a> StepPolicy<FacilityState<'a>> for SprintPolicy {
+    #[inline]
+    fn decide(&mut self, state: &FacilityState<'a>, input: &StepInput) -> CoreDecision {
+        let demand = input.demand;
+        let dt = input.dt;
+        let observed = input.observation.observed;
+        let server = state.spec().server();
+        let config = state.config();
+        let normal_cores = state.normal_cores();
+        let n_servers = state.n_servers();
+        let max_degree = state.max_degree();
 
-    /// Returns the lifetime additional-energy split
-    /// `(cb_extra, ups, tes_savings)` — the quantities behind the paper's
-    /// "the UPS and TES provide 54 % and 13 % of the additional energy".
-    ///
-    /// All three are *electric* energies: the TES term is the chiller
-    /// power its discharge saved (heat absorbed × the chiller share of the
-    /// cooling unit cost), which is how the paper counts the TES
-    /// contribution at the DC level. The raw heat ledger is available via
-    /// [`SprintController::tes_heat_total`].
-    #[must_use]
-    pub fn energy_split(&self) -> (Energy, Energy, Energy) {
-        (
-            self.cb_extra_energy,
-            self.ups_energy,
-            self.tes_savings_energy,
-        )
-    }
-
-    /// Returns the total heat the TES tank absorbed (for energy-conservation
-    /// checks against the tank's state of charge).
-    #[must_use]
-    pub fn tes_heat_total(&self) -> Energy {
-        self.tes_heat_energy
-    }
-
-    /// Computes the sprint's total additional-energy budget (`EB_tot`):
-    /// UPS deliverable energy, plus CB-overload energy under the reserve
-    /// rule (the tighter of the PDU and DC levels), plus the chiller
-    /// savings the TES store can fund.
-    #[must_use]
-    pub fn total_energy_budget(&self) -> Energy {
-        let ups = self.ups.deliverable();
-        let pdu_cb = if self.topo.pdu_count() > 0 {
-            cb_overload_energy(&self.topo.pdu_breakers()[0], self.config.reserve)
-                * self.topo.pdu_count() as f64
-        } else {
-            Energy::ZERO
-        };
-        let dc_cb = cb_overload_energy(self.topo.dc_breaker(), self.config.reserve);
-        let cb = pdu_cb.min(dc_cb);
-        let tes_savings =
-            self.tes.stored() * (self.plant.unit_cost() * dcs_thermal::CHILLER_SHARE / 1.0);
-        ups + cb + tes_savings
-    }
-
-    /// The cooling plan for a candidate heat load.
-    ///
-    /// In phases 1–2 the extra heat rides on the room's thermal
-    /// capacitance. Phase 3 engages once the room's time-to-threshold at
-    /// the candidate gap falls to the configured horizon — on a fresh room
-    /// with a full gap that is the paper's "activate TES at the 5th
-    /// minute" rule. Once engaged, the TES **must** absorb the entire gap
-    /// (or the plan is infeasible and the controller sheds cores — the
-    /// paper's "terminate on TES exhaustion"), and it additionally
-    /// replaces part of the chiller load to cut cooling power.
-    fn plan_cooling(&self, heat: Power, sprinting_extra: bool, dt: Seconds) -> CoolingPlan {
-        let design = self.plant.design_capacity();
-        let gap = (heat - design).max_zero();
-        let mut via_tes = Power::ZERO;
-        let mut feasible = true;
-        if sprinting_extra && gap > Power::ZERO {
-            let assumed = self.room.temperature() + self.thermal_bias;
-            let tes_engaged =
-                self.room.time_to_threshold_from(assumed, gap) <= self.config.thermal_horizon;
-            if tes_engaged {
-                let available = self.tes.available_rate(dt);
-                let replace = heat.min(design) * self.config.tes_replace_fraction;
-                via_tes = (gap + replace).min(available);
-                feasible = via_tes + Power::from_watts(1e-6) >= gap;
-            }
-        }
-        let mut via_chiller = (heat - via_tes).max_zero().min(design);
-        // Re-cool the room at full chiller blast when it is above setpoint
-        // and there is no sprint-induced gap to honor.
-        if !sprinting_extra && self.room.temperature() > self.room.setpoint() && heat <= design {
-            via_chiller = design;
-        }
-        CoolingPlan {
-            via_tes,
-            via_chiller,
-            electric: self.plant.electric_power(via_chiller, via_tes),
-            feasible,
-        }
-    }
-
-    /// Evaluates the power and thermal feasibility of sprinting on `cores`
-    /// active cores this step. On success returns the accepted allocation;
-    /// on failure, why the candidate was rejected.
-    fn sprint_candidate(
-        &self,
-        cores: u32,
-        demand: f64,
-        dt: Seconds,
-        caps: dcs_power::TopologyCaps,
-    ) -> Result<Candidate, ShedReason> {
-        let per_server = self.spec.server().power_serving(cores, Ratio::new(demand));
-        let it_total = per_server * self.n_servers;
-        let plan = self.plan_cooling(it_total, true, dt);
-        if !plan.feasible {
-            return Err(ShedReason::Thermal);
-        }
-        let dc_it_budget = (caps.dc_total - plan.electric - self.external_load).max_zero();
-        let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
-        let per_pdu_desired = per_server * self.servers_per_pdu_f;
-        let deficit = (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f;
-        let ups_max = (self.ups.deliverable() / dt).min(it_total);
-        if deficit <= ups_max + Power::from_watts(1e-6) {
-            Ok(Candidate {
-                per_server,
-                plan,
-                deficit,
-            })
-        } else {
-            Err(ShedReason::Power)
-        }
-    }
-
-    /// Advances the controller by one period with the given normalized
-    /// demand, returning the step's telemetry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `demand` is negative or not finite, or `dt` is not
-    /// strictly positive and finite.
-    pub fn step(&mut self, demand: f64, dt: Seconds) -> StepRecord {
-        assert!(
-            demand.is_finite() && demand >= 0.0,
-            "demand must be non-negative"
-        );
-        let active = self.faults.active_at(self.now);
-        let obs = self.observer.observe(demand, &active);
-        self.step_observed(demand, &obs, dt)
-    }
-
-    /// Advances the controller by one period using a pre-computed sensor
-    /// observation instead of resolving faults and drawing sensor noise
-    /// internally.
-    ///
-    /// This is the lane-reusable core of [`SprintController::step`]: a
-    /// batched driver resolves the fault windows and runs one
-    /// [`FaultObserver`] pass for the whole lane set, then feeds the same
-    /// `Observation` sequence to every lane. Feeding the observations a
-    /// controller's own `step` loop would have produced yields a
-    /// bit-identical run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `demand` is negative or not finite, or `dt` is not
-    /// strictly positive and finite.
-    pub fn step_observed(&mut self, demand: f64, obs: &Observation, dt: Seconds) -> StepRecord {
-        assert!(
-            demand.is_finite() && demand >= 0.0,
-            "demand must be non-negative"
-        );
-        assert!(
-            dt > Seconds::ZERO && !dt.is_never(),
-            "time step must be positive and finite"
-        );
-        let time = self.now;
-        // `self.spec` is a shared borrow for the controller's lifetime, so
-        // copying the reference out leaves `self` free for `&mut` calls —
-        // no per-step clone of the server spec.
-        let server = self.spec.server();
-        let normal_cores = self.normal_cores;
-        let n_servers = self.n_servers;
-        let peak_normal_it = self.peak_normal_it;
-
-        // --- Fault injection ----------------------------------------------
-        // Derate the plant to whatever the schedule says is broken right
-        // now, and corrupt the demand/temperature readings the *decisions*
-        // see. Power computations below keep using the true demand: the
-        // paper's §IV-A real-time measurement is at the breakers, not at
-        // the workload monitor.
-        let active = &obs.active;
-        let fault_active = active.any();
-        self.ups
-            .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
-        self.tes
-            .set_derating(active.tes_rate_factor(dt), active.tes_capacity_factor);
-        self.topo.set_breaker_derating(active.breaker_factor);
-        let observed = obs.observed;
-        self.thermal_bias = obs.thermal_bias;
-
-        if observed <= self.config.burst_threshold {
+        if observed <= config.burst_threshold {
             self.hold_until_quiet = false;
         }
         let in_burst =
-            observed > self.config.burst_threshold && !self.terminated && !self.hold_until_quiet;
+            observed > config.burst_threshold && !self.terminated && !self.hold_until_quiet;
 
         self.strategy.observe(observed, dt);
 
@@ -707,18 +295,18 @@ impl<'a> SprintController<'a> {
                 Some(primed) => {
                     debug_assert_eq!(
                         primed,
-                        self.total_energy_budget(),
+                        state.total_energy_budget(),
                         "primed budget must match a fresh computation"
                     );
                     primed
                 }
-                None => self.total_energy_budget(),
+                None => state.total_energy_budget(),
             };
             let budget = EnergyBudget::new(total);
             let info = SprintInfo {
                 total_energy_budget: budget.total(),
                 power_curve: self.power_curve.clone(),
-                max_degree: self.max_degree,
+                max_degree,
             };
             self.strategy.on_sprint_start(&info);
             self.run_state = Some(RunState {
@@ -743,19 +331,19 @@ impl<'a> SprintController<'a> {
             let avg_degree = if run.sprint_elapsed > 0.0 {
                 Ratio::new((run.degree_integral / run.sprint_elapsed).max(1.0))
             } else {
-                self.max_degree
+                max_degree
             };
             let ctx = StrategyContext {
                 since_burst_start: Seconds::new(run.sprint_elapsed),
                 demand: observed,
                 max_demand_seen: self.max_demand_seen,
-                max_degree: self.max_degree,
+                max_degree,
                 avg_degree,
                 remaining_energy: run.budget.remaining_fraction(),
             };
             self.strategy
                 .upper_bound(&ctx)
-                .clamp(Ratio::ONE, self.max_degree)
+                .clamp(Ratio::ONE, max_degree)
         } else {
             Ratio::ONE
         };
@@ -770,18 +358,13 @@ impl<'a> SprintController<'a> {
         // The normal count is always feasible; start from it.
         let mut chosen = normal_cores;
         let mut per_server = server.power_serving(normal_cores, Ratio::new(demand));
-        let mut plan = self.plan_cooling(per_server * n_servers, false, dt);
+        let mut plan = state.plan_cooling(per_server * n_servers, false, dt);
         // Breaker caps depend only on thermal state and the reserve, not on
         // the candidate core count — compute them once per step.
-        let caps = self.topo.caps(self.config.reserve);
+        let caps = state.topology().caps(config.reserve);
         // Even the normal core count can need UPS relief (zero headroom, or
         // an exogenous load eating the DC budget): compute its deficit too.
-        let mut deficit_total = {
-            let dc_it_budget = (caps.dc_total - plan.electric - self.external_load).max_zero();
-            let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
-            let per_pdu_desired = per_server * self.servers_per_pdu_f;
-            (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f
-        };
+        let mut deficit_total = state.deficit_for(per_server, plan.electric, caps);
         let mut shed_reason: Option<ShedReason> = None;
         // Feasibility is monotone in the core count (more cores draw more
         // power and shed more heat, and the breaker caps are fixed this
@@ -790,39 +373,21 @@ impl<'a> SprintController<'a> {
         // reported shed reason is the reason the *desired* count failed,
         // matching the former walk-down's first-rejection semantics.
         if desired_cores > normal_cores {
-            match self.sprint_candidate(desired_cores, demand, dt, caps) {
-                Ok(c) => {
-                    chosen = desired_cores;
-                    per_server = c.per_server;
-                    plan = c.plan;
-                    deficit_total = c.deficit;
-                }
-                Err(reason) => {
-                    shed_reason = Some(reason);
-                    let mut lo = normal_cores + 1;
-                    let mut hi = desired_cores - 1;
-                    let mut best: Option<(u32, Candidate)> = None;
-                    while lo <= hi {
-                        let mid = lo + (hi - lo) / 2;
-                        match self.sprint_candidate(mid, demand, dt, caps) {
-                            Ok(c) => {
-                                best = Some((mid, c));
-                                lo = mid + 1;
-                            }
-                            Err(_) => hi = mid - 1,
-                        }
-                    }
-                    if let Some((cores, c)) = best {
-                        chosen = cores;
-                        per_server = c.per_server;
-                        plan = c.plan;
-                        deficit_total = c.deficit;
-                    }
-                }
+            let mut probe = |cores: u32| -> Result<Candidate, ShedReason> {
+                state.sprint_candidate(cores, demand, dt, caps)
+            };
+            let (best, rejection) =
+                search_largest_feasible(normal_cores, desired_cores, &mut probe);
+            shed_reason = rejection;
+            if let Some((cores, c)) = best {
+                chosen = cores;
+                per_server = c.per_server;
+                plan = c.plan;
+                deficit_total = c.deficit;
             }
         }
 
-        let mut it_total = per_server * n_servers;
+        let it_total = per_server * n_servers;
 
         // --- Emergency shed (degraded-mode backstop) ----------------------
         // Fault-free, the normal core count always fits under the breaker
@@ -831,30 +396,24 @@ impl<'a> SprintController<'a> {
         // the load would accumulate trip progress, shed below the normal
         // count until the load leaves the tripping region.
         if chosen == normal_cores {
-            let ups_max = (self.ups.deliverable() / dt).min(it_total);
+            let ups_max = (state.ups().deliverable() / dt).min(it_total);
             let uncovered = (deficit_total - ups_max).max_zero();
             if uncovered > Power::from_watts(1e-6)
-                && self.trip_risk(it_total, ups_max, plan.electric)
+                && state.trip_risk(it_total, ups_max, plan.electric)
             {
                 for cores in (1..normal_cores).rev() {
                     let cand_per_server = server.power_serving(cores, Ratio::new(demand));
                     let cand_it = cand_per_server * n_servers;
-                    let cand_plan = self.plan_cooling(cand_it, false, dt);
-                    let dc_it_budget =
-                        (caps.dc_total - cand_plan.electric - self.external_load).max_zero();
-                    let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / self.pdu_count_f);
-                    let per_pdu_desired = cand_per_server * self.servers_per_pdu_f;
-                    let cand_deficit =
-                        (per_pdu_desired - allowed_per_pdu).max_zero() * self.pdu_count_f;
-                    let cand_ups_max = (self.ups.deliverable() / dt).min(cand_it);
+                    let cand_plan = state.plan_cooling(cand_it, false, dt);
+                    let cand_deficit = state.deficit_for(cand_per_server, cand_plan.electric, caps);
+                    let cand_ups_max = (state.ups().deliverable() / dt).min(cand_it);
                     let safe = cand_deficit <= cand_ups_max + Power::from_watts(1e-6)
-                        || !self.trip_risk(cand_it, cand_ups_max, cand_plan.electric);
+                        || !state.trip_risk(cand_it, cand_ups_max, cand_plan.electric);
                     if safe || cores == 1 {
                         chosen = cores;
                         per_server = cand_per_server;
                         plan = cand_plan;
                         deficit_total = cand_deficit;
-                        it_total = cand_it;
                         shed_reason = Some(ShedReason::Emergency);
                         break;
                     }
@@ -862,81 +421,46 @@ impl<'a> SprintController<'a> {
             }
         }
 
-        // --- Actuation ----------------------------------------------------
-        // Phase 2: offload the CB deficit onto UPS batteries.
-        let ups_got = if deficit_total > Power::ZERO {
-            self.ups.offload(deficit_total, per_server, dt)
-        } else {
-            self.ups
-                .offload(Power::ZERO, per_server.max(Power::from_watts(1.0)), dt)
-        };
-        // Phase 3: discharge the TES per the plan.
-        let tes_got = if plan.via_tes > Power::ZERO {
-            self.tes.discharge(plan.via_tes, dt)
-        } else {
-            Power::ZERO
-        };
-        let via_chiller = plan.via_chiller;
-
-        let cooling_power = self.plant.electric_power(via_chiller, tes_got);
-        let sprint_net_it = (it_total - ups_got).max_zero();
-
-        // Quiet-time recharge rides inside the breakers' *no-trip* region:
-        // on a healthy plant that headroom dwarfs the recharge draw, but a
-        // derated breaker can be overloaded by normal load alone, and
-        // recharging through it would turn a slow safe march into a trip.
-        let mut recharge_power = Power::ZERO;
-        if self.config.recharge_when_quiet
-            && !self.sprint_active
-            && observed < 0.9 * self.config.burst_threshold
-        {
-            let pdu_count = self.pdu_count_f;
-            let per_pdu_net = sprint_net_it / pdu_count;
-            let pdu_limit = self
-                .topo
-                .pdu_breakers()
-                .iter()
-                .map(dcs_breaker::CircuitBreaker::no_trip_limit)
-                .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min);
-            let pdu_room = (pdu_limit - per_pdu_net).max_zero() * pdu_count;
-            let dc_room = (self.topo.dc_breaker().no_trip_limit()
-                - (sprint_net_it + cooling_power + self.external_load))
-                .max_zero();
-            let mut budget = pdu_room.min(dc_room);
-            let ups_request = (self.config.ups_recharge_per_server * n_servers).min(budget);
-            let accepted = self.ups.recharge(ups_request, dt);
-            recharge_power += accepted;
-            budget = (budget - accepted).max_zero();
-            // Re-chilling costs chiller power for the extra heat capacity.
-            let tes_rate = (self.plant.design_capacity() * self.config.tes_recharge_fraction)
-                .min(budget / self.plant.unit_cost());
-            let tes_accepted = self.tes.recharge(tes_rate, dt);
-            recharge_power += tes_accepted * self.plant.unit_cost();
+        CoreDecision {
+            cores: chosen,
+            per_server,
+            plan,
+            deficit: deficit_total,
+            upper_bound,
+            sprinting: self.sprint_active,
+            shed_reason,
+            recharge: config.recharge_when_quiet
+                && !self.sprint_active
+                && observed < 0.9 * config.burst_threshold,
+            book_sprint_energy: true,
+            dark: false,
         }
+    }
 
-        let net_it_through_pdus = sprint_net_it + recharge_power;
-        let per_pdu_net = net_it_through_pdus / self.pdu_count_f;
-        let events = self
-            .topo
-            .step_uniform(per_pdu_net, cooling_power + self.external_load, dt);
-        let tripped = !events.is_empty();
+    #[inline]
+    fn finish(
+        &mut self,
+        state: &FacilityState<'a>,
+        input: &StepInput,
+        decision: &CoreDecision,
+        effects: &mut crate::facility::StepEffects,
+    ) {
+        let config = state.config();
+        let rec = &mut effects.record;
 
-        // --- Thermal ------------------------------------------------------
-        self.room.step(it_total, via_chiller + tes_got, dt);
-        let overheated = self.room.is_over_threshold();
+        // --- Termination latches -----------------------------------------
         if let Some(run) = self.run_state.as_mut() {
-            if tes_got > Power::ZERO {
+            if rec.tes_heat > Power::ZERO {
                 run.tes_engaged = true;
             }
             // §V-C strict mode: once the TES a sprint relied on is used up,
             // the sprint terminates until the burst has passed.
-            if self.config.terminate_on_tes_exhaustion && run.tes_engaged && self.tes.is_depleted()
-            {
+            if config.terminate_on_tes_exhaustion && run.tes_engaged && state.tes().is_depleted() {
                 self.sprint_active = false;
                 self.hold_until_quiet = true;
             }
         }
-        if overheated || tripped {
+        if rec.overheated || rec.tripped {
             // Safety: terminate the sprint permanently. With the TES
             // deadline rule this should be unreachable; it guards against
             // misconfiguration.
@@ -944,67 +468,337 @@ impl<'a> SprintController<'a> {
             self.terminated = true;
         }
 
-        // --- Accounting ----------------------------------------------------
-        // CB contribution counts only sprint IT power: quiet-time recharge
-        // rides through the PDUs too but is store replenishment, not
-        // additional energy delivered to the workload.
-        let cb_extra = (sprint_net_it - peak_normal_it).max_zero();
-        // The finite part of the CB contribution is only the power *above
-        // the breaker ratings*: the NEC band between peak normal and rated
-        // is sustainable indefinitely and must not drain the sprint budget.
-        let cb_above_rated = (sprint_net_it - self.pdu_rated_total).max_zero();
-        let tes_savings = self.plant.tes_savings(tes_got);
-        self.ups_energy += ups_got * dt;
-        self.tes_heat_energy += tes_got * dt;
-        self.tes_savings_energy += tes_savings * dt;
-        self.cb_extra_energy += cb_extra * dt;
-        let degree = server.degree_of_cores(chosen);
+        // --- Post-latch sprint accounting --------------------------------
         if self.sprint_active {
             let run = self
                 .run_state
                 .as_mut()
                 .expect("run state exists while sprinting");
-            run.degree_integral += degree.as_f64() * dt.as_secs();
-            run.sprint_elapsed += dt.as_secs();
-            run.budget.debit(ups_got + cb_above_rated + tes_savings, dt);
+            run.degree_integral += rec.degree.as_f64() * input.dt.as_secs();
+            run.sprint_elapsed += input.dt.as_secs();
+            run.budget.debit(
+                rec.ups_power + effects.cb_above_rated + effects.tes_savings,
+                input.dt,
+            );
         }
 
-        let served = demand.min(server.capacity_at_cores(chosen));
-        // Phase reflects which resources actually discharged this step:
+        // The record's sprint flag and phase reflect the post-latch state:
         // UPS/TES activity labels the phase even when the sprint latch has
         // already dropped (e.g. relief for an exogenous spike at normal
         // cores), so telemetry never shows "normal" while batteries drain.
-        let phase = if tes_got > Power::ZERO {
+        rec.sprinting = self.sprint_active;
+        rec.phase = if rec.tes_heat > Power::ZERO {
             Phase::Tes
-        } else if ups_got > Power::ZERO {
+        } else if rec.ups_power > Power::ZERO {
             Phase::Ups
-        } else if self.sprint_active && chosen > normal_cores {
+        } else if self.sprint_active && decision.cores > state.normal_cores() {
             Phase::CbOnly
         } else {
             Phase::Normal
         };
+    }
+}
 
-        self.now += dt;
-        StepRecord {
-            time,
-            demand,
-            served,
-            cores: chosen,
-            degree,
-            upper_bound,
-            it_power: it_total,
-            cooling_power,
-            ups_power: ups_got,
-            tes_heat: tes_got,
-            cb_extra_power: cb_extra,
-            phase,
-            temperature: self.room.temperature(),
-            sprinting: self.sprint_active,
-            tripped,
-            overheated,
-            fault_active,
-            shed_reason,
+/// The Data Center Sprinting controller: a [`FacilityState`] driven by a
+/// [`SprintPolicy`] through the step kernel, one cycle per control period.
+///
+/// The facility spec, configuration, and fault schedule are *borrowed* for
+/// the controller's lifetime: search loops (the Oracle's grid scan, the
+/// table builder's cells) construct thousands of controllers against the
+/// same spec and must not deep-clone it per run.
+///
+/// See the [crate documentation](crate) for an example.
+pub struct SprintController<'a> {
+    facility: FacilityState<'a>,
+    policy: SprintPolicy,
+    /// Injected fault schedule; [`FaultSchedule::NONE`] reproduces the
+    /// fault-free run exactly.
+    faults: &'a FaultSchedule,
+    /// Sensor pipeline: noise stream keyed by the window seed, plus the
+    /// stale-telemetry sample-and-hold.
+    observer: FaultObserver,
+}
+
+impl std::fmt::Debug for SprintController<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SprintController")
+            .field("strategy", &self.policy.strategy_name())
+            .field("now", &self.facility.now())
+            .field("sprinting", &self.policy.sprint_active())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SprintController<'a> {
+    /// Builds a controller for a facility, with every store full and every
+    /// breaker cold.
+    #[must_use]
+    pub fn new(
+        spec: &'a DataCenterSpec,
+        config: &'a ControllerConfig,
+        strategy: Box<dyn SprintStrategy>,
+    ) -> SprintController<'a> {
+        SprintController {
+            facility: FacilityState::new(spec, config),
+            policy: SprintPolicy::new(strategy, spec),
+            faults: &NO_FAULTS,
+            observer: FaultObserver::new(),
         }
+    }
+
+    /// Returns the facility spec.
+    #[must_use]
+    pub fn spec(&self) -> &'a DataCenterSpec {
+        self.facility.spec()
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub fn config(&self) -> &'a ControllerConfig {
+        self.facility.config()
+    }
+
+    /// Returns the strategy name.
+    #[must_use]
+    pub fn strategy_name(&self) -> &str {
+        self.policy.strategy_name()
+    }
+
+    /// Returns the current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.facility.now()
+    }
+
+    /// Returns the UPS fleet state.
+    #[must_use]
+    pub fn ups(&self) -> &UpsFleet {
+        self.facility.ups()
+    }
+
+    /// Returns the TES tank state.
+    #[must_use]
+    pub fn tes(&self) -> &TesTank {
+        self.facility.tes()
+    }
+
+    /// Returns the room model state.
+    #[must_use]
+    pub fn room(&self) -> &RoomModel {
+        self.facility.room()
+    }
+
+    /// Returns the breaker topology state.
+    #[must_use]
+    pub fn topology(&self) -> &dcs_power::PowerTopology {
+        self.facility.topology()
+    }
+
+    /// Returns the underlying facility state (read-only).
+    #[must_use]
+    pub fn facility(&self) -> &FacilityState<'a> {
+        &self.facility
+    }
+
+    /// Sets an exogenous DC-level load that persists until changed.
+    ///
+    /// §IV-A: *"some special cases that occur during the sprinting
+    /// process, such as unexpected power spikes in the utility power
+    /// supply. When these issues lead to higher CB overload, which can be
+    /// detected with real-time power measurement, we immediately lower the
+    /// sprinting degree or end sprinting."* The allocator subtracts this
+    /// load from the DC budget, so the next step's feasibility search
+    /// sheds cores automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative.
+    pub fn set_external_load(&mut self, load: Power) {
+        self.facility.set_external_load(load);
+    }
+
+    /// Returns the current exogenous DC-level load.
+    #[must_use]
+    pub fn external_load(&self) -> Power {
+        self.facility.external_load()
+    }
+
+    /// Installs a fault schedule and returns the controller. Each step
+    /// looks up the faults active at the current simulation time and
+    /// derates the plant models accordingly; [`FaultSchedule::NONE`]
+    /// reproduces the fault-free run exactly.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &'a FaultSchedule) -> SprintController<'a> {
+        self.faults = faults;
+        self
+    }
+
+    /// Returns the installed fault schedule.
+    #[must_use]
+    pub fn fault_schedule(&self) -> &'a FaultSchedule {
+        self.faults
+    }
+
+    /// Returns the cooling plant state.
+    #[must_use]
+    pub fn plant(&self) -> &CoolingPlant {
+        self.facility.plant()
+    }
+
+    /// Pre-computes the energy budget a sprint starting under `active`'s
+    /// deratings would fix, by applying those deratings now.
+    ///
+    /// The budget depends only on plant state plus the step's deratings —
+    /// never on the sprint bound — and [`SprintController::step_observed`]
+    /// re-applies the same deratings (idempotently) before any use, so a
+    /// batched driver can compute the budget once, [`Self::prime_energy_budget`]
+    /// it into every cloned lane, and stay bit-identical to N independent
+    /// runs.
+    pub fn energy_budget_under(&mut self, active: &ActiveFaults, dt: Seconds) -> Energy {
+        self.facility.apply_deratings(active, dt);
+        self.facility.total_energy_budget()
+    }
+
+    /// Primes the energy budget the next sprint start will fix, skipping
+    /// the per-lane budget integration in batched runs. Debug builds
+    /// verify the primed value against a fresh computation when consumed.
+    pub fn prime_energy_budget(&mut self, total: Energy) {
+        self.policy.primed_budget = Some(total);
+    }
+
+    /// Clones the controller mid-run with a replacement strategy, for
+    /// forking batched lanes off a shared prefix.
+    ///
+    /// The caller is responsible for strategy-state equivalence: the
+    /// replacement must be in the state its own `observe`/`on_sprint_start`
+    /// calls over the prefix would have produced (trivially true for
+    /// stateless strategies such as `FixedBound`).
+    #[must_use]
+    pub fn clone_with_strategy(&self, strategy: Box<dyn SprintStrategy>) -> SprintController<'a> {
+        SprintController {
+            facility: self.facility.clone(),
+            policy: self.policy.clone_with_strategy(strategy),
+            faults: self.faults,
+            observer: self.observer.clone(),
+        }
+    }
+
+    /// Returns the lifetime additional-energy split
+    /// `(cb_extra, ups, tes_savings)` — the quantities behind the paper's
+    /// "the UPS and TES provide 54 % and 13 % of the additional energy".
+    ///
+    /// All three are *electric* energies: the TES term is the chiller
+    /// power its discharge saved (heat absorbed × the chiller share of the
+    /// cooling unit cost), which is how the paper counts the TES
+    /// contribution at the DC level. The raw heat ledger is available via
+    /// [`SprintController::tes_heat_total`].
+    #[must_use]
+    pub fn energy_split(&self) -> (Energy, Energy, Energy) {
+        self.facility.energy_split()
+    }
+
+    /// Returns the total heat the TES tank absorbed (for energy-conservation
+    /// checks against the tank's state of charge).
+    #[must_use]
+    pub fn tes_heat_total(&self) -> Energy {
+        self.facility.tes_heat_total()
+    }
+
+    /// Computes the sprint's total additional-energy budget (`EB_tot`):
+    /// UPS deliverable energy, plus CB-overload energy under the reserve
+    /// rule (the tighter of the PDU and DC levels), plus the chiller
+    /// savings the TES store can fund.
+    #[must_use]
+    pub fn total_energy_budget(&self) -> Energy {
+        self.facility.total_energy_budget()
+    }
+
+    /// Advances the controller by one period with the given normalized
+    /// demand, returning the step's telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step(&mut self, demand: f64, dt: Seconds) -> StepRecord {
+        self.step_with_sink(demand, dt, &mut NullSink)
+    }
+
+    /// [`SprintController::step`] with an explicit telemetry sink: each
+    /// finished step's effects are handed to `sink` before the record is
+    /// returned, so a driver materializes exactly the telemetry it needs
+    /// (full record vector, lean summary fold, …) without re-branching on a
+    /// telemetry mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step_with_sink<K>(&mut self, demand: f64, dt: Seconds, sink: &mut K) -> StepRecord
+    where
+        K: crate::kernel::StepSink<FacilityState<'a>>,
+    {
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "demand must be non-negative"
+        );
+        let active = self.faults.active_at(self.facility.now());
+        let obs = self.observer.observe(demand, &active);
+        self.step_observed_with_sink(demand, &obs, dt, sink)
+    }
+
+    /// Advances the controller by one period using a pre-computed sensor
+    /// observation instead of resolving faults and drawing sensor noise
+    /// internally.
+    ///
+    /// This is the lane-reusable core of [`SprintController::step`]: a
+    /// batched driver resolves the fault windows and runs one
+    /// [`FaultObserver`] pass for the whole lane set, then feeds the same
+    /// `Observation` sequence to every lane. Feeding the observations a
+    /// controller's own `step` loop would have produced yields a
+    /// bit-identical run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step_observed(&mut self, demand: f64, obs: &Observation, dt: Seconds) -> StepRecord {
+        self.step_observed_with_sink(demand, obs, dt, &mut NullSink)
+    }
+
+    /// [`SprintController::step_observed`] with an explicit telemetry sink
+    /// — the batched lanes' tap point: each lane hands its summary fold
+    /// here and the kernel feeds it every finished step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is negative or not finite, or `dt` is not
+    /// strictly positive and finite.
+    pub fn step_observed_with_sink<K>(
+        &mut self,
+        demand: f64,
+        obs: &Observation,
+        dt: Seconds,
+        sink: &mut K,
+    ) -> StepRecord
+    where
+        K: crate::kernel::StepSink<FacilityState<'a>>,
+    {
+        assert!(
+            demand.is_finite() && demand >= 0.0,
+            "demand must be non-negative"
+        );
+        assert!(
+            dt > Seconds::ZERO && !dt.is_never(),
+            "time step must be positive and finite"
+        );
+        let input = StepInput {
+            time: self.facility.now(),
+            demand,
+            observation: *obs,
+            dt,
+        };
+        step_cycle(&mut self.facility, &mut self.policy, &input, sink).record
     }
 }
 

@@ -1,0 +1,172 @@
+//! The generic step kernel: one state-advance cycle behind pluggable
+//! policies and sinks.
+//!
+//! Every engine in the repository — the full/aggregate scenario runner,
+//! the batched multi-lane engine, the capped and uncontrolled baselines,
+//! and the §VI-B testbed rig — drives a stateful facility through the same
+//! four-beat cycle:
+//!
+//! 1. [`StepState::prepare`] — apply this step's exogenous conditions
+//!    (fault deratings, sensor bias) to the physical state;
+//! 2. [`StepPolicy::decide`] — choose the step's actuation (how many
+//!    cores, which relay position) from the *observed* state;
+//! 3. [`StepState::advance`] — run the physics exactly once: stores
+//!    discharge, breakers heat, the room integrates;
+//! 4. [`StepPolicy::finish`] — let the policy absorb the outcome (latch
+//!    terminations, debit budgets, finalize telemetry), then hand the
+//!    effects to a [`StepSink`].
+//!
+//! The split keeps exactly one implementation of the physics per facility
+//! (see [`crate::FacilityState`]) while policies and telemetry vary: a new
+//! control scheme implements [`StepPolicy`], a new telemetry shape
+//! implements [`StepSink`], and neither touches the plant models.
+
+/// A facility whose physics advance one step at a time.
+///
+/// The state owns every stateful plant model; [`StepState::advance`] is
+/// the *only* place those models are stepped, so two engines driving the
+/// same state type are bit-identical by construction.
+pub trait StepState {
+    /// Per-step exogenous input (demand sample, sensor observation, dt).
+    type Input;
+    /// The actuation a policy chooses for one step.
+    type Decision;
+    /// What one step produced (telemetry plus any side information a
+    /// policy needs to latch on, e.g. breaker trip events).
+    type Effects;
+
+    /// Applies the step's exogenous conditions (fault deratings, sensor
+    /// bias) before the policy looks at the state. Default: nothing.
+    fn prepare(&mut self, _input: &Self::Input) {}
+
+    /// Advances the physics by one step under the given decision.
+    fn advance(&mut self, input: &Self::Input, decision: &Self::Decision) -> Self::Effects;
+}
+
+/// A per-step control policy over a [`StepState`].
+pub trait StepPolicy<S: StepState> {
+    /// Chooses this step's actuation from the (already prepared) state.
+    fn decide(&mut self, state: &S, input: &S::Input) -> S::Decision;
+
+    /// Absorbs the step's outcome: latch terminations, debit budgets, and
+    /// finalize any telemetry fields that depend on post-step policy state.
+    /// Default: accept the effects unchanged.
+    fn finish(
+        &mut self,
+        _state: &S,
+        _input: &S::Input,
+        _decision: &S::Decision,
+        _effects: &mut S::Effects,
+    ) {
+    }
+}
+
+/// A telemetry materializer: what a run keeps from each step's effects.
+pub trait StepSink<S: StepState> {
+    /// Consumes one (finished) step.
+    fn record(&mut self, input: &S::Input, effects: &S::Effects);
+}
+
+/// The sink that keeps nothing — for drivers that consume each step's
+/// effects directly from [`step_cycle`]'s return value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl<S: StepState> StepSink<S> for NullSink {
+    fn record(&mut self, _input: &S::Input, _effects: &S::Effects) {}
+}
+
+/// Runs one full kernel cycle — prepare, decide, advance, finish, record —
+/// and returns the finished effects.
+pub fn step_cycle<S, P, K>(
+    state: &mut S,
+    policy: &mut P,
+    input: &S::Input,
+    sink: &mut K,
+) -> S::Effects
+where
+    S: StepState,
+    P: StepPolicy<S>,
+    K: StepSink<S>,
+{
+    state.prepare(input);
+    let decision = policy.decide(state, input);
+    let mut effects = state.advance(input, &decision);
+    policy.finish(state, input, &decision, &mut effects);
+    sink.record(input, &effects);
+    effects
+}
+
+/// Finds the largest feasible count in `(floor, desired]` under a monotone
+/// feasibility probe, trying `desired` first and binary-searching below it
+/// on failure — the core-selection search the controller introduced in
+/// PR 2, shared with the capped baseline.
+///
+/// Returns the accepted `(count, payload)` (or `None` if nothing above
+/// `floor` is feasible) plus the error the *desired* count produced, which
+/// preserves the first-rejection semantics the old walk-downs reported.
+///
+/// Feasibility must be monotone (anything above an infeasible count is
+/// infeasible); under that invariant the binary search returns exactly
+/// what a top-down linear walk would.
+pub fn search_largest_feasible<T, E>(
+    floor: u32,
+    desired: u32,
+    probe: &mut impl FnMut(u32) -> Result<T, E>,
+) -> (Option<(u32, T)>, Option<E>) {
+    if desired <= floor {
+        return (None, None);
+    }
+    match probe(desired) {
+        Ok(t) => (Some((desired, t)), None),
+        Err(e) => {
+            let mut lo = floor + 1;
+            let mut hi = desired - 1;
+            let mut best: Option<(u32, T)> = None;
+            while lo <= hi {
+                let mid = lo + (hi - lo) / 2;
+                match probe(mid) {
+                    Ok(t) => {
+                        best = Some((mid, t));
+                        lo = mid + 1;
+                    }
+                    Err(_) => hi = mid - 1,
+                }
+            }
+            (best, Some(e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_matches_linear_walk_on_monotone_probes() {
+        for floor in 0..6u32 {
+            for desired in 0..20u32 {
+                for cutoff in 0..22u32 {
+                    // Feasible iff cores <= cutoff: monotone by construction.
+                    let mut probe = |c: u32| if c <= cutoff { Ok(c) } else { Err(c) };
+                    let (best, err) = search_largest_feasible(floor, desired, &mut probe);
+                    let linear = (floor + 1..=desired).rev().find(|&c| c <= cutoff);
+                    assert_eq!(
+                        best.map(|(c, _)| c),
+                        linear,
+                        "floor {floor} desired {desired} cutoff {cutoff}"
+                    );
+                    assert_eq!(err.is_some(), desired > floor && desired > cutoff);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_empty_range_is_a_no_op() {
+        let mut probe = |_c: u32| -> Result<(), ()> { panic!("must not probe") };
+        let (best, err) = search_largest_feasible(5, 5, &mut probe);
+        assert!(best.is_none());
+        assert!(err.is_none());
+    }
+}

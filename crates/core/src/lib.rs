@@ -54,7 +54,9 @@ mod adaptive;
 mod budget;
 mod context;
 mod controller;
+mod facility;
 mod heuristic;
+mod kernel;
 mod prediction;
 mod strategy;
 mod table;
@@ -62,8 +64,12 @@ mod table;
 pub use adaptive::Adaptive;
 pub use budget::{cb_overload_energy, EnergyBudget};
 pub use context::{PowerCurve, SprintInfo, StrategyContext};
-pub use controller::{ControllerConfig, Phase, ShedReason, SprintController, StepRecord};
+pub use controller::{
+    ControllerConfig, Phase, ShedReason, SprintController, SprintPolicy, StepRecord,
+};
+pub use facility::{CoolingPlan, CoreDecision, FacilityState, StepEffects, StepInput};
 pub use heuristic::Heuristic;
+pub use kernel::{search_largest_feasible, step_cycle, NullSink, StepPolicy, StepSink, StepState};
 pub use prediction::Prediction;
 pub use strategy::{FixedBound, Greedy, SprintStrategy};
 pub use table::{TableError, UpperBoundTable};

@@ -39,11 +39,12 @@
 
 use crate::error::SimError;
 use crate::scenario::{Scenario, SimSummary};
+use crate::sink::SummaryFold;
 use dcs_core::{ControllerConfig, FixedBound, SprintController};
 use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, FaultTimeline, Observation};
 use dcs_power::DataCenterSpec;
 use dcs_units::{Power, Ratio, Seconds, TempDelta};
-use dcs_workload::{AdmissionLog, Trace};
+use dcs_workload::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Work counters for a batched run: lanes submitted, lanes actually
@@ -139,67 +140,8 @@ fn nominal_observation(demand: f64) -> Observation {
     }
 }
 
-/// The summary accumulator a lane folds its step records into — exactly
-/// the `Telemetry::Aggregate` accumulation from `run_with_options`, split
-/// out so retired lanes can keep folding without a controller.
-#[derive(Clone)]
-struct LaneFold {
-    admission: AdmissionLog,
-    steps: usize,
-    tripped: bool,
-    overheated: bool,
-    peak_degree: f64,
-}
-
-impl LaneFold {
-    fn new() -> LaneFold {
-        LaneFold {
-            admission: AdmissionLog::new(),
-            steps: 0,
-            tripped: false,
-            overheated: false,
-            peak_degree: 0.0,
-        }
-    }
-
-    fn record(&mut self, rec: &dcs_core::StepRecord, dt: Seconds) {
-        self.admission.record(rec.demand, rec.served, dt);
-        self.steps += 1;
-        self.tripped |= rec.tripped;
-        self.overheated |= rec.overheated;
-        self.peak_degree = self.peak_degree.max(rec.degree.as_f64());
-    }
-
-    /// Folds a span of steps on which the lane provably serves at the
-    /// normal allocation with a frozen plant: each step contributes
-    /// `record(demand, min(demand, normal_capacity))`, one step count, and
-    /// a degree of exactly 1 — nothing else in the summary moves.
-    fn fold_span(&mut self, demands: &[f64], dt: Seconds, normal_capacity: f64) {
-        for &demand in demands {
-            self.admission
-                .record(demand, demand.min(normal_capacity), dt);
-        }
-        self.steps += demands.len();
-        if !demands.is_empty() {
-            self.peak_degree = self.peak_degree.max(1.0);
-        }
-    }
-}
-
-fn summary_of(ctrl: &SprintController<'_>, fold: &LaneFold, dt: Seconds) -> SimSummary {
-    let (cb_energy, ups_energy, tes_energy) = ctrl.energy_split();
-    SimSummary {
-        strategy: ctrl.strategy_name().to_owned(),
-        step: dt,
-        steps: fold.steps,
-        admission: fold.admission,
-        cb_energy,
-        ups_energy,
-        tes_energy,
-        tripped: fold.tripped,
-        overheated: fold.overheated,
-        peak_degree: fold.peak_degree,
-    }
+fn summary_of(ctrl: &SprintController<'_>, fold: &SummaryFold, dt: Seconds) -> SimSummary {
+    fold.summarize(ctrl.strategy_name().to_owned(), dt, ctrl.energy_split())
 }
 
 /// Conservative certificate that *every* remaining step of a
@@ -248,7 +190,7 @@ fn fold_safe(ctrl: &SprintController<'_>) -> bool {
 /// walks each array contiguously.
 struct LaneSet<'a> {
     ctrls: Vec<SprintController<'a>>,
-    folds: Vec<LaneFold>,
+    folds: Vec<SummaryFold>,
     terminated: Vec<bool>,
     /// Lane's effective core cap equals the normal allocation, so burst
     /// steps are also closed-form once faults go nominal.
@@ -355,7 +297,7 @@ pub fn run_bound_batch(
     let fork_at = shared.first_burst.unwrap_or(len);
     let mut rep = SprintController::new(spec, config, Box::new(FixedBound::new(rep_bounds[0])))
         .with_faults(faults);
-    let mut rep_fold = LaneFold::new();
+    let mut rep_fold = SummaryFold::new();
     let mut rep_terminated = false;
     let mut rep_done = false;
     let mut i = 0;
@@ -368,8 +310,7 @@ pub fn run_bound_batch(
             rep_done = true;
             break;
         }
-        let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
-        rep_fold.record(&rec, dt);
+        let rec = rep.step_observed_with_sink(shared.demands[i], &shared.obs[i], dt, &mut rep_fold);
         stats.live_lane_steps += 1;
         if rec.tripped || rec.overheated {
             rep_terminated = true;
@@ -390,8 +331,8 @@ pub fn run_bound_batch(
                 stats.folded_lane_steps += (len - i) as u64;
                 break;
             }
-            let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
-            rep_fold.record(&rec, dt);
+            let rec =
+                rep.step_observed_with_sink(shared.demands[i], &shared.obs[i], dt, &mut rep_fold);
             stats.live_lane_steps += 1;
             if rec.tripped || rec.overheated {
                 rep_terminated = true;
@@ -446,8 +387,8 @@ pub fn run_bound_batch(
                 done_count += 1;
                 continue;
             }
-            let rec = lanes.ctrls[lane].step_observed(demand, obs, dt);
-            lanes.folds[lane].record(&rec, dt);
+            let rec =
+                lanes.ctrls[lane].step_observed_with_sink(demand, obs, dt, &mut lanes.folds[lane]);
             stats.live_lane_steps += 1;
             if rec.tripped || rec.overheated {
                 lanes.terminated[lane] = true;
@@ -552,7 +493,7 @@ pub(crate) fn run_bound_batch_tapped(
     #[allow(clippy::too_many_arguments)]
     fn resolve_tap(
         ctrl: &SprintController<'_>,
-        fold: &LaneFold,
+        fold: &SummaryFold,
         terminated: bool,
         pos: usize,
         tap: &LaneTap<'_>,
@@ -589,8 +530,8 @@ pub(crate) fn run_bound_batch_tapped(
                 stats.folded_lane_steps += (tail.len() - j) as u64;
                 break;
             }
-            let rec = ctrl.step_observed(tail[j], &nominal_observation(tail[j]), dt);
-            fold.record(&rec, dt);
+            let rec =
+                ctrl.step_observed_with_sink(tail[j], &nominal_observation(tail[j]), dt, &mut fold);
             stats.live_lane_steps += 1;
             if rec.tripped || rec.overheated {
                 term = true;
@@ -602,7 +543,7 @@ pub(crate) fn run_bound_batch_tapped(
 
     // --- Phase A: shared prefix (and the whole run when no fork happens) --
     let mut rep = SprintController::new(spec, config, Box::new(FixedBound::new(bounds[0])));
-    let mut rep_fold = LaneFold::new();
+    let mut rep_fold = SummaryFold::new();
     let mut rep_terminated = false;
     let mut rep_frozen_at: Option<usize> = None;
     let mut next_tap = 0usize;
@@ -650,8 +591,8 @@ pub(crate) fn run_bound_batch_tapped(
             }
         }
         if rep_frozen_at.is_none() {
-            let rec = rep.step_observed(shared.demands[i], &shared.obs[i], dt);
-            rep_fold.record(&rec, dt);
+            let rec =
+                rep.step_observed_with_sink(shared.demands[i], &shared.obs[i], dt, &mut rep_fold);
             stats.live_lane_steps += 1;
             if rec.tripped || rec.overheated {
                 rep_terminated = true;
@@ -742,8 +683,12 @@ pub(crate) fn run_bound_batch_tapped(
                     frozen_at[slot] = Some(i);
                     continue;
                 }
-                let rec = lanes.ctrls[slot].step_observed(demand, obs, dt);
-                lanes.folds[slot].record(&rec, dt);
+                let rec = lanes.ctrls[slot].step_observed_with_sink(
+                    demand,
+                    obs,
+                    dt,
+                    &mut lanes.folds[slot],
+                );
                 stats.live_lane_steps += 1;
                 if rec.tripped || rec.overheated {
                     lanes.terminated[slot] = true;

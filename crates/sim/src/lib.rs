@@ -71,13 +71,14 @@ mod error;
 mod oracle;
 mod runner;
 mod scenario;
+mod sink;
 mod supervisor;
 mod sweep;
 mod table_builder;
 mod uncontrolled;
 
 pub use batch::{run_bound_batch, try_run_bound_batch, BatchOutcome, BatchStats};
-pub use capped::run_power_capped;
+pub use capped::{run_power_capped, CappedPolicy};
 pub use checkpoint::{
     fingerprint_of, fnv1a64, CheckpointStore, LoadedSnapshot, SkippedSnapshot, CHECKPOINT_SCHEMA,
 };
@@ -93,6 +94,7 @@ pub use runner::{
     try_run_with_options, RunOptions, SimOutput, Telemetry,
 };
 pub use scenario::{Scenario, SimResult, SimSummary};
+pub use sink::{RecordSink, SummaryFold};
 pub use supervisor::{
     parallel_map_supervised, FailureCause, RetryPolicy, Supervisor, SweepFailure, SweepRecovery,
     SweepReport,
@@ -103,4 +105,7 @@ pub use table_builder::{
     build_upper_bound_table_unbatched, build_upper_bound_table_with, table_checkpoint_store,
     TableBuildStats,
 };
-pub use uncontrolled::{run_uncontrolled, UncontrolledMode, UncontrolledResult};
+pub use uncontrolled::{
+    run_uncontrolled, UncontrolledMode, UncontrolledPolicy, UncontrolledRecord, UncontrolledResult,
+    UncontrolledSink,
+};

@@ -1,11 +1,11 @@
 //! Scenario execution.
 
 use crate::error::SimError;
+use crate::sink::{RecordSink, SummaryFold};
 use crate::{Scenario, SimResult, SimSummary};
 use dcs_core::{FixedBound, SprintController, SprintStrategy};
 use dcs_faults::FaultSchedule;
 use dcs_units::Ratio;
-use dcs_workload::AdmissionLog;
 use serde::{Deserialize, Serialize};
 
 /// How much telemetry a run materializes.
@@ -112,10 +112,12 @@ pub fn run_summary_with_faults(
 
 /// Simulates a scenario with explicit run options.
 ///
-/// Both telemetry modes drive the identical controller-step sequence; the
-/// borrowed spec/config/faults are never cloned, so search loops (the
-/// Oracle, the table builder) pay no per-run setup beyond plant
-/// construction.
+/// Both telemetry modes drive the identical kernel-step sequence and
+/// differ only in the [`dcs_core::StepSink`] the steps feed — a
+/// [`RecordSink`] for full telemetry, a [`SummaryFold`] for the lean
+/// aggregates. The borrowed spec/config/faults are never cloned, so
+/// search loops (the Oracle, the table builder) pay no per-run setup
+/// beyond plant construction.
 #[must_use]
 pub fn run_with_options(
     scenario: &Scenario,
@@ -127,52 +129,29 @@ pub fn run_with_options(
         SprintController::new(scenario.spec(), scenario.config(), strategy).with_faults(faults);
     let strategy_name = controller.strategy_name().to_owned();
     let dt = scenario.trace().step();
-    let mut admission = AdmissionLog::new();
     match options.telemetry {
         Telemetry::Full => {
-            let mut records = Vec::with_capacity(scenario.trace().len());
+            let mut sink = RecordSink::with_capacity(scenario.trace().len());
             for (_, demand) in scenario.trace().iter() {
-                let rec = controller.step(demand, dt);
-                admission.record(rec.demand, rec.served, dt);
-                records.push(rec);
+                controller.step_with_sink(demand, dt, &mut sink);
             }
             let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
             SimOutput::Full(SimResult {
                 strategy: strategy_name,
                 step: dt,
-                records,
-                admission,
+                records: sink.records,
+                admission: sink.admission,
                 cb_energy,
                 ups_energy,
                 tes_energy,
             })
         }
         Telemetry::Aggregate => {
-            let mut steps = 0usize;
-            let mut tripped = false;
-            let mut overheated = false;
-            let mut peak_degree = 0.0_f64;
+            let mut fold = SummaryFold::new();
             for (_, demand) in scenario.trace().iter() {
-                let rec = controller.step(demand, dt);
-                admission.record(rec.demand, rec.served, dt);
-                steps += 1;
-                tripped |= rec.tripped;
-                overheated |= rec.overheated;
-                peak_degree = peak_degree.max(rec.degree.as_f64());
+                controller.step_with_sink(demand, dt, &mut fold);
             }
-            let (cb_energy, ups_energy, tes_energy) = controller.energy_split();
-            SimOutput::Aggregate(SimSummary {
-                strategy: strategy_name,
-                step: dt,
-                steps,
-                admission,
-                cb_energy,
-                ups_energy,
-                tes_energy,
-                tripped,
-                overheated,
-                peak_degree,
-            })
+            SimOutput::Aggregate(fold.summarize(strategy_name, dt, controller.energy_split()))
         }
     }
 }

@@ -1,8 +1,18 @@
 //! The uncontrolled chip-level sprinting baseline (§VII-A, Fig. 8a).
+//!
+//! Since the step-kernel refactor the baseline is an
+//! [`UncontrolledPolicy`] over the shared [`FacilityState`]: the policy
+//! greedily activates whatever cores demand asks for (optionally watching
+//! the breakers to abandon the sprint just in time), and the kernel runs
+//! the same breaker physics as every other engine. Trip timing, core
+//! counts, served demand, and admission are bit-identical to the
+//! historical standalone loop.
 
 use crate::Scenario;
-use dcs_power::PowerTopology;
-use dcs_thermal::CoolingPlant;
+use dcs_core::{
+    step_cycle, CoolingPlan, CoreDecision, FacilityState, StepEffects, StepInput, StepPolicy,
+    StepSink,
+};
 use dcs_units::{Power, Ratio, Seconds};
 use dcs_workload::AdmissionLog;
 use serde::{Deserialize, Serialize};
@@ -55,42 +65,62 @@ impl UncontrolledResult {
     }
 }
 
-/// Simulates uncontrolled chip-level sprinting: every server greedily
-/// activates the cores its demand asks for, with no CB coordination, no
-/// UPS offloading and no TES. The cooling plant stays at its design
-/// capacity (chip-level sprinting cannot raise facility cooling).
-///
-/// With the paper's configuration this trips a PDU-level breaker a few
-/// minutes into the MS trace — Fig. 8(a)'s "CB trips here (5 min 20 s)".
-#[must_use]
-pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> UncontrolledResult {
-    let spec = scenario.spec();
-    let server = spec.server();
-    let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
-    let mut topo = PowerTopology::new(spec);
-    let dt = scenario.trace().step();
-    let n_servers = spec.total_servers() as f64;
+/// Uncontrolled chip-level sprinting as a kernel policy: every server
+/// greedily activates the cores its demand asks for, with no CB
+/// coordination, no UPS offloading and no TES. The cooling plant stays at
+/// its design capacity (chip-level sprinting cannot raise facility
+/// cooling).
+#[derive(Debug, Clone)]
+pub struct UncontrolledPolicy {
+    mode: UncontrolledMode,
+    dark: bool,
+    trip: Option<(Seconds, String)>,
+    stopped_at: Option<Seconds>,
+}
 
-    let mut records = Vec::with_capacity(scenario.trace().len());
-    let mut admission = AdmissionLog::new();
-    let mut trip = None;
-    let mut stopped_at = None;
-    let mut dark = false;
+impl UncontrolledPolicy {
+    /// Builds the policy in its initial (sprint-allowed) state.
+    #[must_use]
+    pub fn new(mode: UncontrolledMode) -> UncontrolledPolicy {
+        UncontrolledPolicy {
+            mode,
+            dark: false,
+            trip: None,
+            stopped_at: None,
+        }
+    }
 
-    for (time, demand) in scenario.trace().iter() {
-        let sprint_allowed = stopped_at.is_none() && !dark;
+    /// When a breaker tripped and its name, if the run blacked out.
+    #[must_use]
+    pub fn trip(&self) -> Option<&(Seconds, String)> {
+        self.trip.as_ref()
+    }
+
+    /// When the sprint was abandoned (StopBeforeTrip), if it was.
+    #[must_use]
+    pub fn stopped_at(&self) -> Option<Seconds> {
+        self.stopped_at
+    }
+}
+
+impl<'a> StepPolicy<FacilityState<'a>> for UncontrolledPolicy {
+    fn decide(&mut self, state: &FacilityState<'a>, input: &StepInput) -> CoreDecision {
+        let spec = state.spec();
+        let server = spec.server();
+        let plant = state.plant();
+        let normal = server.normal_cores();
+        let n_servers = state.n_servers();
+        let demand = input.demand;
+        let dt = input.dt;
+
+        let sprint_allowed = self.stopped_at.is_none() && !self.dark;
         let mut cores = if sprint_allowed {
-            server
-                .cores_for_demand(Ratio::new(demand))
-                .max(server.normal_cores())
+            server.cores_for_demand(Ratio::new(demand)).max(normal)
         } else {
-            server.normal_cores()
+            normal
         };
 
-        if mode == UncontrolledMode::StopBeforeTrip
-            && sprint_allowed
-            && cores > server.normal_cores()
-        {
+        if self.mode == UncontrolledMode::StopBeforeTrip && sprint_allowed && cores > normal {
             // Check whether holding this load for one more step trips any
             // breaker; if so, abandon the sprint for good.
             let per_server = server.power_serving(cores, Ratio::new(demand));
@@ -98,46 +128,134 @@ pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> Uncontro
             let it_total = per_server * n_servers;
             let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
             let dc_load = it_total + cooling;
+            let topo = state.topology();
             let pdu_rem = topo.pdu_breakers()[0].remaining_time_at(per_pdu);
             let dc_rem = topo.dc_breaker().remaining_time_at(dc_load);
             if pdu_rem.min(dc_rem) <= dt {
-                stopped_at = Some(time);
-                cores = server.normal_cores();
+                self.stopped_at = Some(input.time);
+                cores = normal;
             }
         }
 
-        let served = if dark {
-            0.0
-        } else {
-            demand.min(server.capacity_at_cores(cores))
-        };
-
-        if !dark {
-            let per_server = server.power_serving(cores, Ratio::new(demand));
-            let it_total = per_server * n_servers;
-            let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
-            let events = topo.step_uniform(per_server * spec.servers_per_pdu() as f64, cooling, dt);
-            if let Some(ev) = events.first() {
-                trip = Some((time + ev.after, ev.name.clone()));
-                dark = true;
-            }
+        if self.dark {
+            // Blacked out: the kernel skips all physics and serves nothing.
+            return CoreDecision {
+                cores,
+                per_server: Power::ZERO,
+                plan: CoolingPlan {
+                    via_tes: Power::ZERO,
+                    via_chiller: Power::ZERO,
+                    electric: Power::ZERO,
+                    feasible: true,
+                },
+                deficit: Power::ZERO,
+                upper_bound: server.max_degree(),
+                sprinting: false,
+                shed_reason: None,
+                recharge: false,
+                book_sprint_energy: false,
+                dark: true,
+            };
         }
 
-        admission.record(demand, served, dt);
-        records.push(UncontrolledRecord {
-            time,
-            demand,
-            served,
+        let per_server = server.power_serving(cores, Ratio::new(demand));
+        let it_total = per_server * n_servers;
+        // Facility cooling stays at the chiller's design behavior: the plan
+        // is built manually (no TES, no recool override) so the DC-level
+        // breaker sees exactly the historical IT + cooling load and trip
+        // timing is preserved bitwise.
+        let via_chiller = plant.chiller_absorption(it_total);
+        CoreDecision {
             cores,
-        });
+            per_server,
+            plan: CoolingPlan {
+                via_tes: Power::ZERO,
+                via_chiller,
+                electric: plant.electric_power(via_chiller, Power::ZERO),
+                feasible: true,
+            },
+            // No CB coordination: nothing is ever offloaded to the UPS.
+            deficit: Power::ZERO,
+            upper_bound: server.max_degree(),
+            sprinting: cores > normal,
+            shed_reason: None,
+            recharge: false,
+            book_sprint_energy: false,
+            dark: false,
+        }
     }
 
+    fn finish(
+        &mut self,
+        _state: &FacilityState<'a>,
+        input: &StepInput,
+        _decision: &CoreDecision,
+        effects: &mut StepEffects,
+    ) {
+        if let Some(ev) = effects.trips.first() {
+            self.trip = Some((input.time + ev.after, ev.name.clone()));
+            self.dark = true;
+        }
+        // The trace timestamp, for parity with the historical records.
+        effects.record.time = input.time;
+    }
+}
+
+/// Collects [`UncontrolledRecord`]s and admission accounting from the
+/// kernel's finished steps.
+#[derive(Debug, Clone, Default)]
+pub struct UncontrolledSink {
+    /// The per-step records, in step order.
+    pub records: Vec<UncontrolledRecord>,
+    /// Served/dropped accounting over the recorded steps.
+    pub admission: AdmissionLog,
+}
+
+impl UncontrolledSink {
+    /// An empty sink with room for `capacity` steps.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> UncontrolledSink {
+        UncontrolledSink {
+            records: Vec::with_capacity(capacity),
+            admission: AdmissionLog::new(),
+        }
+    }
+}
+
+impl<'a> StepSink<FacilityState<'a>> for UncontrolledSink {
+    fn record(&mut self, input: &StepInput, effects: &StepEffects) {
+        self.admission
+            .record(input.demand, effects.record.served, input.dt);
+        self.records.push(UncontrolledRecord {
+            time: effects.record.time,
+            demand: input.demand,
+            served: effects.record.served,
+            cores: effects.record.cores,
+        });
+    }
+}
+
+/// Simulates uncontrolled chip-level sprinting (see
+/// [`UncontrolledPolicy`]).
+///
+/// With the paper's configuration this trips a PDU-level breaker a few
+/// minutes into the MS trace — Fig. 8(a)'s "CB trips here (5 min 20 s)".
+#[must_use]
+pub fn run_uncontrolled(scenario: &Scenario, mode: UncontrolledMode) -> UncontrolledResult {
+    let mut facility = FacilityState::new(scenario.spec(), scenario.config());
+    let mut policy = UncontrolledPolicy::new(mode);
+    let mut sink = UncontrolledSink::with_capacity(scenario.trace().len());
+    let dt = scenario.trace().step();
+    for (time, demand) in scenario.trace().iter() {
+        let input = StepInput::nominal(time, demand, dt);
+        step_cycle(&mut facility, &mut policy, &input, &mut sink);
+    }
     UncontrolledResult {
         mode,
-        records,
-        admission,
-        trip,
-        stopped_at,
+        records: sink.records,
+        admission: sink.admission,
+        trip: policy.trip,
+        stopped_at: policy.stopped_at,
     }
 }
 

@@ -1,0 +1,660 @@
+//! Bit-identity proofs for the PR 5 step-kernel refactor.
+//!
+//! Every engine that moved onto the shared facility step kernel
+//! (`FacilityState::advance` + `StepPolicy`/`StepSink`) is pinned against
+//! its pre-refactor implementation, kept verbatim in [`oracle`] below:
+//!
+//! * `run_power_capped` — field-by-field against the old linear walk-down,
+//!   *except* `temperature` and `cooling_power`, which the refactor
+//!   intentionally upgrades (the old code hardcoded 25 °C and never
+//!   re-cooled the room; the kernel reports the real room model);
+//! * `run_uncontrolled` — exact equality for both modes, trip event and
+//!   stop time included;
+//! * the testbed `Rig::step` and `run_policy` — exact equality on raw
+//!   breaker/battery state machines;
+//! * the full runner — FNV-1a digests over the bit patterns of every
+//!   record field, captured on the pre-refactor code (commit `7c747a8`)
+//!   and pinned as constants, including runs under seeded-random
+//!   [`FaultSchedule`]s.
+
+use dcs_core::{ControllerConfig, Greedy, StepRecord};
+use dcs_faults::FaultSchedule;
+use dcs_power::DataCenterSpec;
+use dcs_sim::{
+    fnv1a64, run_power_capped, run_uncontrolled, run_with_faults, Scenario, SimResult,
+    UncontrolledMode,
+};
+use dcs_units::{Power, Seconds};
+use dcs_workload::{ms_trace, yahoo_trace};
+
+/// The pre-refactor implementations, copied verbatim (modulo visibility)
+/// from the tree before the kernel extraction so the suite can prove the
+/// kernel-backed paths bit-identical.
+mod oracle {
+    use dcs_breaker::{CircuitBreaker, TripEvent};
+    use dcs_core::StepRecord;
+    use dcs_sim::Scenario;
+    use dcs_testbed::{PowerSource, TestbedConfig};
+    use dcs_thermal::CoolingPlant;
+    use dcs_units::{Celsius, Energy, Power, Ratio, Seconds};
+    use dcs_ups::{Battery, Chemistry};
+    use dcs_workload::AdmissionLog;
+
+    /// Pre-refactor `run_power_capped` (linear walk-down, hardcoded 25 °C).
+    pub fn run_power_capped(scenario: &Scenario) -> dcs_sim::SimResult {
+        let spec = scenario.spec();
+        let server = spec.server();
+        let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
+        let n_servers = spec.total_servers() as f64;
+        let dt = scenario.trace().step();
+        let pdu_budget_per_server = spec.pdu_rated() / spec.servers_per_pdu() as f64;
+
+        let mut records = Vec::with_capacity(scenario.trace().len());
+        let mut admission = AdmissionLog::new();
+
+        for (time, demand) in scenario.trace().iter() {
+            let desired = server
+                .cores_for_demand(Ratio::new(demand))
+                .max(server.normal_cores());
+            let mut chosen = server.normal_cores();
+            for cores in (server.normal_cores()..=desired).rev() {
+                let per_server = server.power_serving(cores, Ratio::new(demand));
+                let it_total = per_server * n_servers;
+                let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+                if per_server <= pdu_budget_per_server && it_total + cooling <= spec.dc_rated() {
+                    chosen = cores;
+                    break;
+                }
+            }
+            let per_server = server.power_serving(chosen, Ratio::new(demand));
+            let it_total = per_server * n_servers;
+            let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+            let served = demand.min(server.capacity_at_cores(chosen));
+            admission.record(demand, served, dt);
+            records.push(StepRecord {
+                time,
+                demand,
+                served,
+                cores: chosen,
+                degree: server.degree_of_cores(chosen),
+                upper_bound: server.max_degree(),
+                it_power: it_total,
+                cooling_power: cooling,
+                ups_power: Power::ZERO,
+                tes_heat: Power::ZERO,
+                cb_extra_power: Power::ZERO,
+                phase: dcs_core::Phase::Normal,
+                temperature: Celsius::new(25.0),
+                sprinting: chosen > server.normal_cores(),
+                tripped: false,
+                overheated: false,
+                fault_active: false,
+                shed_reason: None,
+            });
+        }
+
+        dcs_sim::SimResult {
+            strategy: "PowerCapped".into(),
+            step: dt,
+            records,
+            admission,
+            cb_energy: Energy::ZERO,
+            ups_energy: Energy::ZERO,
+            tes_energy: Energy::ZERO,
+        }
+    }
+
+    /// Pre-refactor `run_uncontrolled` (hand-rolled topology stepping).
+    pub fn run_uncontrolled(
+        scenario: &Scenario,
+        mode: dcs_sim::UncontrolledMode,
+    ) -> dcs_sim::UncontrolledResult {
+        use dcs_power::PowerTopology;
+        let spec = scenario.spec();
+        let server = spec.server();
+        let plant = CoolingPlant::with_pue(spec.pue(), spec.peak_normal_it_power());
+        let mut topo = PowerTopology::new(spec);
+        let dt = scenario.trace().step();
+        let n_servers = spec.total_servers() as f64;
+
+        let mut records = Vec::with_capacity(scenario.trace().len());
+        let mut admission = AdmissionLog::new();
+        let mut trip = None;
+        let mut stopped_at = None;
+        let mut dark = false;
+
+        for (time, demand) in scenario.trace().iter() {
+            let sprint_allowed = stopped_at.is_none() && !dark;
+            let mut cores = if sprint_allowed {
+                server
+                    .cores_for_demand(Ratio::new(demand))
+                    .max(server.normal_cores())
+            } else {
+                server.normal_cores()
+            };
+
+            if mode == dcs_sim::UncontrolledMode::StopBeforeTrip
+                && sprint_allowed
+                && cores > server.normal_cores()
+            {
+                let per_server = server.power_serving(cores, Ratio::new(demand));
+                let per_pdu = per_server * spec.servers_per_pdu() as f64;
+                let it_total = per_server * n_servers;
+                let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+                let dc_load = it_total + cooling;
+                let pdu_rem = topo.pdu_breakers()[0].remaining_time_at(per_pdu);
+                let dc_rem = topo.dc_breaker().remaining_time_at(dc_load);
+                if pdu_rem.min(dc_rem) <= dt {
+                    stopped_at = Some(time);
+                    cores = server.normal_cores();
+                }
+            }
+
+            let served = if dark {
+                0.0
+            } else {
+                demand.min(server.capacity_at_cores(cores))
+            };
+
+            if !dark {
+                let per_server = server.power_serving(cores, Ratio::new(demand));
+                let it_total = per_server * n_servers;
+                let cooling = plant.electric_power(plant.chiller_absorption(it_total), Power::ZERO);
+                let events =
+                    topo.step_uniform(per_server * spec.servers_per_pdu() as f64, cooling, dt);
+                if let Some(ev) = events.first() {
+                    trip = Some((time + ev.after, ev.name.clone()));
+                    dark = true;
+                }
+            }
+
+            admission.record(demand, served, dt);
+            records.push(dcs_sim::UncontrolledRecord {
+                time,
+                demand,
+                served,
+                cores,
+            });
+        }
+
+        dcs_sim::UncontrolledResult {
+            mode,
+            records,
+            admission,
+            trip,
+            stopped_at,
+        }
+    }
+
+    /// Pre-refactor testbed rig state machine, on raw breaker + battery.
+    pub struct RigOracle {
+        config: TestbedConfig,
+        cb: CircuitBreaker,
+        ups: Battery,
+        down: bool,
+    }
+
+    impl RigOracle {
+        pub fn new(config: TestbedConfig) -> RigOracle {
+            let cb = CircuitBreaker::new("testbed", config.cb_rated, config.trip_curve.clone());
+            let ups = Battery::from_energy(Chemistry::LithiumIronPhosphate, config.ups_energy);
+            RigOracle {
+                config,
+                cb,
+                ups,
+                down: false,
+            }
+        }
+
+        pub fn ups(&self) -> &Battery {
+            &self.ups
+        }
+
+        pub fn is_down(&self) -> bool {
+            self.down
+        }
+
+        pub fn breaker(&self) -> &CircuitBreaker {
+            &self.cb
+        }
+
+        pub fn remaining_cb_time(&self, load: Power) -> Seconds {
+            self.cb.remaining_time_at(load)
+        }
+
+        pub fn ups_can_carry(&self, load: Power, dt: Seconds) -> bool {
+            let share = load * self.config.ups_share;
+            self.ups.deliverable() >= share * dt
+        }
+
+        pub fn step(&mut self, load: Power, relay_closed: bool, dt: Seconds) -> PowerSource {
+            assert!(load >= Power::ZERO, "load must be non-negative");
+            if self.down {
+                return PowerSource::Down;
+            }
+            let mut cb_load = load;
+            let mut source = PowerSource::CbOnly;
+            if relay_closed {
+                let want = load * self.config.ups_share;
+                let got = self.ups.discharge(want, dt);
+                cb_load = load - got;
+                if got > Power::ZERO {
+                    source = PowerSource::Split;
+                }
+            }
+            match self.cb.apply_load(cb_load, dt) {
+                Ok(None) => source,
+                Ok(Some(TripEvent { .. })) | Err(_) => {
+                    self.down = true;
+                    PowerSource::Down
+                }
+            }
+        }
+    }
+
+    /// Pre-refactor `run_policy` loop, driving the [`RigOracle`].
+    pub fn run_policy(
+        config: &TestbedConfig,
+        trace: &[Power],
+        policy: dcs_testbed::Policy,
+    ) -> dcs_testbed::RunOutcome {
+        use dcs_testbed::{Policy, PolicyRecord};
+        let dt = Seconds::new(1.0);
+        let mut rig = RigOracle::new(config.clone());
+        let mut records = Vec::new();
+        let mut sustained = Seconds::ZERO;
+        let mut survived = true;
+        let mut cb_first_switched = false;
+
+        for (i, &load) in trace.iter().enumerate() {
+            let time = Seconds::new(i as f64);
+            let relay_closed = match policy {
+                Policy::CbOnly => false,
+                Policy::CbFirst => {
+                    if !cb_first_switched && rig.remaining_cb_time(load) <= dt {
+                        cb_first_switched = true;
+                    }
+                    cb_first_switched && rig.ups_can_carry(load, dt)
+                }
+                Policy::ReservedTripTime(reserve) => {
+                    rig.remaining_cb_time(load) <= reserve && rig.ups_can_carry(load, dt)
+                }
+            };
+            let soc_before = rig.ups().stored();
+            let source = rig.step(load, relay_closed, dt);
+            let ups_power = (soc_before - rig.ups().stored()).max_zero() / dt
+                * rig.ups().chemistry().discharge_efficiency();
+            if source == PowerSource::Down {
+                survived = false;
+                sustained = time;
+                break;
+            }
+            records.push(PolicyRecord {
+                time,
+                load,
+                cb_power: load - ups_power,
+                ups_power,
+                source,
+            });
+            sustained = time + dt;
+        }
+
+        dcs_testbed::RunOutcome {
+            policy,
+            sustained,
+            survived,
+            records,
+        }
+    }
+}
+
+fn yahoo_scenario(pdus: usize, degree: f64, minutes: f64) -> Scenario {
+    Scenario::new(
+        DataCenterSpec::paper_default().with_scale(pdus, 200),
+        ControllerConfig::default(),
+        yahoo_trace::with_burst(1, degree, Seconds::from_minutes(minutes)),
+    )
+}
+
+fn ms_scenario() -> Scenario {
+    Scenario::new(
+        DataCenterSpec::paper_default().with_scale(4, 200),
+        ControllerConfig::default(),
+        ms_trace::paper_default(),
+    )
+}
+
+/// Asserts two capped-baseline records equal on every field the refactor
+/// promises bit-identical. `temperature` and `cooling_power` are the two
+/// intentional upgrades: the kernel reports the real room model (which
+/// re-cools after a burst at full chiller blast) instead of a hardcoded
+/// 25 °C and the matching design-capacity cooling draw.
+fn assert_capped_records_equal(new: &StepRecord, old: &StepRecord) {
+    assert_eq!(new.time, old.time);
+    assert!(new.demand.to_bits() == old.demand.to_bits());
+    assert!(new.served.to_bits() == old.served.to_bits());
+    assert_eq!(new.cores, old.cores);
+    assert_eq!(new.degree, old.degree);
+    assert_eq!(new.upper_bound, old.upper_bound);
+    assert_eq!(new.it_power, old.it_power);
+    assert_eq!(new.ups_power, old.ups_power);
+    assert_eq!(new.tes_heat, old.tes_heat);
+    assert_eq!(new.cb_extra_power, old.cb_extra_power);
+    assert_eq!(new.phase, old.phase);
+    assert_eq!(new.sprinting, old.sprinting);
+    assert_eq!(new.tripped, old.tripped);
+    assert_eq!(new.overheated, old.overheated);
+    assert_eq!(new.fault_active, old.fault_active);
+    assert_eq!(new.shed_reason, old.shed_reason);
+}
+
+#[test]
+fn capped_matches_prerefactor_oracle_on_yahoo_burst() {
+    for pdus in [2, 4] {
+        let s = yahoo_scenario(pdus, 3.0, 5.0);
+        let new = run_power_capped(&s);
+        let old = oracle::run_power_capped(&s);
+        assert_eq!(new.strategy, old.strategy);
+        assert_eq!(new.step, old.step);
+        assert_eq!(new.records.len(), old.records.len());
+        for (n, o) in new.records.iter().zip(&old.records) {
+            assert_capped_records_equal(n, o);
+        }
+        assert_eq!(new.admission, old.admission);
+        assert_eq!(new.cb_energy, old.cb_energy);
+        assert_eq!(new.ups_energy, old.ups_energy);
+        assert_eq!(new.tes_energy, old.tes_energy);
+    }
+}
+
+#[test]
+fn capped_matches_prerefactor_oracle_on_ms_trace() {
+    let s = ms_scenario();
+    let new = run_power_capped(&s);
+    let old = oracle::run_power_capped(&s);
+    assert_eq!(new.records.len(), old.records.len());
+    for (n, o) in new.records.iter().zip(&old.records) {
+        assert_capped_records_equal(n, o);
+    }
+    assert_eq!(new.admission, old.admission);
+}
+
+#[test]
+fn capped_temperature_tracks_the_room_model() {
+    // Satellite: the capped baseline must report the real room
+    // temperature, not a constant. During the burst the capped facility
+    // runs above the chiller design load, so the room must warm above the
+    // setpoint and then re-cool once the burst passes.
+    let s = yahoo_scenario(2, 3.0, 5.0);
+    let result = run_power_capped(&s);
+    let setpoint = result.records[0].temperature;
+    let peak = result
+        .records
+        .iter()
+        .map(|r| r.temperature)
+        .fold(setpoint, |a, b| if b > a { b } else { a });
+    assert!(
+        peak > setpoint,
+        "burst must warm the room: peak {peak} vs setpoint {setpoint}"
+    );
+    let last = result.records.last().unwrap().temperature;
+    assert!(
+        last < peak,
+        "room must re-cool after the burst: last {last} vs peak {peak}"
+    );
+}
+
+#[test]
+fn uncontrolled_matches_prerefactor_oracle() {
+    for mode in [
+        UncontrolledMode::RunToTrip,
+        UncontrolledMode::StopBeforeTrip,
+    ] {
+        let s = ms_scenario();
+        let new = run_uncontrolled(&s, mode);
+        let old = oracle::run_uncontrolled(&s, mode);
+        assert_eq!(new, old, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn uncontrolled_matches_prerefactor_oracle_on_yahoo_burst() {
+    for mode in [
+        UncontrolledMode::RunToTrip,
+        UncontrolledMode::StopBeforeTrip,
+    ] {
+        for pdus in [2, 4] {
+            let s = yahoo_scenario(pdus, 3.4, 12.0);
+            let new = run_uncontrolled(&s, mode);
+            let old = oracle::run_uncontrolled(&s, mode);
+            assert_eq!(new, old, "mode {mode:?} pdus {pdus}");
+        }
+    }
+}
+
+#[test]
+fn rig_step_matches_prerefactor_oracle() {
+    use dcs_testbed::{server_power_trace, TestbedConfig, TestbedRig};
+    let config = TestbedConfig::paper_default();
+    let dt = Seconds::new(1.0);
+    // Relay patterns chosen to hit every branch: always open (CB-only
+    // trip), always closed (split then UPS exhaustion), and alternating.
+    for pattern in 0..3u32 {
+        let mut rig = TestbedRig::new(config.clone());
+        let mut oracle = oracle::RigOracle::new(config.clone());
+        for (i, &load) in server_power_trace(7).iter().enumerate() {
+            let relay = match pattern {
+                0 => false,
+                1 => true,
+                _ => i % 2 == 0,
+            };
+            let a = rig.step(load, relay, dt);
+            let b = oracle.step(load, relay, dt);
+            assert_eq!(a, b, "pattern {pattern} step {i}");
+            assert_eq!(
+                rig.is_down(),
+                oracle.is_down(),
+                "pattern {pattern} step {i}"
+            );
+            assert_eq!(rig.ups().stored(), oracle.ups().stored());
+            assert_eq!(
+                rig.breaker().trip_progress(),
+                oracle.breaker().trip_progress()
+            );
+        }
+    }
+}
+
+#[test]
+fn run_policy_matches_prerefactor_oracle() {
+    use dcs_testbed::{run_policy, server_power_trace, Policy, TestbedConfig};
+    let config = TestbedConfig::paper_default();
+    let trace = server_power_trace(1);
+    for policy in [
+        Policy::CbOnly,
+        Policy::CbFirst,
+        Policy::ReservedTripTime(Seconds::new(30.0)),
+        Policy::ReservedTripTime(Seconds::new(5.0)),
+        Policy::ReservedTripTime(Seconds::new(300.0)),
+    ] {
+        let new = run_policy(&config, &trace, policy);
+        let old = oracle::run_policy(&config, &trace, policy);
+        assert_eq!(new, old, "policy {policy}");
+    }
+}
+
+/// FNV-1a over the bit patterns of every field of every record, plus the
+/// admission log and the energy split — any change anywhere flips it.
+fn digest_of(result: &SimResult) -> u64 {
+    let mut bytes = Vec::with_capacity(result.records.len() * 160);
+    let push_f64 =
+        |bytes: &mut Vec<u8>, v: f64| bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    for r in &result.records {
+        push_f64(&mut bytes, r.time.as_secs());
+        push_f64(&mut bytes, r.demand);
+        push_f64(&mut bytes, r.served);
+        bytes.extend_from_slice(&r.cores.to_le_bytes());
+        push_f64(&mut bytes, r.degree.as_f64());
+        push_f64(&mut bytes, r.upper_bound.as_f64());
+        push_f64(&mut bytes, r.it_power.as_watts());
+        push_f64(&mut bytes, r.cooling_power.as_watts());
+        push_f64(&mut bytes, r.ups_power.as_watts());
+        push_f64(&mut bytes, r.tes_heat.as_watts());
+        push_f64(&mut bytes, r.cb_extra_power.as_watts());
+        bytes.push(match r.phase {
+            dcs_core::Phase::Normal => 0,
+            dcs_core::Phase::CbOnly => 1,
+            dcs_core::Phase::Ups => 2,
+            dcs_core::Phase::Tes => 3,
+        });
+        push_f64(&mut bytes, r.temperature.as_celsius());
+        bytes.push(u8::from(r.sprinting));
+        bytes.push(u8::from(r.tripped));
+        bytes.push(u8::from(r.overheated));
+        bytes.push(u8::from(r.fault_active));
+        bytes.push(match r.shed_reason {
+            None => 0,
+            Some(dcs_core::ShedReason::Power) => 1,
+            Some(dcs_core::ShedReason::Thermal) => 2,
+            Some(dcs_core::ShedReason::Emergency) => 3,
+        });
+    }
+    push_f64(&mut bytes, result.admission.average_served());
+    push_f64(&mut bytes, result.admission.average_demand());
+    push_f64(&mut bytes, result.admission.elapsed().as_secs());
+    push_f64(&mut bytes, result.cb_energy.as_joules());
+    push_f64(&mut bytes, result.ups_energy.as_joules());
+    push_f64(&mut bytes, result.tes_energy.as_joules());
+    fnv1a64(&bytes)
+}
+
+/// Digests of full Greedy runs captured on the pre-refactor code
+/// (commit `7c747a8`). The kernel-backed runner must reproduce them bit
+/// for bit. The faulted entries use `FaultSchedule::random(seed, ..)` so
+/// sensor noise, stale telemetry, and derated stores are all in play.
+const PINNED: &[(&str, u64)] = &[
+    ("yahoo_clean", 0x0687_f9c1_90b9_4998),
+    ("yahoo_faults_seed3", 0xce29_6cbb_e04f_9392),
+    ("yahoo_faults_seed11", 0x68f6_97fd_bf5a_9bf1),
+    ("ms_clean", 0xe0fa_94fb_ed88_a964),
+    ("ms_faults_seed7", 0x0d8a_3885_9eba_8868),
+];
+
+fn pinned_runs() -> Vec<(&'static str, SimResult)> {
+    let yahoo = yahoo_scenario(4, 3.2, 15.0);
+    let ms = ms_scenario();
+    vec![
+        (
+            "yahoo_clean",
+            run_with_faults(&yahoo, Box::new(Greedy), &FaultSchedule::NONE),
+        ),
+        (
+            "yahoo_faults_seed3",
+            run_with_faults(
+                &yahoo,
+                Box::new(Greedy),
+                &FaultSchedule::random(3, yahoo.trace().duration()),
+            ),
+        ),
+        (
+            "yahoo_faults_seed11",
+            run_with_faults(
+                &yahoo,
+                Box::new(Greedy),
+                &FaultSchedule::random(11, yahoo.trace().duration()),
+            ),
+        ),
+        (
+            "ms_clean",
+            run_with_faults(&ms, Box::new(Greedy), &FaultSchedule::NONE),
+        ),
+        (
+            "ms_faults_seed7",
+            run_with_faults(
+                &ms,
+                Box::new(Greedy),
+                &FaultSchedule::random(7, ms.trace().duration()),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn full_runner_digests_match_prerefactor_pins() {
+    let mut failures = Vec::new();
+    for (name, result) in pinned_runs() {
+        let digest = digest_of(&result);
+        let expected = PINNED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| *d)
+            .unwrap();
+        if digest != expected {
+            failures.push(format!(
+                "{name}: got {digest:#018x}, pinned {expected:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "digest mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn no_sprint_baseline_unchanged() {
+    // The FixedBound(1.0) shim rides the same kernel; pin one digest.
+    let s = yahoo_scenario(4, 3.0, 10.0);
+    let result = dcs_sim::run_no_sprint(&s);
+    let digest = digest_of(&result);
+    assert_eq!(digest, 0xcdfa_fc87_0fd7_51b2, "got {digest:#018x}");
+}
+
+#[test]
+fn capped_still_respects_ratings_through_the_kernel() {
+    // The kernel now steps the real breaker topology for the capped
+    // baseline; within the rated limits nothing may trip.
+    let s = yahoo_scenario(2, 3.0, 5.0);
+    let spec = s.spec().clone();
+    let result = run_power_capped(&s);
+    for r in &result.records {
+        let per_pdu = r.it_power / spec.pdu_count() as f64;
+        assert!(per_pdu <= spec.pdu_rated() + Power::from_watts(1e-6));
+        assert!(r.it_power + r.cooling_power <= spec.dc_rated() + Power::from_watts(1e-6));
+        assert!(!r.tripped);
+    }
+}
+
+#[test]
+fn capped_binary_search_equals_linear_walk() {
+    // Satellite: the shared binary-search core selection must pick exactly
+    // the core count the old O(cores) walk-down picked, across the whole
+    // demand range the traces exercise (feasibility is monotone in cores).
+    for degree in [1.2, 2.0, 3.0, 4.5] {
+        let s = yahoo_scenario(2, degree, 5.0);
+        let new = run_power_capped(&s);
+        let old = oracle::run_power_capped(&s);
+        for (n, o) in new.records.iter().zip(&old.records) {
+            assert_eq!(n.cores, o.cores, "degree {degree} t={}", n.time);
+        }
+    }
+}
+
+#[test]
+fn uncontrolled_equivalence_holds_with_degree_sweep() {
+    // Push the uncontrolled baseline through trip and no-trip regimes.
+    for degree in [1.5, 2.5, 4.0] {
+        for mode in [
+            UncontrolledMode::RunToTrip,
+            UncontrolledMode::StopBeforeTrip,
+        ] {
+            let s = yahoo_scenario(4, degree, 20.0);
+            assert_eq!(
+                run_uncontrolled(&s, mode),
+                oracle::run_uncontrolled(&s, mode),
+                "degree {degree} mode {mode:?}"
+            );
+        }
+    }
+}

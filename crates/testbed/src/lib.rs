@@ -45,5 +45,9 @@
 mod policy;
 mod rig;
 
-pub use policy::{run_policy, sustained_time_curve, Policy, RunOutcome};
-pub use rig::{server_power_trace, PowerSource, TestbedConfig, TestbedRig};
+pub use policy::{
+    run_policy, sustained_time_curve, Policy, PolicyRecord, PolicySink, RelayPolicy, RunOutcome,
+};
+pub use rig::{
+    server_power_trace, PowerSource, RelayDecision, RigEffects, RigInput, TestbedConfig, TestbedRig,
+};

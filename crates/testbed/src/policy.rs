@@ -1,6 +1,8 @@
 //! Relay-control policies and the Fig. 11 experiments.
 
+use crate::rig::{RelayDecision, RigEffects, RigInput};
 use crate::{PowerSource, TestbedConfig, TestbedRig};
+use dcs_core::{step_cycle, StepPolicy, StepSink};
 use dcs_units::{Power, Seconds};
 use serde::{Deserialize, Serialize};
 
@@ -55,47 +57,89 @@ pub struct RunOutcome {
     pub records: Vec<PolicyRecord>,
 }
 
+/// The §VII-D relay policies as a kernel [`StepPolicy`] over the rig:
+/// each step reads the breaker's remaining trip time and the battery's
+/// deliverable energy and decides the one actuator the testbed has — the
+/// relay position.
+#[derive(Debug, Clone)]
+pub struct RelayPolicy {
+    policy: Policy,
+    cb_first_switched: bool,
+}
+
+impl RelayPolicy {
+    /// Builds the kernel policy for one of the §VII-D decision rules.
+    #[must_use]
+    pub fn new(policy: Policy) -> RelayPolicy {
+        RelayPolicy {
+            policy,
+            cb_first_switched: false,
+        }
+    }
+}
+
+impl StepPolicy<TestbedRig> for RelayPolicy {
+    fn decide(&mut self, rig: &TestbedRig, input: &RigInput) -> RelayDecision {
+        let closed = match self.policy {
+            Policy::CbOnly => false,
+            Policy::CbFirst => {
+                if !self.cb_first_switched && rig.remaining_cb_time(input.load) <= input.dt {
+                    self.cb_first_switched = true;
+                }
+                self.cb_first_switched && rig.ups_can_carry(input.load, input.dt)
+            }
+            Policy::ReservedTripTime(reserve) => {
+                rig.remaining_cb_time(input.load) <= reserve
+                    && rig.ups_can_carry(input.load, input.dt)
+            }
+        };
+        RelayDecision { closed }
+    }
+}
+
+/// Collects [`PolicyRecord`]s from the kernel's finished steps (a step
+/// that lost power produces no record, matching the historical telemetry).
+#[derive(Debug, Clone, Default)]
+pub struct PolicySink {
+    /// The per-step records, in step order, up to the shutdown.
+    pub records: Vec<PolicyRecord>,
+}
+
+impl StepSink<TestbedRig> for PolicySink {
+    fn record(&mut self, input: &RigInput, effects: &RigEffects) {
+        if effects.source == PowerSource::Down {
+            return;
+        }
+        self.records.push(PolicyRecord {
+            time: input.time,
+            load: input.load,
+            cb_power: input.load - effects.ups_power,
+            ups_power: effects.ups_power,
+            source: effects.source,
+        });
+    }
+}
+
 /// Runs a relay policy over a per-second server-power trace and reports
 /// how long the server stayed powered.
 #[must_use]
 pub fn run_policy(config: &TestbedConfig, trace: &[Power], policy: Policy) -> RunOutcome {
     let dt = Seconds::new(1.0);
     let mut rig = TestbedRig::new(config.clone());
-    let mut records = Vec::new();
+    let mut relay = RelayPolicy::new(policy);
+    let mut sink = PolicySink::default();
     let mut sustained = Seconds::ZERO;
     let mut survived = true;
-    let mut cb_first_switched = false;
 
     for (i, &load) in trace.iter().enumerate() {
         let time = Seconds::new(i as f64);
-        let relay_closed = match policy {
-            Policy::CbOnly => false,
-            Policy::CbFirst => {
-                if !cb_first_switched && rig.remaining_cb_time(load) <= dt {
-                    cb_first_switched = true;
-                }
-                cb_first_switched && rig.ups_can_carry(load, dt)
-            }
-            Policy::ReservedTripTime(reserve) => {
-                rig.remaining_cb_time(load) <= reserve && rig.ups_can_carry(load, dt)
-            }
-        };
-        let soc_before = rig.ups().stored();
-        let source = rig.step(load, relay_closed, dt);
-        let ups_power = (soc_before - rig.ups().stored()).max_zero() / dt
-            * rig.ups().chemistry().discharge_efficiency();
-        if source == PowerSource::Down {
+        let input = RigInput { time, load, dt };
+        let effects = step_cycle(&mut rig, &mut relay, &input, &mut sink);
+        if effects.source == PowerSource::Down {
             survived = false;
             sustained = time;
             break;
         }
-        records.push(PolicyRecord {
-            time,
-            load,
-            cb_power: load - ups_power,
-            ups_power,
-            source,
-        });
         sustained = time + dt;
     }
 
@@ -103,7 +147,7 @@ pub fn run_policy(config: &TestbedConfig, trace: &[Power], policy: Policy) -> Ru
         policy,
         sustained,
         survived,
-        records,
+        records: sink.records,
     }
 }
 

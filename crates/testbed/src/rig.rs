@@ -1,9 +1,39 @@
 //! The emulated hardware rig.
 
 use dcs_breaker::{CircuitBreaker, TripCurve};
+use dcs_core::StepState;
 use dcs_units::{Energy, Power, Seconds};
 use dcs_ups::{Battery, Chemistry};
 use serde::{Deserialize, Serialize};
+
+/// Per-step exogenous input to the rig kernel: the trace timestamp, the
+/// server power this second, and the control period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigInput {
+    /// Time at the start of the step.
+    pub time: Seconds,
+    /// Server power this step.
+    pub load: Power,
+    /// Step length.
+    pub dt: Seconds,
+}
+
+/// The one actuator a relay policy controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayDecision {
+    /// `true` closes the relay: the UPS carries its share of the load.
+    pub closed: bool,
+}
+
+/// What one rig step produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RigEffects {
+    /// The source that actually carried the server ([`PowerSource::Down`]
+    /// if power was lost during the step).
+    pub source: PowerSource,
+    /// Power drawn from the UPS this step (net of discharge losses).
+    pub ups_power: Power,
+}
 
 /// Which source(s) carried the server during a step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,18 +151,48 @@ impl TestbedRig {
     /// carried the server, `PowerSource::Down` if power was lost during
     /// the step.
     ///
+    /// A thin shim over the kernel's [`StepState::advance`] — the physics
+    /// live there, so the shim and a kernel-driven run are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `load` is negative or `dt` is not strictly positive and
     /// finite.
     pub fn step(&mut self, load: Power, relay_closed: bool, dt: Seconds) -> PowerSource {
+        let input = RigInput {
+            time: Seconds::ZERO,
+            load,
+            dt,
+        };
+        let decision = RelayDecision {
+            closed: relay_closed,
+        };
+        self.advance(&input, &decision).source
+    }
+}
+
+impl StepState for TestbedRig {
+    type Input = RigInput;
+    type Decision = RelayDecision;
+    type Effects = RigEffects;
+
+    /// Runs the rig physics exactly once: the UPS discharges its share (if
+    /// the relay is closed), the breaker integrates the remaining load, and
+    /// a trip (or a panicking overload) takes the server down for good.
+    fn advance(&mut self, input: &RigInput, decision: &RelayDecision) -> RigEffects {
+        let load = input.load;
+        let dt = input.dt;
         assert!(load >= Power::ZERO, "load must be non-negative");
         if self.down {
-            return PowerSource::Down;
+            return RigEffects {
+                source: PowerSource::Down,
+                ups_power: Power::ZERO,
+            };
         }
+        let stored_before = self.ups.stored();
         let mut cb_load = load;
         let mut source = PowerSource::CbOnly;
-        if relay_closed {
+        if decision.closed {
             let want = load * self.config.ups_share;
             let got = self.ups.discharge(want, dt);
             cb_load = load - got;
@@ -140,17 +200,16 @@ impl TestbedRig {
                 source = PowerSource::Split;
             }
         }
-        match self.cb.apply_load(cb_load, dt) {
+        let ups_power = (stored_before - self.ups.stored()).max_zero() / dt
+            * self.ups.chemistry().discharge_efficiency();
+        let source = match self.cb.apply_load(cb_load, dt) {
             Ok(None) => source,
-            Ok(Some(_)) => {
+            Ok(Some(_)) | Err(_) => {
                 self.down = true;
                 PowerSource::Down
             }
-            Err(_) => {
-                self.down = true;
-                PowerSource::Down
-            }
-        }
+        };
+        RigEffects { source, ups_power }
     }
 }
 
