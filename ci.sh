@@ -9,7 +9,8 @@ cd "$(dirname "$0")"
 PACKAGES=(
   datacenter-sprinting
   dcs-units dcs-breaker dcs-ups dcs-thermal dcs-server dcs-power
-  dcs-workload dcs-faults dcs-core dcs-sim dcs-econ dcs-testbed dcs-bench
+  dcs-workload dcs-faults dcs-core dcs-sim dcs-service dcs-econ dcs-testbed
+  dcs-bench
 )
 
 echo "== rustfmt =="
@@ -93,5 +94,102 @@ assert batched >= 5, f"only {batched} sections report lane steps"
 print(f"perf report OK ({len(sections)} sections, {batched} batched)")
 EOF
 rm -f "$smoke_json"
+
+echo "== service smoke (sprintd: 1k live decisions, kill -9, bit-identical resume) =="
+# Boots the real daemon, drives 1000 /step decisions over one keep-alive
+# connection (zero 5xx tolerated), snapshots /status, SIGKILLs the
+# process, restarts it on the same state directory, and asserts the
+# restored facility section — breaker thermal memory, UPS/TES charge,
+# room temperature — is bit-identical JSON. checkpoint_every=1 makes
+# every decision durable before its response.
+cargo build --release -p dcs-service --bin sprintd --offline -q
+svc_dir="$(mktemp -d)"
+printf '%s\n' '{"pdus":2,"servers_per_pdu":20,"checkpoint_every":1}' \
+  > "$svc_dir/service.json"
+svc_pid=""
+svc_addr=""
+boot_sprintd() {
+  : > "$svc_dir/boot.log"
+  target/release/sprintd "$svc_dir/service.json" \
+    --state-dir "$svc_dir/state" --port 0 > "$svc_dir/boot.log" &
+  svc_pid=$!
+  svc_addr=""
+  for _ in $(seq 200); do
+    svc_addr="$(sed -n 's/^listening on //p' "$svc_dir/boot.log")"
+    [ -n "$svc_addr" ] && break
+    sleep 0.05
+  done
+  [ -n "$svc_addr" ] || { echo "sprintd did not boot"; exit 1; }
+}
+boot_sprintd
+python3 - "$svc_addr" "$svc_dir/before.json" <<'EOF'
+import http.client, json, sys
+addr, out = sys.argv[1], sys.argv[2]
+host, port = addr.rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=30)
+for i in range(1000):
+    demand = 2.6 if i % 60 < 12 else 0.6
+    conn.request("POST", "/step", json.dumps({"demand": demand}))
+    r = conn.getresponse()
+    body = r.read()
+    assert r.status == 200, f"step {i}: {r.status} {body!r}"
+conn.request("GET", "/status")
+status = json.loads(conn.getresponse().read())
+assert status["mode"] == "serving", status["mode"]
+assert status["decisions"] == 1000, status["decisions"]
+assert status["counters"]["served"] == 1000, status["counters"]
+with open(out, "w") as f:
+    json.dump(status, f)
+print("service smoke: 1000 decisions served, zero 5xx")
+EOF
+kill -9 "$svc_pid"
+wait "$svc_pid" 2>/dev/null || true
+boot_sprintd
+python3 - "$svc_addr" "$svc_dir/before.json" <<'EOF'
+import http.client, json, sys
+addr, before_path = sys.argv[1], sys.argv[2]
+before = json.load(open(before_path))
+host, port = addr.rsplit(":", 1)
+conn = http.client.HTTPConnection(host, int(port), timeout=30)
+conn.request("GET", "/status")
+after = json.loads(conn.getresponse().read())
+assert after["decisions"] == before["decisions"], \
+    (after["decisions"], before["decisions"])
+assert after["facility"] == before["facility"], \
+    "facility hot state diverged across kill -9"
+assert after["sprint"] == before["sprint"], \
+    (after["sprint"], before["sprint"])
+conn.request("POST", "/shutdown")
+assert conn.getresponse().status == 200
+print("service smoke: kill -9 resume is bit-identical")
+EOF
+wait "$svc_pid"
+rm -rf "$svc_dir"
+
+echo "== load report (service throughput/latency floors) =="
+# Full-mode run: the binary itself aborts unless the bare engine clears
+# 50k decisions/s with a sub-ms p99 and the HTTP loopback drive sees zero
+# 5xx; the validator re-checks the flags from the written report.
+load_json="$(mktemp)"
+cargo run --release -p dcs-bench --bin load_report --offline -q -- \
+  --out "$load_json" > /dev/null
+python3 - "$load_json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "dcs-bench/perf-report-v5", r["schema"]
+assert r["mode"] == "full", r["mode"]
+e, h = r["engine"], r["http"]
+assert e["decisions"] >= 100_000, e["decisions"]
+assert e["rate_per_sec"] >= 50_000, e["rate_per_sec"]
+assert e["latency"]["p99_us"] < 1_000, e["latency"]
+assert e["meets_rate_floor"] and e["sub_ms_p99"], e
+assert h["requests"] >= 1_000, h["requests"]
+assert h["responses_5xx"] == 0 and h["zero_5xx"], h
+assert h["rate_per_sec"] > 100, h["rate_per_sec"]
+print(f"load report OK: engine {e['rate_per_sec']:.0f}/s "
+      f"(p99 {e['latency']['p99_us']:.1f} us), "
+      f"http {h['rate_per_sec']:.0f}/s, zero 5xx")
+EOF
+rm -f "$load_json"
 
 echo "CI green."

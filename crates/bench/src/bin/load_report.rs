@@ -1,0 +1,332 @@
+//! Live-service load report: decision throughput and latency for the
+//! `dcs-service` control loop, in-process and over HTTP loopback.
+//!
+//! ```text
+//! cargo run --release -p dcs-bench --bin load_report               # full, BENCH_PR6.json
+//! cargo run --release -p dcs-bench --bin load_report -- --tiny     # CI smoke
+//! cargo run --release -p dcs-bench --bin load_report -- --out p.json
+//! ```
+//!
+//! Two sections:
+//!
+//! - **engine**: bare `step_cycle` decisions on the service's plant —
+//!   the physics ceiling a deployment can never beat. Full mode asserts
+//!   the floor the service contract is built on: ≥ 50k decisions/s and a
+//!   sub-millisecond p99 (the default 250 ms request deadline is then
+//!   pure safety margin, not a working budget).
+//! - **http**: a real [`SprintService`] on loopback, one keep-alive
+//!   connection driving sequential `POST /step` requests. Asserts zero
+//!   5xx responses — under clean load the service never errors.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use dcs_core::{step_cycle, FacilityState, Greedy, NullSink, SprintPolicy, StepInput};
+use dcs_service::{ServiceConfig, ServiceOptions, SprintService};
+use dcs_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Full-mode engine decision count.
+const FULL_ENGINE_DECISIONS: usize = 200_000;
+/// Full-mode HTTP request count.
+const FULL_HTTP_REQUESTS: usize = 2_000;
+/// Tiny-mode engine decision count.
+const TINY_ENGINE_DECISIONS: usize = 5_000;
+/// Tiny-mode HTTP request count.
+const TINY_HTTP_REQUESTS: usize = 200;
+/// Full-mode floor on bare decision throughput (decisions/s).
+const ENGINE_RATE_FLOOR: f64 = 50_000.0;
+/// Full-mode ceiling on bare decision p99 (µs).
+const ENGINE_P99_CEILING_US: f64 = 1_000.0;
+
+/// Latency percentiles over one section's per-operation samples.
+#[derive(Debug, Serialize, Deserialize)]
+struct Latency {
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+impl Latency {
+    fn from_samples(mut samples_us: Vec<f64>) -> Latency {
+        samples_us.sort_by(f64::total_cmp);
+        let pick = |q: f64| {
+            let idx = ((samples_us.len() as f64 - 1.0) * q).round() as usize;
+            samples_us[idx]
+        };
+        Latency {
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: *samples_us.last().expect("nonempty samples"),
+        }
+    }
+}
+
+/// Bare `step_cycle` throughput on the service's plant.
+#[derive(Debug, Serialize, Deserialize)]
+struct EngineSection {
+    decisions: u64,
+    total_ms: f64,
+    rate_per_sec: f64,
+    latency: Latency,
+    /// `rate_per_sec >= 50k` (asserted in full mode).
+    meets_rate_floor: bool,
+    /// `p99 < 1 ms` (asserted in full mode).
+    sub_ms_p99: bool,
+}
+
+/// HTTP loopback load against a live [`SprintService`].
+#[derive(Debug, Serialize, Deserialize)]
+struct HttpSection {
+    requests: u64,
+    responses_5xx: u64,
+    responses_429: u64,
+    degraded_responses: u64,
+    total_ms: f64,
+    rate_per_sec: f64,
+    latency: Latency,
+    /// Zero 5xx under clean load (always asserted).
+    zero_5xx: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    pr: String,
+    mode: String,
+    engine: EngineSection,
+    http: HttpSection,
+}
+
+/// The demand cycle both sections drive: mostly quiet with periodic
+/// bursts, so decisions exercise the sprint path, not just the idle one.
+fn demand_at(i: usize) -> f64 {
+    if i % 60 < 12 {
+        2.6
+    } else {
+        0.6
+    }
+}
+
+fn engine_section(decisions: usize) -> EngineSection {
+    let config = ServiceConfig::for_facility(2, 20);
+    let spec = config.spec();
+    let controller = config.controller();
+    let mut facility = FacilityState::new(&spec, &controller);
+    let mut policy = SprintPolicy::new(Box::new(Greedy), &spec);
+    let dt = Seconds::new(config.step_secs());
+    let mut samples_us = Vec::with_capacity(decisions);
+    let start = Instant::now();
+    for i in 0..decisions {
+        let input = StepInput::nominal(facility.now(), demand_at(i), dt);
+        let tick = Instant::now();
+        let effects = step_cycle(&mut facility, &mut policy, &input, &mut NullSink);
+        samples_us.push(tick.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(&effects);
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rate_per_sec = decisions as f64 / (total_ms / 1e3);
+    let latency = Latency::from_samples(samples_us);
+    EngineSection {
+        decisions: decisions as u64,
+        total_ms,
+        rate_per_sec,
+        meets_rate_floor: rate_per_sec >= ENGINE_RATE_FLOOR,
+        sub_ms_p99: latency.p99_us < ENGINE_P99_CEILING_US,
+        latency,
+    }
+}
+
+/// Sends one keep-alive `POST /step` and returns the status code.
+fn send_step(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    demand: f64,
+) -> (u16, bool) {
+    let body = format!(r#"{{"demand":{demand:?}}}"#);
+    let message = format!(
+        "POST /step HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).expect("write request");
+    stream.flush().expect("flush");
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0_usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut buf = vec![0_u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    let degraded = String::from_utf8_lossy(&buf).contains(r#""degraded":true"#);
+    (status, degraded)
+}
+
+fn http_section(requests: usize) -> HttpSection {
+    let config = ServiceConfig::for_facility(2, 20);
+    let service =
+        SprintService::spawn(config, ServiceOptions::default(), 0).expect("spawn service");
+    let addr = service.addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+
+    let mut responses_5xx = 0_u64;
+    let mut responses_429 = 0_u64;
+    let mut degraded_responses = 0_u64;
+    let mut samples_us = Vec::with_capacity(requests);
+    let start = Instant::now();
+    for i in 0..requests {
+        let tick = Instant::now();
+        let (status, degraded) = send_step(&mut stream, &mut reader, demand_at(i));
+        samples_us.push(tick.elapsed().as_secs_f64() * 1e6);
+        if status >= 500 {
+            responses_5xx += 1;
+        }
+        if status == 429 {
+            responses_429 += 1;
+        }
+        if degraded {
+            degraded_responses += 1;
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(stream);
+    drop(reader);
+    service.shutdown();
+
+    HttpSection {
+        requests: requests as u64,
+        responses_5xx,
+        responses_429,
+        degraded_responses,
+        total_ms,
+        rate_per_sec: requests as f64 / (total_ms / 1e3),
+        latency: Latency::from_samples(samples_us),
+        zero_5xx: responses_5xx == 0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+
+    let (engine_decisions, http_requests) = if tiny {
+        (TINY_ENGINE_DECISIONS, TINY_HTTP_REQUESTS)
+    } else {
+        (FULL_ENGINE_DECISIONS, FULL_HTTP_REQUESTS)
+    };
+
+    eprintln!("load_report: timing {engine_decisions} bare engine decisions...");
+    let engine = engine_section(engine_decisions);
+    eprintln!(
+        "load_report: engine {:.0}/s, p99 {:.1} us",
+        engine.rate_per_sec, engine.latency.p99_us
+    );
+    eprintln!("load_report: driving {http_requests} HTTP loopback requests...");
+    let http = http_section(http_requests);
+    eprintln!(
+        "load_report: http {:.0}/s, p99 {:.1} us, 5xx {}",
+        http.rate_per_sec, http.latency.p99_us, http.responses_5xx
+    );
+
+    if !http.zero_5xx {
+        eprintln!(
+            "load_report: FAIL: {} 5xx responses under clean load",
+            http.responses_5xx
+        );
+        std::process::exit(1);
+    }
+    if !tiny {
+        if !engine.meets_rate_floor {
+            eprintln!(
+                "load_report: FAIL: engine rate {:.0}/s below the {ENGINE_RATE_FLOOR:.0}/s floor",
+                engine.rate_per_sec
+            );
+            std::process::exit(1);
+        }
+        if !engine.sub_ms_p99 {
+            eprintln!(
+                "load_report: FAIL: engine p99 {:.1} us above {ENGINE_P99_CEILING_US:.0} us",
+                engine.latency.p99_us
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let report = Report {
+        schema: "dcs-bench/perf-report-v5".to_owned(),
+        pr: "pr6".to_owned(),
+        mode: if tiny { "tiny" } else { "full" }.to_owned(),
+        engine,
+        http,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("encode report");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_with_schema() {
+        let engine = engine_section(64);
+        let http_latency = Latency::from_samples(vec![10.0, 20.0, 30.0]);
+        let report = Report {
+            schema: "dcs-bench/perf-report-v5".to_owned(),
+            pr: "pr6".to_owned(),
+            mode: "tiny".to_owned(),
+            engine,
+            http: HttpSection {
+                requests: 3,
+                responses_5xx: 0,
+                responses_429: 0,
+                degraded_responses: 0,
+                total_ms: 1.0,
+                rate_per_sec: 3000.0,
+                latency: http_latency,
+                zero_5xx: true,
+            },
+        };
+        let text = serde_json::to_string(&report).unwrap();
+        let parsed: Report = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.schema, "dcs-bench/perf-report-v5");
+        assert_eq!(parsed.engine.decisions, 64);
+        assert!(parsed.http.zero_5xx);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let latency = Latency::from_samples((1..=100).map(f64::from).collect());
+        assert!(latency.p50_us <= latency.p99_us);
+        assert!(latency.p99_us <= latency.max_us);
+        assert_eq!(latency.max_us, 100.0);
+    }
+}

@@ -109,6 +109,70 @@ pub struct SimulateConfig {
 }
 
 impl SimulateConfig {
+    /// Validates everything checkable without building the facility or
+    /// running anything. Called before *any* side effect — in particular
+    /// before `--resume` creates a checkpoint directory — so a config
+    /// error (exit 3) never leaves an empty resume directory behind.
+    fn validate(&self) -> Result<(), SimError> {
+        if self.pdus == 0 {
+            return Err(SimError::config("pdus must be at least 1"));
+        }
+        if self.servers_per_pdu == 0 {
+            return Err(SimError::config("servers_per_pdu must be at least 1"));
+        }
+        if !self.pue.is_finite() || self.pue < 1.0 {
+            return Err(SimError::config(format!(
+                "pue must be a finite number >= 1 (got {})",
+                self.pue
+            )));
+        }
+        if !self.dc_headroom_percent.is_finite() || self.dc_headroom_percent < 0.0 {
+            return Err(SimError::config(format!(
+                "dc_headroom_percent must be finite and non-negative (got {})",
+                self.dc_headroom_percent
+            )));
+        }
+        let faults = self.faults.clone().unwrap_or_else(FaultSchedule::none);
+        faults.validate().map_err(SimError::faults)?;
+        match &self.strategy {
+            StrategyConfig::FixedBound { bound } => {
+                if *bound < 1.0 {
+                    return Err(SimError::config("fixed bound must be at least 1"));
+                }
+            }
+            StrategyConfig::Oracle => {
+                if !faults.is_empty() {
+                    return Err(SimError::config(
+                        "the oracle search does not support fault schedules; \
+                         pick a concrete strategy",
+                    ));
+                }
+            }
+            StrategyConfig::Heuristic { sde_p, flexibility } => {
+                if !sde_p.is_finite() || *sde_p <= 0.0 {
+                    return Err(SimError::config(format!(
+                        "heuristic sde_p must be finite and positive (got {sde_p})"
+                    )));
+                }
+                if !flexibility.is_finite() || *flexibility < 0.0 {
+                    return Err(SimError::config(format!(
+                        "heuristic flexibility must be finite and non-negative \
+                         (got {flexibility})"
+                    )));
+                }
+            }
+            StrategyConfig::Prediction { minutes } => {
+                if !minutes.is_finite() || *minutes <= 0.0 {
+                    return Err(SimError::config(format!(
+                        "prediction minutes must be finite and positive (got {minutes})"
+                    )));
+                }
+            }
+            StrategyConfig::Greedy => {}
+        }
+        Ok(())
+    }
+
     fn example() -> SimulateConfig {
         SimulateConfig {
             pdus: 4,
@@ -161,6 +225,9 @@ fn run_config(
     config: &SimulateConfig,
     resume_dir: Option<&str>,
 ) -> Result<(SimResult, SimResult), SimError> {
+    // All pure config checks run before anything touches the filesystem:
+    // a bad config with `--resume` must not create the checkpoint dir.
+    config.validate()?;
     let spec = DataCenterSpec::paper_default()
         .with_scale(config.pdus, config.servers_per_pdu)
         .with_dc_headroom(Ratio::from_percent(config.dc_headroom_percent))
@@ -169,41 +236,27 @@ fn run_config(
     let trace = build_trace(&config.workload)?;
     let scenario = Scenario::new(spec.clone(), controller.clone(), trace);
     let faults = config.faults.clone().unwrap_or_else(FaultSchedule::none);
-    faults.validate().map_err(SimError::faults)?;
     let baseline = run_no_sprint_with_faults(&scenario, &faults);
     let run = |strategy: Box<dyn SprintStrategy>| run_with_faults(&scenario, strategy, &faults);
 
     let result = match &config.strategy {
         StrategyConfig::Greedy => run(Box::new(Greedy)),
-        StrategyConfig::FixedBound { bound } => {
-            if *bound < 1.0 {
-                return Err(SimError::config("fixed bound must be at least 1"));
+        StrategyConfig::FixedBound { bound } => run(Box::new(FixedBound::new(Ratio::new(*bound)))),
+        StrategyConfig::Oracle => match resume_dir {
+            Some(dir) => {
+                let mut store =
+                    oracle_checkpoint_store(dir, &scenario, &faults, OracleMode::Pruned)?;
+                let (outcome, _stats) = oracle_search_resumable(
+                    &scenario,
+                    &faults,
+                    OracleMode::Pruned,
+                    &resume_supervisor(),
+                    &mut store,
+                )?;
+                outcome.best
             }
-            run(Box::new(FixedBound::new(Ratio::new(*bound))))
-        }
-        StrategyConfig::Oracle => {
-            if !faults.is_empty() {
-                return Err(SimError::config(
-                    "the oracle search does not support fault schedules; \
-                     pick a concrete strategy",
-                ));
-            }
-            match resume_dir {
-                Some(dir) => {
-                    let mut store =
-                        oracle_checkpoint_store(dir, &scenario, &faults, OracleMode::Pruned)?;
-                    let (outcome, _stats) = oracle_search_resumable(
-                        &scenario,
-                        &faults,
-                        OracleMode::Pruned,
-                        &resume_supervisor(),
-                        &mut store,
-                    )?;
-                    outcome.best
-                }
-                None => oracle_search(&scenario).best,
-            }
-        }
+            None => oracle_search(&scenario).best,
+        },
         StrategyConfig::Heuristic { sde_p, flexibility } => run(Box::new(Heuristic::new(
             Estimate::exact(*sde_p),
             *flexibility,

@@ -104,6 +104,49 @@ fn empty_inline_trace_exits_with_physics_code() {
 }
 
 #[test]
+fn config_error_with_resume_leaves_no_checkpoint_dir() {
+    // Config validation must run before `--resume` creates the checkpoint
+    // directory: a config error exits 3 and leaves nothing behind.
+    let path = scratch("badresume");
+    let resume = scratch("badresume-dir");
+    // Oracle + faults is a config error, and oracle is a resumable
+    // strategy, so before the ordering fix this created `resume` first.
+    std::fs::write(
+        &path,
+        r#"{"pdus":2,"servers_per_pdu":50,"dc_headroom_percent":10.0,"pue":1.53,
+            "controller":null,
+            "workload":{"kind":"inline","step_secs":60.0,"samples":[0.5,2.5,0.5]},
+            "strategy":{"kind":"oracle"},
+            "faults":{"events":[{"start":0.0,"end":60.0,
+                                 "kind":{"kind":"ups_string_failure","fraction":0.3}}]}}"#,
+    )
+    .unwrap();
+    let out = simulate(&[path.to_str().unwrap(), "--resume", resume.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(
+        !resume.exists(),
+        "config error must not create the resume checkpoint directory"
+    );
+    // Same ordering for a plain invalid strategy parameter.
+    let path2 = scratch("badresume2");
+    let resume2 = scratch("badresume2-dir");
+    std::fs::write(
+        &path2,
+        tiny_config(r#"{"kind":"prediction","minutes":-5.0}"#),
+    )
+    .unwrap();
+    let out = simulate(&[
+        path2.to_str().unwrap(),
+        "--resume",
+        resume2.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(!resume2.exists());
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&path2).unwrap();
+}
+
+#[test]
 fn valid_config_runs_and_writes_telemetry() {
     let path = scratch("ok");
     let out_json = scratch("ok-out");

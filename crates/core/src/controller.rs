@@ -184,6 +184,43 @@ struct RunState {
     tes_engaged: bool,
 }
 
+/// The mutable sprint-lifecycle state of a [`SprintPolicy`], detached
+/// from the strategy object: the latches, the shared demand history, and
+/// the in-flight sprint's accounting. Everything a live service must
+/// persist so a restarted policy resumes the lifecycle where it stopped.
+///
+/// Strategy-internal state (e.g. the [`crate::Heuristic`]'s demand
+/// statistics) is *not* captured: the service restores policies whose
+/// strategies are stateless ([`crate::Greedy`], [`crate::FixedBound`]) or
+/// re-prime themselves from the observed demand stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyHotState {
+    /// Whether a sprint is currently active.
+    pub sprint_active: bool,
+    /// Highest demand seen across the run.
+    pub max_demand_seen: f64,
+    /// Permanent safety-termination latch.
+    pub terminated: bool,
+    /// §V-C hold latch: sprinting stays off until the burst passes.
+    pub hold_until_quiet: bool,
+    /// The in-flight (or last) sprint's accounting, if one ever started.
+    pub run: Option<RunHotState>,
+}
+
+/// The serializable accounting of one sprint run — the policy-private
+/// `RunState` with its fields exposed for persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunHotState {
+    /// Time integral of the sprinting degree (for the average degree).
+    pub degree_integral: f64,
+    /// Seconds of sprinting elapsed in this run.
+    pub sprint_elapsed: f64,
+    /// The sprint's additional-energy budget and its consumption.
+    pub budget: EnergyBudget,
+    /// Whether Phase 3 ever engaged.
+    pub tes_engaged: bool,
+}
+
 /// The empty schedule the controller starts with; a `static` (not a
 /// promoted temporary) because `FaultSchedule` owns a `Vec`.
 static NO_FAULTS: FaultSchedule = FaultSchedule::NONE;
@@ -245,6 +282,42 @@ impl SprintPolicy {
     #[must_use]
     pub fn sprint_active(&self) -> bool {
         self.sprint_active
+    }
+
+    /// Exports the policy's sprint-lifecycle state as a serializable
+    /// snapshot. See [`PolicyHotState`] for what is (and is not) captured.
+    #[must_use]
+    pub fn export_hot_state(&self) -> PolicyHotState {
+        PolicyHotState {
+            sprint_active: self.sprint_active,
+            max_demand_seen: self.max_demand_seen,
+            terminated: self.terminated,
+            hold_until_quiet: self.hold_until_quiet,
+            run: self.run_state.as_ref().map(|run| RunHotState {
+                degree_integral: run.degree_integral,
+                sprint_elapsed: run.sprint_elapsed,
+                budget: run.budget,
+                tes_engaged: run.tes_engaged,
+            }),
+        }
+    }
+
+    /// Replaces the policy's sprint-lifecycle state with a previously
+    /// exported snapshot. With a stateless strategy (e.g.
+    /// [`crate::Greedy`]) the restored policy decides bit-identically to
+    /// the policy that produced the export.
+    pub fn import_hot_state(&mut self, hot: PolicyHotState) {
+        self.sprint_active = hot.sprint_active;
+        self.max_demand_seen = hot.max_demand_seen;
+        self.terminated = hot.terminated;
+        self.hold_until_quiet = hot.hold_until_quiet;
+        self.run_state = hot.run.map(|run| RunState {
+            degree_integral: run.degree_integral,
+            sprint_elapsed: run.sprint_elapsed,
+            budget: run.budget,
+            tes_engaged: run.tes_engaged,
+        });
+        self.primed_budget = None;
     }
 
     /// Clones the policy with a replacement strategy (the caller is

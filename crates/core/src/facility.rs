@@ -16,6 +16,7 @@ use dcs_power::{DataCenterSpec, PowerTopology};
 use dcs_thermal::{CoolingPlant, RoomModel, TesTank};
 use dcs_units::{Energy, Power, Ratio, Seconds, TempDelta};
 use dcs_ups::UpsFleet;
+use serde::{Deserialize, Serialize};
 
 use crate::ControllerConfig;
 
@@ -122,6 +123,42 @@ pub struct StepEffects {
     pub cb_above_rated: Power,
     /// Electric chiller power the TES discharge saved this step.
     pub tes_savings: Power,
+}
+
+/// The mutable ("hot") part of a [`FacilityState`], detached from the
+/// borrowed spec/config: every stateful plant model plus the clock,
+/// exogenous conditions, and energy ledgers. Everything a live service
+/// must persist to resume a facility bit-identically after a crash —
+/// breaker thermal memory, UPS and TES charge, room temperature — and
+/// nothing that is derivable from the spec.
+///
+/// Serialization round-trips every `f64` exactly (the JSON layer emits
+/// shortest-roundtrip literals), so `export → serialize → deserialize →
+/// import` reproduces the facility bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacilityHotState {
+    /// Breaker topology, including per-breaker trip progress and deratings.
+    pub topology: PowerTopology,
+    /// UPS fleet: aggregate charge, on-battery count, deratings.
+    pub ups: UpsFleet,
+    /// TES tank: stored heat capacity and deratings.
+    pub tes: TesTank,
+    /// Room model: current air temperature.
+    pub room: RoomModel,
+    /// The facility clock.
+    pub now: Seconds,
+    /// Exogenous DC-level load in force.
+    pub external_load: Power,
+    /// Pessimistic thermal reading margin in force.
+    pub thermal_bias: TempDelta,
+    /// Lifetime UPS additional energy.
+    pub ups_energy: Energy,
+    /// Lifetime heat absorbed by the TES.
+    pub tes_heat_energy: Energy,
+    /// Lifetime chiller savings funded by the TES.
+    pub tes_savings_energy: Energy,
+    /// Lifetime CB-overload additional energy.
+    pub cb_extra_energy: Energy,
 }
 
 /// The facility's physical state: topology + plant + room + UPS/TES, the
@@ -430,6 +467,62 @@ impl<'a> FacilityState<'a> {
         } else {
             Err(ShedReason::Power)
         }
+    }
+
+    /// Exports the facility's mutable state — plant models, clock,
+    /// exogenous conditions, energy ledgers — as a serializable snapshot.
+    /// See [`FacilityHotState`].
+    #[must_use]
+    pub fn export_hot_state(&self) -> FacilityHotState {
+        FacilityHotState {
+            topology: self.topo.clone(),
+            ups: self.ups.clone(),
+            tes: self.tes.clone(),
+            room: self.room.clone(),
+            now: self.now,
+            external_load: self.external_load,
+            thermal_bias: self.thermal_bias,
+            ups_energy: self.ups_energy,
+            tes_heat_energy: self.tes_heat_energy,
+            tes_savings_energy: self.tes_savings_energy,
+            cb_extra_energy: self.cb_extra_energy,
+        }
+    }
+
+    /// Replaces the facility's mutable state with a previously exported
+    /// snapshot. The counterpart of
+    /// [`export_hot_state`](Self::export_hot_state): on a facility built
+    /// from the same spec and configuration, importing an export restores
+    /// behavior bit-identically (the snapshot holds every stateful model;
+    /// everything else is derived from the borrowed spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's topology or UPS fleet geometry does not
+    /// match this facility's spec — a snapshot from a differently sized
+    /// facility cannot be meaningfully imported.
+    pub fn import_hot_state(&mut self, hot: FacilityHotState) {
+        assert_eq!(
+            hot.topology.pdu_count(),
+            self.topo.pdu_count(),
+            "hot state was exported from a facility with a different PDU count"
+        );
+        assert_eq!(
+            hot.ups.units(),
+            self.ups.units(),
+            "hot state was exported from a facility with a different UPS fleet"
+        );
+        self.topo = hot.topology;
+        self.ups = hot.ups;
+        self.tes = hot.tes;
+        self.room = hot.room;
+        self.now = hot.now;
+        self.external_load = hot.external_load;
+        self.thermal_bias = hot.thermal_bias;
+        self.ups_energy = hot.ups_energy;
+        self.tes_heat_energy = hot.tes_heat_energy;
+        self.tes_savings_energy = hot.tes_savings_energy;
+        self.cb_extra_energy = hot.cb_extra_energy;
     }
 
     /// The PDU-level deficit a candidate allocation leaves after the

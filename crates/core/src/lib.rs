@@ -57,6 +57,7 @@ mod controller;
 mod facility;
 mod heuristic;
 mod kernel;
+mod live;
 mod prediction;
 mod strategy;
 mod table;
@@ -65,11 +66,15 @@ pub use adaptive::Adaptive;
 pub use budget::{cb_overload_energy, EnergyBudget};
 pub use context::{PowerCurve, SprintInfo, StrategyContext};
 pub use controller::{
-    ControllerConfig, Phase, ShedReason, SprintController, SprintPolicy, StepRecord,
+    ControllerConfig, Phase, PolicyHotState, RunHotState, ShedReason, SprintController,
+    SprintPolicy, StepRecord,
 };
-pub use facility::{CoolingPlan, CoreDecision, FacilityState, StepEffects, StepInput};
+pub use facility::{
+    CoolingPlan, CoreDecision, FacilityHotState, FacilityState, StepEffects, StepInput,
+};
 pub use heuristic::Heuristic;
 pub use kernel::{search_largest_feasible, step_cycle, NullSink, StepPolicy, StepSink, StepState};
+pub use live::{ServiceSink, WindowStats};
 pub use prediction::Prediction;
 pub use strategy::{FixedBound, Greedy, SprintStrategy};
 pub use table::{TableError, UpperBoundTable};

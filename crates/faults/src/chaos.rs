@@ -130,6 +130,30 @@ impl ChaosSchedule {
         ChaosSchedule { events }
     }
 
+    /// A periodic stall: every `period`-th item (0, `period`, 2·`period`,
+    /// …) stalls for `millis` on its first attempt, for the first `count`
+    /// stalls. A live service's decision loop consumes items as
+    /// monotonically increasing decision indices, so this models a plant
+    /// interface that intermittently freezes — the scenario behind the
+    /// service's degraded-serving watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn delay_every(period: usize, millis: u64, count: usize) -> ChaosSchedule {
+        assert!(period > 0, "period must be positive");
+        ChaosSchedule {
+            events: (0..count)
+                .map(|i| ChaosEvent {
+                    item: i * period,
+                    attempt: 0,
+                    kind: ChaosKind::Delay { millis },
+                })
+                .collect(),
+        }
+    }
+
     /// Returns the perturbation scheduled for `item`'s `attempt`-th try,
     /// if any (first matching event wins).
     #[must_use]
@@ -182,6 +206,16 @@ mod tests {
         assert!(a.events().iter().all(|e| e.item < 64));
         let c = ChaosSchedule::random(10, 64);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn delay_every_stalls_periodic_items() {
+        let chaos = ChaosSchedule::delay_every(3, 25, 2);
+        assert_eq!(chaos.lookup(0, 0), Some(&ChaosKind::Delay { millis: 25 }));
+        assert_eq!(chaos.lookup(3, 0), Some(&ChaosKind::Delay { millis: 25 }));
+        assert_eq!(chaos.lookup(6, 0), None, "count bounds the stalls");
+        assert_eq!(chaos.lookup(1, 0), None);
+        assert_eq!(chaos.lookup(0, 1), None, "retries run clean");
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! `sprintd` — the live sprint-control daemon.
+//!
+//! ```text
+//! sprintd <config.json> [--state-dir DIR] [--port PORT]
+//! ```
+//!
+//! Boots a [`SprintService`] from the given config, prints
+//! `listening on <addr>` once the socket is bound, and serves until a
+//! `POST /shutdown` drains it. With `--state-dir`, hot state is
+//! checkpointed there and restored on boot — a crashed daemon restarted
+//! on the same directory resumes bit-identically.
+//!
+//! Exit codes follow the repository convention: 2 usage, 3 config,
+//! 4 I/O, 7 service.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcs_service::{ServiceConfig, ServiceOptions, SprintService};
+use dcs_sim::SimError;
+
+struct Args {
+    config_path: PathBuf,
+    state_dir: Option<PathBuf>,
+    port: u16,
+}
+
+const USAGE: &str = "usage: sprintd <config.json> [--state-dir DIR] [--port PORT]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config_path = None;
+    let mut state_dir = None;
+    let mut port = 0_u16;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--state-dir" => {
+                let value = it.next().ok_or("--state-dir needs a directory")?;
+                state_dir = Some(PathBuf::from(value));
+            }
+            "--port" => {
+                let value = it.next().ok_or("--port needs a port number")?;
+                port = value.parse().map_err(|_| format!("bad port {value:?}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg:?}")),
+            _ if config_path.is_none() => config_path = Some(PathBuf::from(arg)),
+            _ => return Err(format!("unexpected argument {arg:?}")),
+        }
+    }
+    Ok(Args {
+        config_path: config_path.ok_or("missing config path")?,
+        state_dir,
+        port,
+    })
+}
+
+fn run(args: &Args) -> Result<(), SimError> {
+    let text = std::fs::read_to_string(&args.config_path)
+        .map_err(|e| SimError::io(args.config_path.display().to_string(), e.to_string()))?;
+    let config = ServiceConfig::from_json(&text)?;
+    let options = ServiceOptions {
+        state_dir: args.state_dir.clone(),
+        chaos: dcs_faults::ChaosSchedule::none(),
+    };
+    let service = SprintService::spawn(config, options, args.port)?;
+    println!("listening on {}", service.addr());
+    let _ = std::io::stdout().flush();
+    service.join();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sprintd: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sprintd: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}

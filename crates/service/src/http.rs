@@ -1,0 +1,137 @@
+//! A deliberately tiny HTTP/1.1 layer over `std::net` — just enough for
+//! the service's four endpoints, with hard limits everywhere.
+//!
+//! The container this repository builds in has no async runtime or HTTP
+//! crates, so the daemon speaks a strict subset of HTTP/1.1 itself:
+//! request line + headers (8 KiB cap), `Content-Length` bodies (64 KiB
+//! cap), persistent connections by default, `Connection: close` honored.
+//! Anything outside the subset gets a `400` and the connection is closed
+//! — a malformed peer can never wedge a worker.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line plus headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on a request body.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method.
+    pub method: String,
+    /// Path as sent (query strings are not supported and left attached).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// `true` when the peer asked to close after this exchange.
+    pub close: bool,
+}
+
+/// Why a read did not produce a request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A well-formed request.
+    Ok(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes were not acceptable HTTP; the caller should 400 + close.
+    Malformed(&'static str),
+}
+
+/// Reads one request from the stream. `timeout` bounds the wait for the
+/// *first* byte (idle keep-alive); reads within a request use the same
+/// timeout per syscall, so a trickling peer cannot hold a worker forever.
+pub fn read_request(reader: &mut BufReader<TcpStream>, timeout: Duration) -> ReadOutcome {
+    let _ = reader.get_ref().set_read_timeout(Some(timeout));
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => return ReadOutcome::Closed,
+        Ok(_) => {}
+        Err(_) => return ReadOutcome::Closed,
+    }
+    if line.len() > MAX_HEAD_BYTES {
+        return ReadOutcome::Malformed("request line too long");
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("bad request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported HTTP version");
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut content_length = 0_usize;
+    let mut close = false;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return ReadOutcome::Malformed("headers too long");
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return ReadOutcome::Malformed("bad header");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(_) => return ReadOutcome::Malformed("body too large"),
+                Err(_) => return ReadOutcome::Malformed("bad content-length"),
+            },
+            "connection" if value.eq_ignore_ascii_case("close") => close = true,
+            "transfer-encoding" => {
+                // Chunked bodies are outside the subset.
+                return ReadOutcome::Malformed("transfer-encoding not supported");
+            }
+            _ => {}
+        }
+    }
+    let mut body = vec![0_u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Closed;
+    }
+    ReadOutcome::Ok(Request {
+        method,
+        path,
+        body,
+        close,
+    })
+}
+
+/// Writes one JSON response. Returns `false` when the peer is gone.
+pub fn write_json(stream: &mut TcpStream, status: u16, body: &str, close: bool) -> bool {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    // One write per response: paired with TCP_NODELAY this avoids the
+    // Nagle/delayed-ACK stall that two-segment responses provoke.
+    let message = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).is_ok() && stream.flush().is_ok()
+}

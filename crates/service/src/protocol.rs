@@ -1,0 +1,231 @@
+//! Wire types for the service's JSON protocol.
+//!
+//! Every response body is one of these shapes; every error is typed by a
+//! stable `kind` so clients branch on structure, never on message
+//! strings. `/status` is also the crash-safety observability surface: its
+//! `facility` section serializes the plant's hot state with exact
+//! (shortest-roundtrip) float literals, so two statuses comparing equal
+//! as JSON means the underlying `f64`s are bit-identical.
+
+use dcs_core::{StepRecord, WindowStats};
+use serde::{Deserialize, Serialize};
+
+/// Status schema tag.
+pub const STATUS_SCHEMA: &str = "dcs-service/status-v1";
+
+/// `POST /step` request body.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepBody {
+    /// Offered normalized demand for this control period.
+    pub demand: f64,
+    /// Optional step length override in seconds.
+    pub dt_secs: Option<f64>,
+}
+
+/// `POST /step` success response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResponse {
+    /// `true` when this decision came from the fail-safe path instead of
+    /// the physics-backed engine.
+    pub degraded: bool,
+    /// Why the fail-safe path answered (`"stale_feed"` or
+    /// `"engine_overrun"`), when `degraded`.
+    pub degraded_reason: Option<String>,
+    /// The engine's step telemetry (absent on degraded responses).
+    pub record: Option<StepRecord>,
+    /// The fail-safe actuation (present on degraded responses): run the
+    /// normal core count, no sprint.
+    pub failsafe_cores: Option<u32>,
+    /// Decision sequence number (lifetime, survives restarts).
+    pub decision_index: Option<u64>,
+}
+
+/// A typed error body: `{"error": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// The error.
+    pub error: ErrorDetail,
+}
+
+/// The typed error payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorDetail {
+    /// Stable machine-readable kind: `bad_request`, `backpressure`,
+    /// `deadline_exceeded`, `decision_failed`, `draining`, `config`,
+    /// `not_found`, `method_not_allowed`.
+    pub kind: String,
+    /// Human-readable context.
+    pub message: String,
+    /// The deadline that was exceeded, for `deadline_exceeded`.
+    pub deadline_ms: Option<u64>,
+    /// The queue depth that was full, for `backpressure`.
+    pub queue_depth: Option<u64>,
+}
+
+impl ErrorBody {
+    /// Builds a typed error body.
+    #[must_use]
+    pub fn new(kind: &str, message: impl Into<String>) -> ErrorBody {
+        ErrorBody {
+            error: ErrorDetail {
+                kind: kind.to_string(),
+                message: message.into(),
+                deadline_ms: None,
+                queue_depth: None,
+            },
+        }
+    }
+
+    /// Serializes to JSON (infallible shapes only).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| r#"{"error":{"kind":"internal"}}"#.into())
+    }
+}
+
+/// One breaker's thermal standing in `/status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerStatus {
+    /// Breaker name (`dc`, `pdu-0`, …).
+    pub name: String,
+    /// Trip progress in `[0, 1]`.
+    pub trip_progress: f64,
+    /// Whether the breaker is open.
+    pub tripped: bool,
+    /// Nameplate rating in watts.
+    pub rated_w: f64,
+    /// Largest indefinitely sustainable load in watts (thermal headroom).
+    pub no_trip_limit_w: f64,
+}
+
+/// The UPS fleet's standing in `/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpsStatus {
+    /// Aggregate state of charge in `[0, 1]`.
+    pub state_of_charge: f64,
+    /// Deliverable energy in watt-hours.
+    pub deliverable_wh: f64,
+    /// Servers currently on battery.
+    pub on_battery: u64,
+}
+
+/// The TES tank's standing in `/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TesStatus {
+    /// State of charge in `[0, 1]`.
+    pub state_of_charge: f64,
+    /// Stored heat capacity in watt-hours.
+    pub stored_wh: f64,
+}
+
+/// The engine-owned part of `/status`: the plant's hot state rendered
+/// for observability. Updated after every decision and immediately after
+/// a checkpoint restore, so comparing `facility` across a crash verifies
+/// bit-identical resumption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacilityStatus {
+    /// Facility clock in seconds.
+    pub time_secs: f64,
+    /// Room air temperature in °C.
+    pub room_temperature_c: f64,
+    /// Temperature headroom to the overheat threshold in °C.
+    pub room_headroom_c: f64,
+    /// UPS fleet standing.
+    pub ups: UpsStatus,
+    /// TES tank standing.
+    pub tes: TesStatus,
+    /// Per-breaker thermal standing: the DC breaker first, then every
+    /// PDU breaker.
+    pub breakers: Vec<BreakerStatus>,
+}
+
+/// Sprint-lifecycle summary in `/status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SprintStatus {
+    /// Strategy name.
+    pub strategy: String,
+    /// Whether a sprint is active.
+    pub active: bool,
+    /// Whether the safety latch has permanently terminated sprinting.
+    pub terminated: bool,
+}
+
+/// Degraded-mode flags in `/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedFlags {
+    /// The demand feed has been silent past the configured window.
+    pub stale_feed: bool,
+    /// A decision overran its deadline and the engine has not yet proven
+    /// healthy again.
+    pub engine_overrun: bool,
+}
+
+/// Service counters in `/status` (since this process started).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceCounters {
+    /// Physics-backed decisions served.
+    pub served: u64,
+    /// Requests that hit the decision deadline.
+    pub timeouts: u64,
+    /// Requests rejected by the bounded queue.
+    pub backpressure: u64,
+    /// Fail-safe decisions served while degraded.
+    pub degraded_served: u64,
+    /// Successful config reloads.
+    pub reloads: u64,
+    /// Rejected (rolled-back) config reloads.
+    pub reloads_rejected: u64,
+}
+
+/// `GET /status` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusBody {
+    /// Schema tag ([`STATUS_SCHEMA`]).
+    pub schema: String,
+    /// Serving state machine position: `serving`, `degraded`, `draining`.
+    pub mode: String,
+    /// Milliseconds since this process started.
+    pub uptime_ms: u64,
+    /// Lifetime decision count (persisted across restarts).
+    pub decisions: u64,
+    /// Why the service is degraded, if it is.
+    pub degraded: DegradedFlags,
+    /// Since-boot counters.
+    pub counters: ServiceCounters,
+    /// Config generation (bumped by each successful reload).
+    pub config_generation: u64,
+    /// The most recent rejected reload's error, if any.
+    pub last_reload_error: Option<String>,
+    /// The plant's hot state (the crash-safety anchor).
+    pub facility: FacilityStatus,
+    /// Sprint lifecycle summary.
+    pub sprint: SprintStatus,
+    /// Recent-step telemetry window.
+    pub window: WindowStats,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBody {
+    /// `serving`, `degraded`, or `draining`.
+    pub status: String,
+}
+
+/// `POST /reload` success response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReloadResponse {
+    /// Whether the reload was applied.
+    pub reloaded: bool,
+    /// The new config generation.
+    pub config_generation: u64,
+    /// Whether the plant was rebuilt (geometry/controller change) rather
+    /// than hot-swapped.
+    pub rebuilt: bool,
+}
+
+/// `POST /shutdown` response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShutdownResponse {
+    /// Always `true`: the service is now draining.
+    pub draining: bool,
+}

@@ -1,0 +1,554 @@
+//! The service front end: listener, connection threads, watchdog, and
+//! the [`SprintService`] handle that owns them all.
+//!
+//! Request flow for `POST /step`:
+//!
+//! 1. **Draining** → `503 draining`: the service refuses new decisions
+//!    while its final checkpoint lands.
+//! 2. **Degraded** → `200` with the fail-safe actuation (normal core
+//!    count, no sprint) and `degraded: true`. Degraded serving *answers*,
+//!    it never errors — a control plane that stops responding is worse
+//!    than one that stops sprinting.
+//! 3. **Serving** → the request is offered to the engine's bounded queue
+//!    (`try_send`; a full queue is `429 backpressure`, never an unbounded
+//!    pile-up), then awaited with the per-request deadline
+//!    (`recv_timeout`; an overrun is a typed `503 deadline_exceeded` *and*
+//!    flips the service to Degraded until the watchdog's liveness probe
+//!    proves the engine healthy again).
+//!
+//! The watchdog also tracks feed freshness: if no `/step` has arrived
+//! within `stale_after_ms`, the service degrades (`stale_feed`) on the
+//! grounds that a sprint decision computed against a silent feed is
+//! stale physics; it recovers as soon as traffic resumes and the engine
+//! answers a probe.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dcs_faults::ChaosSchedule;
+use dcs_sim::SimError;
+
+use crate::config::ServiceConfig;
+use crate::engine::{open_store, run_engine, EngineMsg, Mode, Shared};
+use crate::http::{read_request, write_json, ReadOutcome, Request};
+use crate::protocol::{
+    DegradedFlags, ErrorBody, HealthBody, ReloadResponse, ServiceCounters, ShutdownResponse,
+    StatusBody, StepBody, StepResponse, STATUS_SCHEMA,
+};
+
+/// How often the watchdog re-evaluates staleness and probes the engine.
+const WATCHDOG_TICK: Duration = Duration::from_millis(15);
+/// Idle keep-alive timeout per connection read.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a reload waits for the engine to acknowledge.
+const RELOAD_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Boot options for [`SprintService::spawn`].
+#[derive(Debug, Default)]
+pub struct ServiceOptions {
+    /// Checkpoint directory; `None` serves without persistence.
+    pub state_dir: Option<PathBuf>,
+    /// Injected decision faults (tests/ci); [`ChaosSchedule::none`] in
+    /// production.
+    pub chaos: ChaosSchedule,
+}
+
+/// A running sprint-control service.
+pub struct SprintService {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    tx: SyncSender<EngineMsg>,
+    engine: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl SprintService {
+    /// Validates `config`, restores any checkpointed hot state, binds
+    /// `127.0.0.1:port` (0 picks a free port), and starts serving.
+    pub fn spawn(
+        config: ServiceConfig,
+        options: ServiceOptions,
+        port: u16,
+    ) -> Result<SprintService, SimError> {
+        config.validate()?;
+        let (store, restored) = match options.state_dir.as_deref() {
+            Some(dir) => {
+                let (store, restored) = open_store(dir, &config)?;
+                (Some(store), restored)
+            }
+            None => (None, None),
+        };
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| SimError::service(format!("bind 127.0.0.1:{port}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SimError::service(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SimError::service(format!("set_nonblocking: {e}")))?;
+
+        let config = Arc::new(config);
+        let shared = Arc::new(Shared::new(config.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<EngineMsg>(config.queue_depth());
+
+        let engine = {
+            let shared = shared.clone();
+            let state_dir = options.state_dir.clone();
+            let chaos = options.chaos.clone();
+            std::thread::Builder::new()
+                .name("sprintd-engine".to_string())
+                .spawn(move || {
+                    run_engine(&rx, &shared, state_dir.as_deref(), &chaos, store, restored);
+                })
+                .map_err(|e| SimError::service(format!("spawn engine: {e}")))?
+        };
+        let watchdog = {
+            let shared = shared.clone();
+            let shutdown = shutdown.clone();
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("sprintd-watchdog".to_string())
+                .spawn(move || run_watchdog(&shared, &shutdown, &tx))
+                .map_err(|e| SimError::service(format!("spawn watchdog: {e}")))?
+        };
+        let acceptor = {
+            let shared = shared.clone();
+            let shutdown = shutdown.clone();
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("sprintd-accept".to_string())
+                .spawn(move || run_acceptor(&listener, &shared, &shutdown, &tx))
+                .map_err(|e| SimError::service(format!("spawn acceptor: {e}")))?
+        };
+
+        Ok(SprintService {
+            addr,
+            shared,
+            shutdown,
+            tx,
+            engine: Some(engine),
+            acceptor: Some(acceptor),
+            watchdog: Some(watchdog),
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state block (tests poke at mode/counters through this).
+    #[must_use]
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Drains and stops the service: final checkpoint, threads joined.
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        self.join_threads();
+    }
+
+    /// Blocks until the service drains (a `POST /shutdown` or a dropped
+    /// engine). Used by `sprintd`'s main thread.
+    pub fn join(mut self) {
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+
+    fn begin_drain(&self) {
+        self.shared.set_mode(Mode::Draining);
+        self.shared
+            .mode
+            .store(Mode::Draining.as_u8(), Ordering::SeqCst);
+        let (reply, done) = sync_channel(1);
+        if self.tx.send(EngineMsg::Drain { reply }).is_ok() {
+            let _ = done.recv_timeout(RELOAD_TIMEOUT);
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn join_threads(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(engine) = self.engine.take() {
+            let _ = engine.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for SprintService {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.shared
+                .mode
+                .store(Mode::Draining.as_u8(), Ordering::SeqCst);
+            let (reply, done) = sync_channel(1);
+            if self.tx.send(EngineMsg::Drain { reply }).is_ok() {
+                let _ = done.recv_timeout(Duration::from_secs(2));
+            }
+            self.join_threads();
+        }
+    }
+}
+
+/// The watchdog: stale-feed detection and degraded-mode recovery.
+fn run_watchdog(shared: &Arc<Shared>, shutdown: &AtomicBool, tx: &SyncSender<EngineMsg>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(WATCHDOG_TICK);
+        let config = shared.current_config();
+        let stale_after = config.stale_after_ms();
+        let now = shared.uptime_ms();
+        let last_feed = shared.last_feed_ms.load(Ordering::SeqCst);
+        let feed_fresh = now.saturating_sub(last_feed) <= stale_after;
+        match shared.mode() {
+            Mode::Draining => {}
+            Mode::Serving => {
+                if !feed_fresh {
+                    shared.stale_feed.store(true, Ordering::SeqCst);
+                    shared.set_mode(Mode::Degraded);
+                }
+            }
+            Mode::Degraded => {
+                // Recovery needs both a fresh feed and a live engine:
+                // probe with a Ping under the decision deadline.
+                if feed_fresh && engine_alive(tx, config.deadline_ms()) {
+                    shared.stale_feed.store(false, Ordering::SeqCst);
+                    shared.engine_overrun.store(false, Ordering::SeqCst);
+                    shared.set_mode(Mode::Serving);
+                }
+            }
+        }
+    }
+}
+
+/// Probes the engine with a Ping bounded by `deadline_ms`.
+fn engine_alive(tx: &SyncSender<EngineMsg>, deadline_ms: u64) -> bool {
+    let (reply, pong) = sync_channel(1);
+    match tx.try_send(EngineMsg::Ping { reply }) {
+        Ok(()) => pong
+            .recv_timeout(Duration::from_millis(deadline_ms))
+            .is_ok(),
+        Err(_) => false,
+    }
+}
+
+/// Accept loop: non-blocking accept, one thread per connection.
+fn run_acceptor(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+    tx: &SyncSender<EngineMsg>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = shared.clone();
+                let shutdown = shutdown.clone();
+                let tx = tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("sprintd-conn".to_string())
+                    .spawn(move || serve_connection(stream, &shared, &shutdown, &tx));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one keep-alive connection until the peer leaves, a request is
+/// malformed, or the service shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    shutdown: &Arc<AtomicBool>,
+    tx: &SyncSender<EngineMsg>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while !shutdown.load(Ordering::SeqCst) {
+        let request = match read_request(&mut reader, IDLE_TIMEOUT) {
+            ReadOutcome::Ok(request) => request,
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(why) => {
+                let body = ErrorBody::new("bad_request", why).to_json();
+                let _ = write_json(&mut writer, 400, &body, true);
+                return;
+            }
+        };
+        let close = request.close;
+        let (status, body) = route(&request, shared, tx);
+        if !write_json(&mut writer, status, &body, close) || close {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request.
+fn route(request: &Request, shared: &Arc<Shared>, tx: &SyncSender<EngineMsg>) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/status") => handle_status(shared),
+        ("POST", "/step") => handle_step(&request.body, shared, tx),
+        ("POST", "/reload") => handle_reload(&request.body, shared, tx),
+        ("POST", "/shutdown") => handle_shutdown(shared, tx),
+        ("GET" | "POST", _) => (
+            404,
+            ErrorBody::new("not_found", format!("no route {}", request.path)).to_json(),
+        ),
+        _ => (
+            405,
+            ErrorBody::new(
+                "method_not_allowed",
+                format!("method {} not supported", request.method),
+            )
+            .to_json(),
+        ),
+    }
+}
+
+fn json_or_500<T: serde::Serialize>(status: u16, value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(body) => (status, body),
+        Err(e) => (
+            503,
+            ErrorBody::new("decision_failed", format!("encode response: {e}")).to_json(),
+        ),
+    }
+}
+
+fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
+    let mode = shared.mode();
+    // Degraded is still "alive" for liveness probes: 200 serving/degraded,
+    // 503 only while draining (take the instance out of rotation).
+    let status = if mode == Mode::Draining { 503 } else { 200 };
+    json_or_500(
+        status,
+        &HealthBody {
+            status: mode.name().to_string(),
+        },
+    )
+}
+
+fn handle_status(shared: &Arc<Shared>) -> (u16, String) {
+    let engine = shared.status.lock().expect("status lock").clone();
+    let counters = &shared.counters;
+    let body = StatusBody {
+        schema: STATUS_SCHEMA.to_string(),
+        mode: shared.mode().name().to_string(),
+        uptime_ms: shared.uptime_ms(),
+        decisions: engine.decisions,
+        degraded: DegradedFlags {
+            stale_feed: shared.stale_feed.load(Ordering::SeqCst),
+            engine_overrun: shared.engine_overrun.load(Ordering::SeqCst),
+        },
+        counters: ServiceCounters {
+            served: counters.served.load(Ordering::SeqCst),
+            timeouts: counters.timeouts.load(Ordering::SeqCst),
+            backpressure: counters.backpressure.load(Ordering::SeqCst),
+            degraded_served: counters.degraded_served.load(Ordering::SeqCst),
+            reloads: counters.reloads.load(Ordering::SeqCst),
+            reloads_rejected: counters.reloads_rejected.load(Ordering::SeqCst),
+        },
+        config_generation: shared.config_generation.load(Ordering::SeqCst),
+        last_reload_error: shared
+            .last_reload_error
+            .lock()
+            .expect("reload lock")
+            .clone(),
+        facility: engine.facility,
+        sprint: engine.sprint,
+        window: engine.window,
+    };
+    json_or_500(200, &body)
+}
+
+fn handle_step(body: &[u8], shared: &Arc<Shared>, tx: &SyncSender<EngineMsg>) -> (u16, String) {
+    let step: StepBody = match std::str::from_utf8(body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(text).map_err(|e| e.to_string()))
+    {
+        Ok(step) => step,
+        Err(e) => {
+            return (
+                400,
+                ErrorBody::new("bad_request", format!("bad step body: {e}")).to_json(),
+            )
+        }
+    };
+    if !step.demand.is_finite() || step.demand < 0.0 {
+        return (
+            400,
+            ErrorBody::new("bad_request", "demand must be finite and non-negative").to_json(),
+        );
+    }
+    if let Some(dt) = step.dt_secs {
+        if !dt.is_finite() || dt <= 0.0 {
+            return (
+                400,
+                ErrorBody::new("bad_request", "dt_secs must be finite and positive").to_json(),
+            );
+        }
+    }
+    // Any well-formed step request freshens the feed, whatever mode we
+    // answer it in — recovery is driven by traffic resuming.
+    shared
+        .last_feed_ms
+        .store(shared.uptime_ms(), Ordering::SeqCst);
+
+    let config = shared.current_config();
+    match shared.mode() {
+        Mode::Draining => (
+            503,
+            ErrorBody::new("draining", "service is draining").to_json(),
+        ),
+        Mode::Degraded => {
+            shared
+                .counters
+                .degraded_served
+                .fetch_add(1, Ordering::SeqCst);
+            let reason = if shared.stale_feed.load(Ordering::SeqCst) {
+                "stale_feed"
+            } else {
+                "engine_overrun"
+            };
+            json_or_500(
+                200,
+                &StepResponse {
+                    degraded: true,
+                    degraded_reason: Some(reason.to_string()),
+                    record: None,
+                    failsafe_cores: Some(shared.failsafe_cores.load(Ordering::SeqCst)),
+                    decision_index: None,
+                },
+            )
+        }
+        Mode::Serving => {
+            let (reply, outcome) = sync_channel(1);
+            match tx.try_send(EngineMsg::Step {
+                demand: step.demand,
+                dt_secs: step.dt_secs,
+                reply,
+            }) {
+                Err(TrySendError::Full(_)) => {
+                    shared.counters.backpressure.fetch_add(1, Ordering::SeqCst);
+                    let mut error = ErrorBody::new(
+                        "backpressure",
+                        format!("decision queue full ({} deep)", config.queue_depth()),
+                    );
+                    error.error.queue_depth = Some(config.queue_depth() as u64);
+                    (429, error.to_json())
+                }
+                Err(TrySendError::Disconnected(_)) => (
+                    503,
+                    ErrorBody::new("decision_failed", "engine is gone").to_json(),
+                ),
+                Ok(()) => match outcome.recv_timeout(Duration::from_millis(config.deadline_ms())) {
+                    Ok(Ok(step)) => {
+                        shared.counters.served.fetch_add(1, Ordering::SeqCst);
+                        json_or_500(
+                            200,
+                            &StepResponse {
+                                degraded: false,
+                                degraded_reason: None,
+                                record: Some(step.record),
+                                failsafe_cores: None,
+                                decision_index: Some(step.decision_index),
+                            },
+                        )
+                    }
+                    Ok(Err(message)) => (503, ErrorBody::new("decision_failed", message).to_json()),
+                    Err(RecvTimeoutError::Timeout) => {
+                        shared.counters.timeouts.fetch_add(1, Ordering::SeqCst);
+                        shared.engine_overrun.store(true, Ordering::SeqCst);
+                        shared.set_mode(Mode::Degraded);
+                        let mut error = ErrorBody::new(
+                            "deadline_exceeded",
+                            format!("decision overran {} ms", config.deadline_ms()),
+                        );
+                        error.error.deadline_ms = Some(config.deadline_ms());
+                        (503, error.to_json())
+                    }
+                    Err(RecvTimeoutError::Disconnected) => (
+                        503,
+                        ErrorBody::new("decision_failed", "engine dropped the request").to_json(),
+                    ),
+                },
+            }
+        }
+    }
+}
+
+fn handle_reload(body: &[u8], shared: &Arc<Shared>, tx: &SyncSender<EngineMsg>) -> (u16, String) {
+    let reject = |shared: &Arc<Shared>, status: u16, kind: &str, message: String| {
+        shared
+            .counters
+            .reloads_rejected
+            .fetch_add(1, Ordering::SeqCst);
+        *shared.last_reload_error.lock().expect("reload lock") = Some(message.clone());
+        (status, ErrorBody::new(kind, message).to_json())
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(e) => return reject(shared, 400, "config", format!("bad reload body: {e}")),
+    };
+    // Validation happens before the engine ever sees the config: an
+    // invalid reload is rejected here and the running config is untouched.
+    let config = match ServiceConfig::from_json(text) {
+        Ok(config) => config,
+        Err(e) => return reject(shared, 400, "config", e.to_string()),
+    };
+    let (reply, done) = sync_channel(1);
+    if tx.send(EngineMsg::Reload { config, reply }).is_err() {
+        return reject(shared, 503, "config", "engine is gone".to_string());
+    }
+    match done.recv_timeout(RELOAD_TIMEOUT) {
+        Ok(Ok(outcome)) => {
+            shared.counters.reloads.fetch_add(1, Ordering::SeqCst);
+            *shared.last_reload_error.lock().expect("reload lock") = None;
+            json_or_500(
+                200,
+                &ReloadResponse {
+                    reloaded: true,
+                    config_generation: shared.config_generation.load(Ordering::SeqCst),
+                    rebuilt: outcome.rebuilt,
+                },
+            )
+        }
+        Ok(Err(message)) => reject(shared, 503, "config", message),
+        Err(_) => reject(shared, 503, "config", "reload timed out".to_string()),
+    }
+}
+
+fn handle_shutdown(shared: &Arc<Shared>, tx: &SyncSender<EngineMsg>) -> (u16, String) {
+    shared.mode.store(Mode::Draining.as_u8(), Ordering::SeqCst);
+    let (reply, done) = sync_channel(1);
+    if tx.send(EngineMsg::Drain { reply }).is_ok() {
+        let _ = done.recv_timeout(RELOAD_TIMEOUT);
+    }
+    json_or_500(200, &ShutdownResponse { draining: true })
+}

@@ -1,0 +1,66 @@
+//! Shared helpers for the service integration tests: a minimal HTTP/1.1
+//! client over `std::net` and temp-dir plumbing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A unique scratch directory per call; callers clean up on success.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("dcs-service-{}-{}-{}", tag, std::process::id(), n))
+}
+
+/// One `connection: close` exchange; returns `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).expect("write request");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut content_length = 0_usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut buf = vec![0_u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    (status, String::from_utf8(buf).expect("utf8 body"))
+}
+
+/// `POST /step` with the given demand; returns `(status, body)`.
+pub fn step(addr: SocketAddr, demand: f64) -> (u16, String) {
+    request(
+        addr,
+        "POST",
+        "/step",
+        Some(&format!(r#"{{"demand":{demand:?}}}"#)),
+    )
+}

@@ -1,0 +1,131 @@
+//! The headline crash-safety test: boot the real `sprintd` binary, drive
+//! it mid-sprint, `kill -9` it, restart on the same state directory, and
+//! assert the plant's hot state — breaker thermal memory, UPS and TES
+//! charge, room temperature — resumes bit-identically.
+
+mod common;
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+use common::{request, scratch_dir, step};
+use dcs_service::StatusBody;
+
+fn spawn_sprintd(config_path: &Path, state_dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sprintd"))
+        .arg(config_path)
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--port")
+        .arg("0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn sprintd");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected boot line {line:?}"))
+        .parse()
+        .expect("parse addr");
+    (child, addr)
+}
+
+#[test]
+fn kill_dash_nine_resumes_bit_identically() {
+    let root = scratch_dir("crash");
+    std::fs::create_dir_all(&root).expect("mkdir");
+    let config_path = root.join("service.json");
+    let state_dir = root.join("state");
+    // checkpoint_every=1: every decision is durable before its response.
+    std::fs::write(
+        &config_path,
+        r#"{"pdus":2,"servers_per_pdu":20,"checkpoint_every":1}"#,
+    )
+    .expect("write config");
+
+    // First life: drive the plant into a sprint so the hot state is
+    // nontrivial (breaker heat accumulated, UPS/TES partially drained).
+    let (mut child, addr) = spawn_sprintd(&config_path, &state_dir);
+    for i in 0..15 {
+        let demand = if i >= 4 { 2.6 } else { 0.6 };
+        let (status, body) = step(addr, demand);
+        assert_eq!(status, 200, "{body}");
+    }
+    let (status, body) = request(addr, "GET", "/status", None);
+    assert_eq!(status, 200);
+    let before: StatusBody = serde_json::from_str(&body).expect("status json");
+    assert_eq!(before.decisions, 15);
+    assert!(before.sprint.active, "test wants a mid-sprint crash");
+
+    // No drain, no warning: SIGKILL.
+    child.kill().expect("kill -9");
+    child.wait().expect("reap");
+
+    // Second life: same config, same state dir.
+    let (mut child, addr) = spawn_sprintd(&config_path, &state_dir);
+    let (status, body) = request(addr, "GET", "/status", None);
+    assert_eq!(status, 200);
+    let after: StatusBody = serde_json::from_str(&body).expect("status json");
+    assert_eq!(after.decisions, 15, "decision count survived the crash");
+    assert_eq!(
+        after.facility, before.facility,
+        "plant hot state did not resume bit-identically"
+    );
+    assert_eq!(after.sprint, before.sprint);
+
+    // The resumed plant keeps serving from where it left off.
+    let (status, body) = step(addr, 2.6);
+    assert_eq!(status, 200, "{body}");
+
+    let (status, _) = request(addr, "POST", "/shutdown", None);
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("wait");
+    assert!(exit.success(), "clean drain should exit 0, got {exit:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sprintd_rejects_bad_usage_and_config() {
+    let root = scratch_dir("cli");
+    std::fs::create_dir_all(&root).expect("mkdir");
+
+    // Usage error: exit 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_sprintd"))
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing config file: exit 4 (I/O).
+    let out = Command::new(env!("CARGO_BIN_EXE_sprintd"))
+        .arg(root.join("nope.json"))
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(4));
+
+    // Invalid config: exit 3, validation before any socket or state dir.
+    let config_path = root.join("bad.json");
+    std::fs::write(&config_path, r#"{"pdus":0,"servers_per_pdu":20}"#).expect("write");
+    let out = Command::new(env!("CARGO_BIN_EXE_sprintd"))
+        .arg(&config_path)
+        .arg("--state-dir")
+        .arg(root.join("state"))
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        !root.join("state").exists(),
+        "invalid config must not create the state dir"
+    );
+
+    std::fs::remove_dir_all(&root).ok();
+}

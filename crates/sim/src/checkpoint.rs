@@ -99,8 +99,10 @@ pub struct CheckpointStore {
 impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory for a computation
     /// of the given `kind` whose inputs hash to `fingerprint`. Stray
-    /// `.tmp` files from a previous crash are removed; the next sequence
-    /// number continues after the newest existing snapshot.
+    /// `snap-*.json.tmp` files from a previous crash mid-save are removed
+    /// (only the store's own naming pattern — unrelated `.tmp` files in a
+    /// shared directory are left alone); the next sequence number
+    /// continues after the newest existing snapshot.
     pub fn open(
         dir: impl Into<PathBuf>,
         kind: impl Into<String>,
@@ -121,7 +123,11 @@ impl CheckpointStore {
             let entry =
                 entry.map_err(|e| SimError::io(dir.display().to_string(), e.to_string()))?;
             let path = entry.path();
-            if path.extension().is_some_and(|ext| ext == "tmp") {
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(is_stale_snapshot_tmp)
+            {
                 let _ = fs::remove_file(&path);
             }
         }
@@ -304,6 +310,15 @@ fn snapshot_name(seq: u64) -> String {
     format!("snap-{seq:06}.json")
 }
 
+/// Whether `name` is a stray temp file from one of this store's own
+/// interrupted saves (`snap-<digits>.json.tmp`) — the only files the
+/// open-time sweep may delete.
+fn is_stale_snapshot_tmp(name: &str) -> bool {
+    name.strip_prefix("snap-")
+        .and_then(|rest| rest.strip_suffix(".json.tmp"))
+        .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+}
+
 /// Lists `(path, seq)` for every well-named snapshot file in `dir`.
 fn snapshot_files(dir: &Path) -> Result<Vec<(PathBuf, u64)>, SimError> {
     let mut files = Vec::new();
@@ -442,6 +457,31 @@ mod tests {
             !dir.join("snap-000001.json.tmp").exists(),
             "stray tmp must be swept on open"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_sweep_only_touches_own_snapshots() {
+        let dir = scratch_dir("sweep-scope");
+        fs::create_dir_all(&dir).unwrap();
+        // A stale temp from a kill mid-save of this store's own snapshot…
+        fs::write(dir.join("snap-000007.json.tmp"), b"partial").unwrap();
+        // …and tmp files that are NOT ours: a foreign tool's scratch file,
+        // and near-miss names that don't match the snapshot pattern.
+        fs::write(dir.join("notes.txt.tmp"), b"keep me").unwrap();
+        fs::write(dir.join("snap-extra.json.tmp"), b"keep me too").unwrap();
+        fs::write(dir.join("snap-.json.tmp"), b"no digits").unwrap();
+        let _store = CheckpointStore::open(&dir, "oracle", 1).unwrap();
+        assert!(
+            !dir.join("snap-000007.json.tmp").exists(),
+            "own stale tmp must be swept"
+        );
+        assert!(
+            dir.join("notes.txt.tmp").exists(),
+            "foreign tmp files must survive the sweep"
+        );
+        assert!(dir.join("snap-extra.json.tmp").exists());
+        assert!(dir.join("snap-.json.tmp").exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

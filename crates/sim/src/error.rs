@@ -1,10 +1,10 @@
 //! The typed error taxonomy for the simulation harness.
 //!
 //! [`SimError`] classifies every way a sim-layer computation can fail into
-//! four coarse classes — configuration, I/O, physics, and harness — each
-//! with its own process exit code, so the `simulate`/`perf_report`
-//! binaries can report *what kind* of thing went wrong without parsing
-//! message strings. The physics variants wrap the layer-local error enums
+//! five coarse classes — configuration, I/O, physics, harness, and the
+//! live service — each with its own process exit code, so the
+//! `simulate`/`perf_report`/`sprintd` binaries can report *what kind* of
+//! thing went wrong without parsing message strings. The physics variants wrap the layer-local error enums
 //! (`UnitError`, `BreakerError`, `TraceError`, `TableError`) rather than
 //! flattening them, so no information is lost crossing the sim boundary.
 
@@ -27,6 +27,10 @@ pub enum SimErrorClass {
     /// retries, a checkpoint was unusable, or a run was deliberately
     /// interrupted (exit code 6).
     Harness,
+    /// The live sprint-control service failed: the listener could not
+    /// bind, the decision engine died, or a shutdown went wrong (exit
+    /// code 7).
+    Service,
 }
 
 impl SimErrorClass {
@@ -39,6 +43,7 @@ impl SimErrorClass {
             SimErrorClass::Io => 4,
             SimErrorClass::Physics => 5,
             SimErrorClass::Harness => 6,
+            SimErrorClass::Service => 7,
         }
     }
 }
@@ -98,6 +103,13 @@ pub enum SimError {
         /// Where the run stopped.
         message: String,
     },
+    /// The live sprint-control service failed outside a request: the
+    /// listener could not bind, the decision engine thread died, or a
+    /// drain/shutdown sequence went wrong.
+    Service {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl SimError {
@@ -131,6 +143,13 @@ impl SimError {
         }
     }
 
+    /// A [`SimError::Service`] from any displayable message.
+    pub fn service(message: impl Into<String>) -> SimError {
+        SimError::Service {
+            message: message.into(),
+        }
+    }
+
     /// The coarse failure class (and thereby the exit code).
     #[must_use]
     pub fn class(&self) -> SimErrorClass {
@@ -143,6 +162,7 @@ impl SimError {
             SimError::Sweep { .. } | SimError::Checkpoint { .. } | SimError::Interrupted { .. } => {
                 SimErrorClass::Harness
             }
+            SimError::Service { .. } => SimErrorClass::Service,
         }
     }
 
@@ -175,6 +195,7 @@ impl std::fmt::Display for SimError {
                 write!(f, "checkpoint error at {path}: {message}")
             }
             SimError::Interrupted { message } => write!(f, "run interrupted: {message}"),
+            SimError::Service { message } => write!(f, "service error: {message}"),
         }
     }
 }
@@ -230,13 +251,14 @@ mod tests {
                 SimError::checkpoint("run/snap-000001.json", "bad checksum"),
                 6,
             ),
+            (SimError::service("address already in use"), 7),
         ];
         let mut seen = std::collections::BTreeSet::new();
         for (err, code) in cases {
             assert_eq!(err.exit_code(), code, "{err}");
             seen.insert(err.class().exit_code());
         }
-        assert_eq!(seen.len(), 4, "all four classes exercised");
+        assert_eq!(seen.len(), 5, "all five classes exercised");
     }
 
     #[test]

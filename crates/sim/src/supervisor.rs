@@ -619,6 +619,103 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_deadline_fails_fast() {
+        // A 0 ms deadline is degenerate but must not hang the watchdog
+        // (its poll interval clamps to ≥ 1 ms) or spin forever: any
+        // attempt that takes measurable time fails with a typed deadline
+        // cause after the configured attempts, promptly.
+        let started = Instant::now();
+        let sup = Supervisor::new().with_retry(RetryPolicy {
+            max_attempts: 2,
+            initial_backoff_ms: 1,
+            max_backoff_ms: 1,
+            deadline_ms: Some(0),
+        });
+        let report = sup.map(&[1_usize, 2, 3], |&x| {
+            std::thread::sleep(Duration::from_millis(5));
+            x
+        });
+        assert_eq!(report.failures.len(), 3, "every slow item must fail");
+        for failure in &report.failures {
+            assert_eq!(failure.attempts, 2);
+            assert!(
+                matches!(
+                    failure.cause,
+                    FailureCause::DeadlineExceeded { deadline_ms: 0, .. }
+                ),
+                "expected deadline cause, got {:?}",
+                failure.cause
+            );
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "zero deadline must fail fast, took {:?}",
+            started.elapsed()
+        );
+        // The inline `call` path hits the same edge.
+        let err = sup
+            .call(0, || std::thread::sleep(Duration::from_millis(5)))
+            .expect_err("zero deadline must reject a measurable attempt");
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+    }
+
+    #[test]
+    fn no_backoff_sleep_after_final_retry() {
+        // Backoff runs *before* each retry, never after the last failed
+        // attempt: with one attempt and a huge configured backoff, a
+        // failing item must return without sleeping at all.
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            initial_backoff_ms: 120_000,
+            max_backoff_ms: 120_000,
+            deadline_ms: None,
+        };
+        let sup =
+            Supervisor::new()
+                .with_retry(policy)
+                .with_chaos(ChaosSchedule::panic_on(0, 0).with(ChaosEvent {
+                    item: 0,
+                    attempt: 1,
+                    kind: ChaosKind::Panic,
+                }));
+        let started = Instant::now();
+        let report = sup.map(&[1_usize], |&x| x);
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "no sleep may follow the final attempt, took {:?}",
+            started.elapsed()
+        );
+        // Same contract on the inline path, with retries in play: two
+        // attempts separated by one short backoff, and nothing after the
+        // second failure.
+        let retrying = Supervisor::new()
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                initial_backoff_ms: 10,
+                max_backoff_ms: 10,
+                deadline_ms: None,
+            })
+            .with_chaos(ChaosSchedule::panic_on(0, 0).with(ChaosEvent {
+                item: 0,
+                attempt: 1,
+                kind: ChaosKind::Panic,
+            }));
+        let started = Instant::now();
+        let err = retrying.call(0, || 1).expect_err("both attempts panic");
+        let elapsed = started.elapsed();
+        assert!(err.to_string().contains("panic"), "{err}");
+        assert!(
+            elapsed >= Duration::from_millis(10),
+            "one backoff must separate the attempts, took {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "no second backoff may follow the final attempt, took {elapsed:?}"
+        );
+    }
+
+    #[test]
     fn backoff_is_capped() {
         let policy = RetryPolicy {
             max_attempts: 10,

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! `Criterion::bench_function`, `benchmark_group` with `sample_size` and
+//! `finish`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple measurement
+//! loop: a short warm-up, then a fixed number of timed samples whose
+//! mean per-iteration wall-clock time is printed. No statistics, plots,
+//! or baselines; `cargo bench` here answers "roughly how fast, and did
+//! it compile" rather than upstream's rigorous comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up briefly, then averaging over a
+    /// bounded number of timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms have passed or 3 iterations, whichever
+        // comes first, and estimate the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u32;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters;
+
+        // Aim for ~200ms of measurement, bounded by the sample budget.
+        let target = Duration::from_millis(200);
+        let iters = if per_iter.is_zero() {
+            self.samples as u32
+        } else {
+            ((target.as_nanos() / per_iter.as_nanos().max(1)) as u32).clamp(1, self.samples as u32)
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last_mean = Some(start.elapsed() / iters);
+    }
+}
+
+/// A named family of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample budget for subsequent benches in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, &mut f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        last_mean: None,
+    };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("bench {id:<50} {mean:>12.2?}/iter"),
+        None => println!("bench {id:<50} (no measurement)"),
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("id", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_function(format!("fmt/{}", 3), |b| b.iter(|| black_box(3 * 3)));
+        group.finish();
+    }
+}

@@ -1,0 +1,502 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic random-sampling property tests with the combinator
+//! surface this workspace uses: range strategies, `Just`, tuples,
+//! `prop_map`, `prop_oneof!`, `prop::collection::vec`, `any::<bool>()`,
+//! and the `proptest!`/`prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **no shrinking** — a failure reports the case number and message;
+//!   seeds are derived from the test name and case index, so a failing
+//!   case reproduces exactly on rerun;
+//! * rejection via `prop_assume!` resamples with a bounded retry budget
+//!   instead of upstream's global rejection bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted samples each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted samples.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this sample: the test fails.
+    Fail(String),
+    /// The sample fell outside the property's precondition: resample.
+    Reject(String),
+}
+
+/// Result of one sampled case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms every sampled value through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A uniform choice among boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics if empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! requires at least one option"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one unconstrained value.
+    fn sample_any(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn sample_any(rng: &mut StdRng) -> bool {
+        rng.gen_range(0..2u32) == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn sample_any(rng: &mut StdRng) -> u8 {
+        rng.gen_range(0..=u8::MAX)
+    }
+}
+
+impl Arbitrary for u32 {
+    fn sample_any(rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..=u32::MAX)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn sample_any(rng: &mut StdRng) -> u64 {
+        rng.gen_range(0..=u64::MAX)
+    }
+}
+
+impl Arbitrary for usize {
+    fn sample_any(rng: &mut StdRng) -> usize {
+        rng.gen_range(0..=usize::MAX)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+/// Collection strategies (`prop::collection` in upstream paths).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A permissible length span for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                lo: exact,
+                hi_inclusive: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and
+    /// whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: samples `cfg.cases` accepted cases, resampling
+/// rejected ones with a bounded budget, and panics on the first failing
+/// case. Seeds derive from `name` and the case/attempt counters, so runs
+/// are deterministic and failures reproduce.
+pub fn run_property<F>(name: &str, cfg: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let base = fnv1a(name.as_bytes());
+    let reject_budget = cfg.cases as u64 * 256 + 1024;
+    let mut rejects = 0u64;
+    for case in 0..cfg.cases {
+        let mut attempt = 0u64;
+        loop {
+            let seed = base
+                ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ attempt.wrapping_mul(0xd1b5_4a32_d192_ed03);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match body(&mut rng) {
+                Ok(()) => break,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    attempt += 1;
+                    assert!(
+                        rejects <= reject_budget,
+                        "property `{name}`: too many rejected samples ({why})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property `{name}` failed at case {case}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Declares `#[test]` property functions whose arguments are sampled from
+/// strategies. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_property(stringify!($name), &__cfg, |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current sample (resampling it) when its precondition does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// A uniform choice among the listed strategies, all producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(__options)
+    }};
+}
+
+/// The workspace-facing import surface, mirroring upstream paths.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirrors upstream's `prop` module alias (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn ranges_in_bounds(x in 0.0..1.0f64, n in 1..10usize) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        fn vec_lengths(v in prop::collection::vec((0.0..5.0f64, any::<bool>()), 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+        }
+
+        fn oneof_and_map(v in prop_oneof![
+            Just(1u32),
+            (10..20u32).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 1 || (20..40).contains(&v), "v = {v}");
+        }
+
+        fn assume_rejects(n in 0..100u32) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_property("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first: Vec<f64> = Vec::new();
+        crate::run_property("det", &ProptestConfig::with_cases(8), |rng| {
+            first.push(Strategy::sample(&(0.0..1.0f64), rng));
+            Ok(())
+        });
+        let mut second: Vec<f64> = Vec::new();
+        crate::run_property("det", &ProptestConfig::with_cases(8), |rng| {
+            second.push(Strategy::sample(&(0.0..1.0f64), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy visitor framework; this stand-in trades
+//! all of that for a tiny owned-value model: serializing builds a
+//! [`Value`] tree, deserializing reads one. `serde_json` (the vendored
+//! stand-in) renders and parses that tree. The derive macros in
+//! `serde_derive` generate `to_value`/`from_value` impls supporting the
+//! attribute subset the workspace uses: `#[serde(transparent)]`,
+//! `#[serde(default)]`, and `#[serde(tag = "...", rename_all =
+//! "snake_case")]`, plus plain externally-tagged enums.
+//!
+//! Semantics worth knowing:
+//! * numbers parse into the narrowest of `U64`/`I64`/`F64`, and numeric
+//!   `from_value` impls convert between them when lossless;
+//! * non-finite floats serialize as bare `Infinity` / `-Infinity` / `NaN`
+//!   tokens (accepted by Python's `json`, used by the CI validators);
+//! * a missing struct field deserializes as `Value::Null`, so `Option`
+//!   fields tolerate omission exactly like upstream serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The owned data model every serialization round-trips through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Everything else numeric, including non-finite values.
+    F64(f64),
+    /// JSON strings.
+    Str(String),
+    /// JSON arrays.
+    Array(Vec<Value>),
+    /// JSON objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A short name for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing what failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "expected X, found Y" error while decoding `what`.
+    #[must_use]
+    pub fn expected(expected: &str, what: &str) -> DeError {
+        DeError(format!("invalid {what}: expected {expected}"))
+    }
+
+    /// A missing-field error.
+    #[must_use]
+    pub fn missing(field: &str, ty: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Decodes `value` into `Self`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let wide = match value {
+                    Value::U64(u) => *u,
+                    Value::I64(i) if *i >= 0 => *i as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(DeError::expected("unsigned integer", other.kind())),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected(stringify!($t), "out-of-range integer"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let wide = match value {
+                    Value::I64(i) => *i,
+                    Value::U64(u) if *u <= i64::MAX as u64 => *u as i64,
+                    Value::F64(f)
+                        if f.fract() == 0.0
+                            && *f >= i64::MIN as f64
+                            && *f <= i64::MAX as f64 =>
+                    {
+                        *f as i64
+                    }
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected(stringify!($t), "out-of-range integer"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, DeError> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(DeError::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<char, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::expected("array of fixed length", "array"))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "map"))?;
+        entries
+            .iter()
+            .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<($($name,)+), DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let mut it = items.iter();
+                let out = ($(
+                    $name::from_value(
+                        it.next().ok_or_else(|| DeError::expected("longer array", "tuple"))?,
+                    )?,
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Deserialization helpers, mirroring the `serde::de` module path.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Upstream-compatible alias: this stand-in's `Deserialize` is already
+    /// owned, so the bound is the trait itself.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+
+    /// Decodes field `name` from a struct's object entries. A missing
+    /// field decodes as [`Value::Null`], which succeeds for `Option`
+    /// fields and fails with a missing-field error otherwise.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("{ty}.{name}: {e}"))),
+            None => T::from_value(&Value::Null).map_err(|_| DeError::missing(name, ty)),
+        }
+    }
+
+    /// Like [`field`], but a missing or null field falls back to
+    /// `Default::default()` — the `#[serde(default)]` behavior.
+    pub fn field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, Value::Null)) | None => Ok(T::default()),
+            Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("{ty}.{name}: {e}"))),
+        }
+    }
+}
+
+/// Serialization helpers, mirroring the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+        assert_eq!(Some(3u64).to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert_eq!(u64::from_value(&Value::F64(4.0)).unwrap(), 4);
+        assert!(u64::from_value(&Value::F64(4.5)).is_err());
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn missing_field_is_null_for_option() {
+        let entries: Vec<(String, Value)> = vec![];
+        let missing: Option<f64> = de::field(&entries, "gone", "T").unwrap();
+        assert_eq!(missing, None);
+        assert!(de::field::<f64>(&entries, "gone", "T").is_err());
+    }
+
+    #[test]
+    fn field_or_default_falls_back() {
+        let entries: Vec<(String, Value)> = vec![("x".into(), Value::U64(7))];
+        let x: u64 = de::field_or_default(&entries, "x", "T").unwrap();
+        let y: u64 = de::field_or_default(&entries, "y", "T").unwrap();
+        assert_eq!((x, y), (7, 0));
+    }
+}

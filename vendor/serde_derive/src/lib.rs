@@ -1,0 +1,660 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's owned-value `Serialize` /
+//! `Deserialize` traits. Built directly on `proc_macro` token trees — no
+//! `syn`/`quote` — so it supports exactly the shapes this workspace uses:
+//!
+//! * named-field structs (with `#[serde(default)]` fields);
+//! * `#[serde(transparent)]` newtype structs;
+//! * plain enums, externally tagged (unit variant ⇄ string, data variant
+//!   ⇄ single-key object);
+//! * internally tagged enums via `#[serde(tag = "...")]`, optionally with
+//!   `#[serde(rename_all = "snake_case")]`.
+//!
+//! Field *types* are never parsed: generated code routes every field
+//! through generic helpers (`serde::de::field`, `Serialize::to_value`)
+//! and lets inference do the rest. Generic containers are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+struct Field {
+    name: Option<String>,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    fields: Vec<Field>,
+    named: bool,
+}
+
+enum Shape {
+    Struct { fields: Vec<Field>, named: bool },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut attrs = SerdeAttrs::default();
+    let mut name = String::new();
+    let mut is_enum = false;
+
+    // Container attributes, visibility, and the struct/enum keyword.
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    merge_serde_attr(&mut attrs, &g.stream());
+                }
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip an optional restriction like `pub(crate)`.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        is_enum = word == "enum";
+                        if let Some(TokenTree::Ident(n)) = tokens.next() {
+                            name = n.to_string();
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        !name.is_empty(),
+        "serde_derive: could not find container name"
+    );
+
+    // Reject generics: the next token after the name must open the body.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive stand-in does not support generic containers ({name})"
+        );
+    }
+
+    let body = tokens.find_map(|tok| match tok {
+        TokenTree::Group(g) => Some(g),
+        _ => None,
+    });
+
+    let shape = if is_enum {
+        let body = body.expect("serde_derive: enum without a body");
+        Shape::Enum {
+            variants: parse_variants(body.stream()),
+        }
+    } else {
+        match body {
+            Some(g) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                fields: parse_named_fields(g.stream()),
+                named: true,
+            },
+            Some(g) => Shape::Struct {
+                fields: parse_tuple_fields(g.stream()),
+                named: false,
+            },
+            // `struct Unit;`
+            None => Shape::Struct {
+                fields: Vec::new(),
+                named: false,
+            },
+        }
+    };
+
+    Item { name, attrs, shape }
+}
+
+/// Folds one outer attribute's bracket-group stream into `attrs` if it is
+/// a `serde(...)` attribute; ignores everything else (doc comments, other
+/// derives' helpers).
+fn merge_serde_attr(attrs: &mut SerdeAttrs, bracket: &TokenStream) {
+    let mut it = bracket.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+
+    let mut toks = args.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        let key = key.to_string();
+        let value = match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        Some(lit.to_string().trim_matches('"').to_string())
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "default" => attrs.default = true,
+            "tag" => attrs.tag = value,
+            "rename_all" => attrs.rename_all = value,
+            other => panic!("serde_derive stand-in: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Collects leading `#[...]` attributes at the current stream position.
+fn take_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            merge_serde_attr(&mut attrs, &g.stream());
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type (or any token run) up to a top-level comma, tracking angle
+/// brackets so `BTreeMap<String, u64>` stays one field.
+fn skip_to_comma(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle = 0i32;
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    toks.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(Field {
+                    name: Some(id.to_string()),
+                    attrs,
+                });
+                // Skip `: Type,`.
+                skip_to_comma(&mut toks);
+            }
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut toks);
+        skip_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        fields.push(Field { name: None, attrs });
+        skip_to_comma(&mut toks);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut toks);
+        let Some(TokenTree::Ident(id)) = toks.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let (fields, named) = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                toks.next();
+                (f, true)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                toks.next();
+                (f, false)
+            }
+            _ => (Vec::new(), false),
+        };
+        variants.push(Variant {
+            name,
+            fields,
+            named,
+        });
+        // Skip a discriminant (unused here) and the trailing comma.
+        skip_to_comma(&mut toks);
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn rename_variant(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("serde_derive stand-in: unsupported rename_all `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct { fields, named } => gen_struct_ser(item, fields, *named),
+        Shape::Enum { variants } => gen_enum_ser(item, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_ser(item: &Item, fields: &[Field], named: bool) -> String {
+    if item.attrs.transparent {
+        assert!(fields.len() == 1, "transparent requires exactly one field");
+        let access = match &fields[0].name {
+            Some(n) => format!("self.{n}"),
+            None => "self.0".to_string(),
+        };
+        return format!("serde::Serialize::to_value(&{access})");
+    }
+    if fields.is_empty() {
+        // Unit structs (and empty braced structs) serialize as null,
+        // matching upstream's unit-struct encoding.
+        return "serde::Value::Null".to_string();
+    }
+    if named {
+        let mut out =
+            String::from("let mut __entries: Vec<(String, serde::Value)> = Vec::new();\n");
+        for f in fields {
+            let n = f.name.as_ref().unwrap();
+            out.push_str(&format!(
+                "__entries.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n"
+            ));
+        }
+        out.push_str("serde::Value::Object(__entries)");
+        out
+    } else if fields.len() == 1 {
+        "serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..fields.len())
+            .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("serde::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+fn gen_enum_ser(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rename = item.attrs.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename_variant(vname, rename);
+        let arm = if let Some(tag) = &item.attrs.tag {
+            // Internally tagged: {"<tag>": "<wire>", ...fields}.
+            if v.fields.is_empty() {
+                format!(
+                    "{name}::{vname} => serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                     serde::Value::Str(\"{wire}\".to_string()))]),\n"
+                )
+            } else {
+                assert!(
+                    v.named,
+                    "internally tagged enums require named-field variants"
+                );
+                let binds: Vec<&String> =
+                    v.fields.iter().map(|f| f.name.as_ref().unwrap()).collect();
+                let pat = binds
+                    .iter()
+                    .map(|b| b.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut body = format!(
+                    "let mut __entries: Vec<(String, serde::Value)> = \
+                     vec![(\"{tag}\".to_string(), serde::Value::Str(\"{wire}\".to_string()))];\n"
+                );
+                for b in &binds {
+                    body.push_str(&format!(
+                        "__entries.push((\"{b}\".to_string(), serde::Serialize::to_value({b})));\n"
+                    ));
+                }
+                body.push_str("serde::Value::Object(__entries)");
+                format!("{name}::{vname} {{ {pat} }} => {{\n{body}\n}}\n")
+            }
+        } else {
+            // Externally tagged.
+            if v.fields.is_empty() {
+                format!("{name}::{vname} => serde::Value::Str(\"{wire}\".to_string()),\n")
+            } else if v.named {
+                let binds: Vec<&String> =
+                    v.fields.iter().map(|f| f.name.as_ref().unwrap()).collect();
+                let pat = binds
+                    .iter()
+                    .map(|b| b.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut body =
+                    String::from("let mut __entries: Vec<(String, serde::Value)> = Vec::new();\n");
+                for b in &binds {
+                    body.push_str(&format!(
+                        "__entries.push((\"{b}\".to_string(), serde::Serialize::to_value({b})));\n"
+                    ));
+                }
+                body.push_str(&format!(
+                    "serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                     serde::Value::Object(__entries))])"
+                ));
+                format!("{name}::{vname} {{ {pat} }} => {{\n{body}\n}}\n")
+            } else if v.fields.len() == 1 {
+                format!(
+                    "{name}::{vname}(__f0) => serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                     serde::Serialize::to_value(__f0))]),\n"
+                )
+            } else {
+                let binds = tuple_binders(v.fields.len());
+                let pat = binds.join(", ");
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({pat}) => serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                     serde::Value::Array(vec![{}]))]),\n",
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct { fields, named } => gen_struct_de(item, fields, *named),
+        Shape::Enum { variants } => gen_enum_de(item, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> Result<{name}, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_de(item: &Item, fields: &[Field], named: bool) -> String {
+    let name = &item.name;
+    if item.attrs.transparent {
+        assert!(fields.len() == 1, "transparent requires exactly one field");
+        return match &fields[0].name {
+            Some(n) => format!("Ok({name} {{ {n}: serde::Deserialize::from_value(__value)? }})"),
+            None => format!("Ok({name}(serde::Deserialize::from_value(__value)?))"),
+        };
+    }
+    if fields.is_empty() {
+        let ctor = if named {
+            format!("{name} {{}}")
+        } else {
+            name.to_string()
+        };
+        return format!("let _ = __value;\nOk({ctor})");
+    }
+    if named {
+        let mut out = format!(
+            "let __entries = __value.as_object().ok_or_else(|| \
+             serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+             Ok({name} {{\n"
+        );
+        for f in fields {
+            let n = f.name.as_ref().unwrap();
+            let helper = if f.attrs.default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            out.push_str(&format!(
+                "{n}: serde::de::{helper}(__entries, \"{n}\", \"{name}\")?,\n"
+            ));
+        }
+        out.push_str("})");
+        out
+    } else if fields.len() == 1 {
+        format!("Ok({name}(serde::Deserialize::from_value(__value)?))")
+    } else {
+        let mut out = format!(
+            "let __items = __value.as_array().ok_or_else(|| \
+             serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+             if __items.len() != {len} {{\n\
+                 return Err(serde::DeError::expected(\"array of {len}\", \"{name}\"));\n\
+             }}\n\
+             Ok({name}(\n",
+            len = fields.len()
+        );
+        for i in 0..fields.len() {
+            out.push_str(&format!(
+                "serde::Deserialize::from_value(&__items[{i}])?,\n"
+            ));
+        }
+        out.push_str("))");
+        out
+    }
+}
+
+fn gen_enum_de(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let rename = item.attrs.rename_all.as_deref();
+
+    if let Some(tag) = &item.attrs.tag {
+        // Internally tagged.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let wire = rename_variant(vname, rename);
+            if v.fields.is_empty() {
+                arms.push_str(&format!("\"{wire}\" => Ok({name}::{vname}),\n"));
+            } else {
+                let mut body = format!("Ok({name}::{vname} {{\n");
+                for f in &v.fields {
+                    let n = f.name.as_ref().unwrap();
+                    let helper = if f.attrs.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
+                    body.push_str(&format!(
+                        "{n}: serde::de::{helper}(__entries, \"{n}\", \"{name}::{vname}\")?,\n"
+                    ));
+                }
+                body.push_str("})");
+                arms.push_str(&format!("\"{wire}\" => {{\n{body}\n}}\n"));
+            }
+        }
+        return format!(
+            "let __entries = __value.as_object().ok_or_else(|| \
+             serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+             let __tag: String = serde::de::field(__entries, \"{tag}\", \"{name}\")?;\n\
+             match __tag.as_str() {{\n{arms}\
+                 other => Err(serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+             }}"
+        );
+    }
+
+    // Externally tagged: strings for unit variants, single-key objects for
+    // data variants.
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = rename_variant(vname, rename);
+        if v.fields.is_empty() {
+            unit_arms.push_str(&format!("\"{wire}\" => Ok({name}::{vname}),\n"));
+        } else if v.named {
+            let mut body = format!(
+                "let __entries = __inner.as_object().ok_or_else(|| \
+                 serde::DeError::expected(\"object\", \"{name}::{vname}\"))?;\n\
+                 Ok({name}::{vname} {{\n"
+            );
+            for f in &v.fields {
+                let n = f.name.as_ref().unwrap();
+                let helper = if f.attrs.default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
+                body.push_str(&format!(
+                    "{n}: serde::de::{helper}(__entries, \"{n}\", \"{name}::{vname}\")?,\n"
+                ));
+            }
+            body.push_str("})");
+            data_arms.push_str(&format!("\"{wire}\" => {{\n{body}\n}}\n"));
+        } else if v.fields.len() == 1 {
+            data_arms.push_str(&format!(
+                "\"{wire}\" => Ok({name}::{vname}(serde::Deserialize::from_value(__inner)?)),\n"
+            ));
+        } else {
+            let mut body = format!(
+                "let __items = __inner.as_array().ok_or_else(|| \
+                 serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n\
+                 if __items.len() != {len} {{\n\
+                     return Err(serde::DeError::expected(\"array of {len}\", \
+                     \"{name}::{vname}\"));\n\
+                 }}\n\
+                 Ok({name}::{vname}(\n",
+                len = v.fields.len()
+            );
+            for i in 0..v.fields.len() {
+                body.push_str(&format!(
+                    "serde::Deserialize::from_value(&__items[{i}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            data_arms.push_str(&format!("\"{wire}\" => {{\n{body}\n}}\n"));
+        }
+    }
+    format!(
+        "match __value {{\n\
+             serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 other => Err(serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+             }},\n\
+             serde::Value::Object(__obj) if __obj.len() == 1 => {{\n\
+                 let (__key, __inner) = &__obj[0];\n\
+                 let _ = __inner;\n\
+                 match __key.as_str() {{\n{data_arms}\
+                     other => Err(serde::DeError(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(serde::DeError::expected(\"string or single-key object\", other.kind())),\n\
+         }}"
+    )
+}
