@@ -44,7 +44,7 @@ cargo test -p dcs-bench --test simulate_cli --offline -q
 echo "== benches compile =="
 cargo bench --workspace --offline --no-run -q
 
-echo "== perf report smoke (batched vs independent, supervised vs plain) =="
+echo "== perf report smoke (batched vs independent, supervised vs plain, hyperscale) =="
 # Tiny-scale run of the perf-trajectory harness. The binary exits non-zero
 # unless every batched result — Oracle best bounds/outcomes, the table
 # cell-for-cell, and the per-lane summaries under a random fault schedule —
@@ -55,7 +55,10 @@ echo "== perf report smoke (batched vs independent, supervised vs plain) =="
 # that every timed section carries honest work counts. (The <=5% supervised
 # overhead budget is enforced by the binary in full mode only — tiny-scale
 # tables finish in ~2 ms, so checkpoint I/O dominates and the ratio is
-# meaningless there.)
+# meaningless there.) The v6 scale_hyperscale section runs even in tiny
+# mode (at reduced but still thousand-PDU dimensions): it re-asserts
+# batched == independent and thread-count invariance on the hyperscale
+# facility and records the worker-budget sweep.
 smoke_json="$(mktemp)"
 cargo run --release -p dcs-bench --bin perf_report --offline -q -- \
   --tiny --out "$smoke_json" > /dev/null
@@ -67,31 +70,48 @@ sections = ["run_full", "run_lean", "oracle_exhaustive", "oracle_pruned",
             "table_pruned_unbatched", "table_pruned_supervised"]
 required = ["schema", "mode", "batched_equals_independent", "best_bound",
             "supervised_table_overhead", "supervised_overhead_within_budget",
-            "kill_resume_reproduces_table", "kernel_overhead"] + sections
+            "kill_resume_reproduces_table", "kernel_overhead",
+            "speedup_run_vs_pr5", "speedup_oracle_vs_pr5",
+            "speedup_table_vs_pr5", "scale_hyperscale"] + sections
 missing = [k for k in required if k not in report]
 assert not missing, f"perf report missing sections: {missing}"
-assert report["schema"] == "dcs-bench/perf-report-v4", report["schema"]
+assert report["schema"] == "dcs-bench/perf-report-v6", report["schema"]
 assert report["mode"] == "tiny", report["mode"]
 # kernel_overhead is anchored to full-mode PR4 timings; tiny mode runs a
 # different scale, so the section must be present but null here. A full
-# run must land within budget (the binary aborts otherwise).
+# run must land within budget (the binary aborts otherwise). The same
+# goes for the PR5 speedup anchors.
 ko = report["kernel_overhead"]
 assert ko is None or ko["within_budget"] is True, ko
 assert report["batched_equals_independent"] is True, \
     "batched engine diverged from independent per-lane runs"
 assert report["kill_resume_reproduces_table"] is True, \
     "kill-and-resume did not reproduce the table"
+hy = report["scale_hyperscale"]
+assert hy["batched_equals_independent"] is True, \
+    "hyperscale batched engine diverged from independent runs"
+assert hy["thread_count_invariant"] is True, \
+    "hyperscale table diverged across worker budgets"
+assert hy["pdus"] >= 1000, f"hyperscale has only {hy['pdus']} PDUs"
+assert hy["total_cores"] >= 250_000, hy["total_cores"]
+assert len(hy["thread_scaling"]) >= 2 \
+    and all(p["table_ms"] > 0 for p in hy["thread_scaling"]), \
+    "hyperscale worker sweep is incomplete"
+assert 0 < hy["parallel_efficiency"], hy["parallel_efficiency"]
 batched = 0
-for k in sections:
-    assert report[k]["time_ms"] > 0, f"{k} has no timing"
-    assert report[k]["sim_runs"] > 0, f"{k} has no work count"
-    lanes = report[k].get("lane_steps")
+hy_sections = [("hyperscale." + k, hy[k])
+               for k in ["run_lean", "oracle_pruned", "table_pruned"]]
+for k, sec in [(k, report[k]) for k in sections] + hy_sections:
+    assert sec["time_ms"] > 0, f"{k} has no timing"
+    assert sec["sim_runs"] > 0, f"{k} has no work count"
+    lanes = sec.get("lane_steps")
     if lanes is not None:
         assert lanes["live"] > 0 and lanes["unique_lanes"] > 0, \
             f"{k} went through the batched engine but reports no lane steps"
         batched += 1
-assert batched >= 5, f"only {batched} sections report lane steps"
-print(f"perf report OK ({len(sections)} sections, {batched} batched)")
+assert batched >= 7, f"only {batched} sections report lane steps"
+print(f"perf report OK ({len(sections) + len(hy_sections)} sections, "
+      f"{batched} batched, hyperscale {hy['total_cores']} cores)")
 EOF
 rm -f "$smoke_json"
 

@@ -16,9 +16,40 @@ use dcs_sim::{oracle_search, run, run_no_sprint, Scenario};
 use dcs_units::Seconds;
 use dcs_workload::yahoo_trace;
 
+/// Facility scale from the CLI: `ablation_scaling [PDUS SERVERS_PER_PDU]`,
+/// defaulting to the paper-scale 4×200 facility. A larger scale lets the
+/// ablation ride the hyperscale configurations `perf_report` exercises.
+fn scale_from_args() -> (usize, usize) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => (4, 200),
+        [pdus, servers] => {
+            let parse = |s: &String, what: &str| -> usize {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {what} must be a positive integer, got `{s}`");
+                    std::process::exit(2);
+                })
+            };
+            let scale = (parse(pdus, "PDUS"), parse(servers, "SERVERS_PER_PDU"));
+            if scale.0 == 0 || scale.1 == 0 {
+                eprintln!("error: scale must be non-zero");
+                std::process::exit(2);
+            }
+            scale
+        }
+        _ => {
+            eprintln!("usage: ablation_scaling [PDUS SERVERS_PER_PDU]");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
+    let (pdus, servers_per_pdu) = scale_from_args();
     println!("# Ablation — throughput scaling vs the value of constrained sprinting\n");
-    println!("(Yahoo burst: degree 3.2, 15 minutes)\n");
+    println!(
+        "(Yahoo burst: degree 3.2, 15 minutes; scale {pdus} PDUs x {servers_per_pdu} servers)\n"
+    );
     print_header(&[
         "scaling model",
         "full-sprint capacity",
@@ -51,7 +82,7 @@ fn main() {
         let server = ServerSpec::paper_default().with_scaling(model);
         let capacity = server.capacity_at_cores(48);
         let spec = DataCenterSpec::paper_default()
-            .with_scale(4, 200)
+            .with_scale(pdus, servers_per_pdu)
             .with_server(server);
         let scenario = Scenario::new(
             spec,

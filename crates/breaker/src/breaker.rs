@@ -73,7 +73,7 @@ impl std::fmt::Display for TripEvent {
 /// assert!((cb.remaining_time_at(load).as_minutes() - 2.0).abs() < 1e-9);
 /// assert!(!cb.is_tripped());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CircuitBreaker {
     name: String,
     rated: Power,
@@ -86,6 +86,34 @@ pub struct CircuitBreaker {
     /// Fault injection: effective-rating factor in `(0, 1]` (a degraded
     /// element trips as if rated lower).
     derating: f64,
+    /// Memoized cool-down factor `exp(-dt / cooldown)` keyed by the step
+    /// bits. Every cooling step of a fixed-`dt` simulation reuses one
+    /// transcendental; the stored bits are exactly what a fresh evaluation
+    /// would produce, so hits are bit-identical. Derived state: not
+    /// serialized, not compared, invalidated when the cool-down changes.
+    #[serde(skip)]
+    cool_memo: Option<(u64, f64)>,
+    /// Memoized cold-start trip time keyed by the load bits. Plateau
+    /// overloads re-ask the same inverse-time curve point every step; the
+    /// key covers the only varying input (`derating` invalidates, `rated`
+    /// and `curve` are fixed after construction). Derived state, like
+    /// `cool_memo`.
+    #[serde(skip)]
+    trip_memo: Option<(u64, Seconds)>,
+}
+
+/// Memoized caches are derived state: two breakers that agree on every
+/// semantic field are equal regardless of what either has cached.
+impl PartialEq for CircuitBreaker {
+    fn eq(&self, other: &CircuitBreaker) -> bool {
+        self.name == other.name
+            && self.rated == other.rated
+            && self.curve == other.curve
+            && self.state == other.state
+            && self.cooldown == other.cooldown
+            && self.tripped == other.tripped
+            && self.derating == other.derating
+    }
 }
 
 impl CircuitBreaker {
@@ -115,6 +143,8 @@ impl CircuitBreaker {
             cooldown: Seconds::from_minutes(5.0),
             tripped: false,
             derating: 1.0,
+            cool_memo: None,
+            trip_memo: None,
         }
     }
 
@@ -130,6 +160,10 @@ impl CircuitBreaker {
             factor > 0.0 && factor <= 1.0,
             "derating factor must be in (0, 1]"
         );
+        if self.derating != factor {
+            // The effective rating shifts every curve lookup.
+            self.trip_memo = None;
+        }
         self.derating = factor;
     }
 
@@ -154,6 +188,7 @@ impl CircuitBreaker {
     pub fn with_cooldown(mut self, cooldown: Seconds) -> CircuitBreaker {
         assert!(cooldown > Seconds::ZERO, "cooldown must be positive");
         self.cooldown = cooldown;
+        self.cool_memo = None;
         self
     }
 
@@ -206,6 +241,35 @@ impl CircuitBreaker {
     #[must_use]
     pub fn trip_time_at(&self, load: Power) -> Seconds {
         self.curve.trip_time(self.load_ratio(load))
+    }
+
+    /// [`trip_time_at`](Self::trip_time_at) through the one-entry memo:
+    /// a repeat of the previous load (the plateau-overload common case)
+    /// returns the stored bits instead of re-inverting the curve.
+    fn trip_time_memo(&mut self, load: Power) -> Seconds {
+        let key = load.as_watts().to_bits();
+        if let Some((k, t)) = self.trip_memo {
+            if k == key {
+                return t;
+            }
+        }
+        let t = self.trip_time_at(load);
+        self.trip_memo = Some((key, t));
+        t
+    }
+
+    /// The cooling decay factor `exp(-dt / cooldown)` through the
+    /// one-entry memo (a fixed-`dt` run evaluates the exponential once).
+    fn cool_factor(&mut self, dt: Seconds) -> f64 {
+        let key = dt.as_secs().to_bits();
+        if let Some((k, f)) = self.cool_memo {
+            if k == key {
+                return f;
+            }
+        }
+        let f = (-dt.as_secs() / self.cooldown.as_secs()).exp();
+        self.cool_memo = Some((key, f));
+        f
     }
 
     /// Returns the remaining time before trip if `load` is held from the
@@ -295,10 +359,10 @@ impl CircuitBreaker {
                 name: self.name.clone(),
             });
         }
-        let t = self.trip_time_at(load);
+        let t = self.trip_time_memo(load);
         if t.is_never() {
             // Cooling: exponential decay of the thermal element.
-            self.state *= (-dt.as_secs() / self.cooldown.as_secs()).exp();
+            self.state *= self.cool_factor(dt);
             return Ok(None);
         }
         let rate = 1.0 / t.as_secs();

@@ -248,6 +248,13 @@ pub struct SprintPolicy {
     /// Energy budget pre-computed by a batched driver for the sprint the
     /// *next* step starts; consumed (and checked) by the lifecycle.
     primed_budget: Option<Energy>,
+    /// Memoized demand→cores inversion keyed by the observed-demand bits:
+    /// plateau bursts re-ask the sublinear scaling model the same question
+    /// every period, and the one-entry memo answers with the stored bits
+    /// instead of re-running its `powf`. Derived state — valid for any
+    /// policy driving the same server spec, which every clone of this
+    /// policy does — and never persisted.
+    needed_cores_memo: Option<(u64, u32)>,
 }
 
 impl std::fmt::Debug for dyn SprintStrategy {
@@ -269,6 +276,7 @@ impl SprintPolicy {
             terminated: false,
             hold_until_quiet: false,
             primed_budget: None,
+            needed_cores_memo: None,
         }
     }
 
@@ -334,7 +342,22 @@ impl SprintPolicy {
             terminated: self.terminated,
             hold_until_quiet: self.hold_until_quiet,
             primed_budget: self.primed_budget,
+            needed_cores_memo: self.needed_cores_memo,
         }
+    }
+
+    /// The demand→cores inversion through the one-entry memo (see
+    /// [`SprintPolicy::needed_cores_memo`]).
+    fn needed_cores(&mut self, server: &dcs_server::ServerSpec, observed: f64) -> u32 {
+        let key = observed.to_bits();
+        if let Some((k, v)) = self.needed_cores_memo {
+            if k == key {
+                return v;
+            }
+        }
+        let v = server.cores_for_demand(Ratio::new(observed));
+        self.needed_cores_memo = Some((key, v));
+        v
     }
 }
 
@@ -423,18 +446,16 @@ impl<'a> StepPolicy<FacilityState<'a>> for SprintPolicy {
 
         // --- Core selection under power and thermal feasibility -----------
         let bound_cores = server.cores_at_degree(upper_bound).max(normal_cores);
-        let needed_cores = server
-            .cores_for_demand(Ratio::new(observed))
-            .max(normal_cores);
+        let needed_cores = self.needed_cores(server, observed).max(normal_cores);
         let desired_cores = needed_cores.min(bound_cores);
 
         // The normal count is always feasible; start from it.
         let mut chosen = normal_cores;
-        let mut per_server = server.power_serving(normal_cores, Ratio::new(demand));
+        let mut per_server = state.power_serving_cached(normal_cores, demand);
         let mut plan = state.plan_cooling(per_server * n_servers, false, dt);
         // Breaker caps depend only on thermal state and the reserve, not on
-        // the candidate core count — compute them once per step.
-        let caps = state.topology().caps(config.reserve);
+        // the candidate core count — `prepare` fixed them for this step.
+        let caps = state.step_caps();
         // Even the normal core count can need UPS relief (zero headroom, or
         // an exogenous load eating the DC budget): compute its deficit too.
         let mut deficit_total = state.deficit_for(per_server, plan.electric, caps);
@@ -475,7 +496,7 @@ impl<'a> StepPolicy<FacilityState<'a>> for SprintPolicy {
                 && state.trip_risk(it_total, ups_max, plan.electric)
             {
                 for cores in (1..normal_cores).rev() {
-                    let cand_per_server = server.power_serving(cores, Ratio::new(demand));
+                    let cand_per_server = state.power_serving_cached(cores, demand);
                     let cand_it = cand_per_server * n_servers;
                     let cand_plan = state.plan_cooling(cand_it, false, dt);
                     let cand_deficit = state.deficit_for(cand_per_server, cand_plan.electric, caps);
@@ -665,6 +686,13 @@ impl<'a> SprintController<'a> {
     #[must_use]
     pub fn topology(&self) -> &dcs_power::PowerTopology {
         self.facility.topology()
+    }
+
+    /// The reserve-rule caps at the breakers' current thermal state,
+    /// through the topology's caps memo (an unchanged hierarchy answers
+    /// without re-inverting the trip curves).
+    pub fn reserve_caps(&mut self) -> dcs_power::TopologyCaps {
+        self.facility.reserve_caps()
     }
 
     /// Returns the underlying facility state (read-only).

@@ -184,6 +184,27 @@ pub struct FacilityState<'a> {
     peak_normal_it: Power,
     pdu_rated_total: Power,
     max_degree: Ratio,
+    /// Normalized serving capacity indexed by active-core count:
+    /// `ServerSpec::capacity_at_cores` precomputed for every count the chip
+    /// can field, so the per-step hot path (candidate probes, the served
+    /// computation) reads a table instead of re-running the
+    /// sublinear-scaling `powf`. Same function, same inputs — bit-identical
+    /// values.
+    capacity_by_cores: Box<[f64]>,
+    /// The `(fault set, dt)` whose deratings are currently applied, letting
+    /// `prepare` skip the O(#PDUs) re-application when neither changed —
+    /// the common case (no faults, constant step) at hyperscale. The
+    /// setters are pure factor stores and idempotent, so skipping a
+    /// repeat application is observationally identical to re-applying.
+    applied_deratings: Option<(ActiveFaults, Seconds)>,
+    /// The reserve-rule caps in force for the current step, computed by
+    /// `prepare` right after the step's deratings land (through the
+    /// topology's caps memo, so an unchanged hierarchy costs two bit-key
+    /// compares instead of two curve inversions). `decide` reads this
+    /// instead of recomputing — `prepare` always runs first in the step
+    /// cycle and nothing touches the breakers in between, so the value is
+    /// bit-identical to an inline computation.
+    step_caps: Option<dcs_power::TopologyCaps>,
     now: Seconds,
     /// Exogenous DC-level load (e.g. an unexpected utility power spike,
     /// §IV-A); subtracted from the DC breaker budget every step.
@@ -224,6 +245,11 @@ impl<'a> FacilityState<'a> {
             tes,
             room,
             normal_cores: server.normal_cores(),
+            capacity_by_cores: (0..=server.chip().cores())
+                .map(|c| server.capacity_at_cores(c))
+                .collect(),
+            applied_deratings: None,
+            step_caps: None,
             n_servers: spec.total_servers() as f64,
             servers_per_pdu_f: spec.servers_per_pdu() as f64,
             pdu_count_f: spec.pdu_count() as f64,
@@ -250,6 +276,28 @@ impl<'a> FacilityState<'a> {
     #[must_use]
     pub fn config(&self) -> &'a ControllerConfig {
         self.config
+    }
+
+    /// The reserve-rule caps `prepare` fixed for the current step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first `prepare` — the step kernel
+    /// always prepares before it decides, so a panic here means a decision
+    /// path ran outside the kernel's cycle.
+    #[must_use]
+    pub fn step_caps(&self) -> dcs_power::TopologyCaps {
+        self.step_caps
+            .expect("step caps are set by prepare before any decision")
+    }
+
+    /// The reserve-rule caps at the breakers' *current* thermal state,
+    /// through the topology's memo. Unlike [`FacilityState::step_caps`]
+    /// this re-keys against the live breaker signatures, so it is valid
+    /// between steps (e.g. for the batched engine's fold certificate after
+    /// an `advance`).
+    pub fn reserve_caps(&mut self) -> dcs_power::TopologyCaps {
+        self.topo.caps_cached(self.config.reserve)
     }
 
     /// Returns the current simulation time.
@@ -332,6 +380,9 @@ impl<'a> FacilityState<'a> {
     /// TES valve, weakened breakers. Nominal factors restore nominal
     /// behavior exactly, so applying this every step is idempotent.
     pub fn apply_deratings(&mut self, active: &ActiveFaults, dt: Seconds) {
+        // A direct application bypasses `prepare`'s skip cache; drop it so
+        // the next step re-applies rather than trusting a stale match.
+        self.applied_deratings = None;
         self.ups
             .set_derating(active.ups_available_fraction, active.ups_capacity_factor);
         self.tes
@@ -365,10 +416,7 @@ impl<'a> FacilityState<'a> {
     pub fn trip_risk(&self, it_total: Power, ups_relief: Power, cooling: Power) -> bool {
         let net_it = (it_total - ups_relief).max_zero();
         let per_pdu = net_it / self.pdu_count_f;
-        self.topo
-            .pdu_breakers()
-            .iter()
-            .any(|b| !b.trip_time_at(per_pdu).is_never())
+        self.topo.any_pdu_trips_at(per_pdu)
             || !self
                 .topo
                 .dc_breaker()
@@ -437,6 +485,36 @@ impl<'a> FacilityState<'a> {
         }
     }
 
+    /// The normalized serving capacity of `cores` active cores, from the
+    /// per-facility precomputed table — bit-identical to
+    /// `ServerSpec::capacity_at_cores` without the per-call `powf`.
+    #[inline]
+    #[must_use]
+    pub fn capacity_of(&self, cores: u32) -> f64 {
+        self.capacity_by_cores[cores as usize]
+    }
+
+    /// The server power while serving `demand` with `active` cores —
+    /// `ServerSpec::power_serving` recomputed through the capacity table:
+    /// the same utilization and the same linear power model, minus the
+    /// capacity `powf` that dominated the candidate probes.
+    #[inline]
+    #[must_use]
+    pub fn power_serving_cached(&self, active: u32, demand: f64) -> Power {
+        debug_assert!(demand >= 0.0, "demand must be non-negative");
+        let server = self.spec.server();
+        if active == 0 {
+            return server.power_at(0, 0.0);
+        }
+        let cap = self.capacity_by_cores[active as usize];
+        let utilization = if cap == 0.0 {
+            0.0
+        } else {
+            (demand / cap).min(1.0)
+        };
+        server.power_at(active, utilization)
+    }
+
     /// Evaluates the power and thermal feasibility of sprinting on `cores`
     /// active cores this step. On success returns the accepted allocation;
     /// on failure, why the candidate was rejected.
@@ -447,7 +525,7 @@ impl<'a> FacilityState<'a> {
         dt: Seconds,
         caps: dcs_power::TopologyCaps,
     ) -> Result<Candidate, ShedReason> {
-        let per_server = self.spec.server().power_serving(cores, Ratio::new(demand));
+        let per_server = self.power_serving_cached(cores, demand);
         let it_total = per_server * self.n_servers;
         let plan = self.plan_cooling(it_total, true, dt);
         if !plan.feasible {
@@ -516,6 +594,10 @@ impl<'a> FacilityState<'a> {
         self.ups = hot.ups;
         self.tes = hot.tes;
         self.room = hot.room;
+        // The restored components carry their own derating factors; the
+        // next `prepare` must re-apply rather than trust this facility's
+        // pre-import skip cache.
+        self.applied_deratings = None;
         self.now = hot.now;
         self.external_load = hot.external_load;
         self.thermal_bias = hot.thermal_bias;
@@ -551,8 +633,18 @@ impl StepState for FacilityState<'_> {
     /// the top of every step.
     #[inline]
     fn prepare(&mut self, input: &StepInput) {
-        self.apply_deratings(&input.observation.active, input.dt);
+        // The setters are idempotent pure stores, so identical `(faults,
+        // dt)` means the factors already in force are exactly what a
+        // re-application would write — skip the O(#PDUs) walk.
+        let key = (input.observation.active, input.dt);
+        if self.applied_deratings != Some(key) {
+            self.apply_deratings(&input.observation.active, input.dt);
+            self.applied_deratings = Some(key);
+        }
         self.thermal_bias = input.observation.thermal_bias;
+        // With the deratings in force, fix this step's reserve caps for
+        // `decide` (memo-hit when the breakers haven't moved).
+        self.step_caps = Some(self.topo.caps_cached(self.config.reserve));
     }
 
     /// Runs one step of facility physics under the decision, in the exact
@@ -626,12 +718,7 @@ impl StepState for FacilityState<'_> {
         if d.recharge {
             let pdu_count = self.pdu_count_f;
             let per_pdu_net = sprint_net_it / pdu_count;
-            let pdu_limit = self
-                .topo
-                .pdu_breakers()
-                .iter()
-                .map(dcs_breaker::CircuitBreaker::no_trip_limit)
-                .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min);
+            let pdu_limit = self.topo.min_pdu_no_trip_limit();
             let pdu_room = (pdu_limit - per_pdu_net).max_zero() * pdu_count;
             let dc_room = (self.topo.dc_breaker().no_trip_limit()
                 - (sprint_net_it + cooling_power + self.external_load))
@@ -677,7 +764,7 @@ impl StepState for FacilityState<'_> {
         };
         let degree = server.degree_of_cores(d.cores);
 
-        let served = input.demand.min(server.capacity_at_cores(d.cores));
+        let served = input.demand.min(self.capacity_of(d.cores));
         // Provisional phase from the decision's pre-latch sprint flag;
         // policies with termination latches finalize it in `finish`.
         let phase = if tes_got > Power::ZERO {

@@ -109,6 +109,15 @@ where
 /// Feasibility must be monotone (anything above an infeasible count is
 /// infeasible); under that invariant the binary search returns exactly
 /// what a top-down linear walk would.
+///
+/// The probe *order* (desired first, then midpoint bisection) is part of
+/// the controller's pinned behavior: the sprint-candidate probe is not
+/// perfectly monotone at the TES-engagement boundary (engaging the tank
+/// sheds `tes_replace_fraction` of the chiller load, so a *larger* core
+/// count can be power-feasible where a slightly smaller one is not), and
+/// on those rare steps the accepted count depends on which candidates get
+/// probed. Warm-start or probe-reordering optimizations therefore change
+/// simulated outcomes and are off the table.
 pub fn search_largest_feasible<T, E>(
     floor: u32,
     desired: u32,
@@ -168,5 +177,26 @@ mod tests {
         let (best, err) = search_largest_feasible(5, 5, &mut probe);
         assert!(best.is_none());
         assert!(err.is_none());
+    }
+
+    #[test]
+    fn search_probe_order_is_pinned() {
+        // The probe sequence is part of the pinned controller behavior
+        // (see the function docs: the real probe is not perfectly monotone
+        // at the TES boundary, so order changes would change outcomes).
+        let cutoff = 20u32;
+        let mut order = Vec::new();
+        let mut probe = |c: u32| {
+            order.push(c);
+            if c <= cutoff {
+                Ok(c)
+            } else {
+                Err(c)
+            }
+        };
+        let (best, err) = search_largest_feasible(10, 48, &mut probe);
+        assert_eq!(best.map(|(c, _)| c), Some(cutoff));
+        assert!(err.is_some());
+        assert_eq!(order, vec![48, 29, 19, 24, 21, 20]);
     }
 }

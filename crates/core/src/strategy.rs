@@ -13,7 +13,11 @@ use serde::{Deserialize, Serialize};
 /// may be activated; the *real* degree can be lower if the demand does not
 /// need them, or if power/cooling run out (those limits are enforced by
 /// the controller, not the strategy).
-pub trait SprintStrategy {
+///
+/// Strategies are `Send + Sync` so controllers (and the batch engine's
+/// lane sets) can be sharded across sweep threads; every strategy in the
+/// repository owns only plain data.
+pub trait SprintStrategy: Send + Sync {
     /// Called when a burst begins; gives the strategy the sprint's energy
     /// budget and the facility power curve.
     fn on_sprint_start(&mut self, info: &SprintInfo) {

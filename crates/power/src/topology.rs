@@ -52,10 +52,60 @@ pub struct TopologyStatus {
 /// let events = topo.step_uniform(spec.peak_normal_pdu_power(), Power::ZERO, Seconds::new(1.0));
 /// assert!(events.is_empty());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PowerTopology {
     dc: CircuitBreaker,
     pdus: Vec<CircuitBreaker>,
+    /// Cached result of [`PowerTopology::pdus_equivalent`]: `true` means
+    /// every PDU breaker provably responds identically to the same load,
+    /// so the uniform fast paths may skip the O(#PDUs) equivalence scan —
+    /// the scan that would otherwise dominate every step of a
+    /// thousands-of-PDUs facility. `false` is always safe (the slow paths
+    /// recheck), so the flag is conservative: heterogeneous stepping
+    /// clears it and only a fresh scan sets it again.
+    ///
+    /// Derived state: round-tripped through serde so a resumed checkpoint
+    /// takes exactly the exporting run's fast/slow paths (snapshots that
+    /// predate the field default to the safe `false`; call
+    /// [`PowerTopology::refresh_uniform`] to re-arm), and ignored by
+    /// `PartialEq` — two topologies that answer every load identically are
+    /// equal regardless of which path they take to the answer.
+    #[serde(default)]
+    uniform: bool,
+    /// Memoized [`PowerTopology::caps`] result for
+    /// [`PowerTopology::caps_cached`], keyed on every input the uniform
+    /// caps computation reads. Derived state: never serialized, never
+    /// compared; a stale key simply misses and recomputes.
+    #[serde(skip)]
+    caps_memo: Option<CapsMemo>,
+}
+
+/// The signature of one breaker as seen by [`PowerTopology::caps`]: trip
+/// progress, open/closed, and derating are the only inputs that vary after
+/// construction (rating and curve are fixed). Exact bit keys, so a memo
+/// hit returns exactly what a fresh computation would.
+type BreakerSig = (u64, bool, u64);
+
+fn breaker_sig(b: &CircuitBreaker) -> BreakerSig {
+    (
+        b.trip_progress().to_bits(),
+        b.is_tripped(),
+        b.derating().to_bits(),
+    )
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CapsMemo {
+    reserve: u64,
+    dc: BreakerSig,
+    pdu: BreakerSig,
+    caps: TopologyCaps,
+}
+
+impl PartialEq for PowerTopology {
+    fn eq(&self, other: &PowerTopology) -> bool {
+        self.dc == other.dc && self.pdus == other.pdus
+    }
 }
 
 impl PowerTopology {
@@ -65,10 +115,24 @@ impl PowerTopology {
     pub fn new(spec: &DataCenterSpec) -> PowerTopology {
         let curve = spec.trip_curve().clone();
         let dc = CircuitBreaker::new("dc", spec.dc_rated(), curve.clone());
-        let pdus = (0..spec.pdu_count())
+        let pdus: Vec<CircuitBreaker> = (0..spec.pdu_count())
             .map(|i| CircuitBreaker::new(format!("pdu-{i}"), spec.pdu_rated(), curve.clone()))
             .collect();
-        PowerTopology { dc, pdus }
+        let uniform = !pdus.is_empty();
+        PowerTopology {
+            dc,
+            pdus,
+            uniform,
+            caps_memo: None,
+        }
+    }
+
+    /// Rescans the PDU breakers and caches whether they are all
+    /// equivalent, re-arming the uniform fast paths. Useful after restoring
+    /// a hand-written or pre-flag snapshot, where deserialization defaults
+    /// the cached flag to the safe-but-slow `false`.
+    pub fn refresh_uniform(&mut self) {
+        self.uniform = self.pdus_equivalent();
     }
 
     /// Returns the DC-level breaker.
@@ -117,7 +181,7 @@ impl PowerTopology {
     pub fn caps(&self, reserve: Seconds) -> TopologyCaps {
         // Uniform allocation keeps the PDUs' thermal states in lock-step, so
         // on the common path one curve inversion covers every PDU.
-        let per_pdu = if self.pdus_equivalent() {
+        let per_pdu = if self.uniform {
             self.pdus[0].max_load_with_reserve(reserve)
         } else {
             self.pdus
@@ -129,6 +193,44 @@ impl PowerTopology {
             per_pdu,
             dc_total: self.dc.max_load_with_reserve(reserve),
         }
+    }
+
+    /// [`PowerTopology::caps`] through a one-entry memo keyed on the exact
+    /// bits the uniform computation reads (reserve, DC-breaker signature,
+    /// representative-PDU signature). Hot controller paths ask for the
+    /// reserve caps up to twice per step against an unchanged hierarchy —
+    /// cold breakers decay `0.0` to `0.0` bitwise, so whole quiet phases
+    /// hit — and a hit skips both curve inversions while returning exactly
+    /// the value a fresh call would. Heterogeneous (non-uniform)
+    /// hierarchies read breakers the signature does not cover and bypass
+    /// the memo entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve` is not strictly positive.
+    #[must_use]
+    pub fn caps_cached(&mut self, reserve: Seconds) -> TopologyCaps {
+        if !self.uniform {
+            return self.caps(reserve);
+        }
+        let key = (
+            reserve.as_secs().to_bits(),
+            breaker_sig(&self.dc),
+            breaker_sig(&self.pdus[0]),
+        );
+        if let Some(m) = &self.caps_memo {
+            if (m.reserve, m.dc, m.pdu) == key {
+                return m.caps;
+            }
+        }
+        let caps = self.caps(reserve);
+        self.caps_memo = Some(CapsMemo {
+            reserve: key.0,
+            dc: key.1,
+            pdu: key.2,
+            caps,
+        });
+        caps
     }
 
     /// Returns `true` if every PDU breaker would respond identically to the
@@ -174,7 +276,7 @@ impl PowerTopology {
         assert!(cooling >= Power::ZERO, "cooling must be non-negative");
         let mut events = Vec::new();
         let mut delivered = Power::ZERO;
-        if self.pdus_equivalent() {
+        if self.uniform {
             // Equivalent PDUs under the same load stay equivalent: integrate
             // one representative and replicate its state to the siblings.
             let (first, rest) = self.pdus.split_first_mut().expect("checked non-empty");
@@ -239,6 +341,9 @@ impl PowerTopology {
     pub fn step_loads(&mut self, loads: &[Power], cooling: Power, dt: Seconds) -> Vec<TripEvent> {
         assert_eq!(loads.len(), self.pdus.len(), "one load per PDU required");
         assert!(cooling >= Power::ZERO, "cooling must be non-negative");
+        // Heterogeneous loads can diverge the PDUs' thermal states;
+        // conservatively drop the uniform fast paths until a rescan.
+        self.uniform = false;
         let mut events = Vec::new();
         let mut delivered = Power::ZERO;
         for (pdu, &load) in self.pdus.iter_mut().zip(loads) {
@@ -333,6 +438,34 @@ impl PowerTopology {
         for pdu in &mut self.pdus {
             pdu.reset();
         }
+        self.uniform = !self.pdus.is_empty();
+    }
+
+    /// Returns the smallest no-trip limit across the PDU breakers — the
+    /// per-PDU load guaranteed never to accumulate trip progress on any of
+    /// them. One breaker read on the uniform fast path.
+    #[must_use]
+    pub fn min_pdu_no_trip_limit(&self) -> Power {
+        if self.uniform {
+            return self.pdus[0].no_trip_limit();
+        }
+        self.pdus
+            .iter()
+            .map(CircuitBreaker::no_trip_limit)
+            .fold(Power::from_megawatts(f64::MAX / 1e12), Power::min)
+    }
+
+    /// Returns `true` if carrying `per_pdu` on every PDU would accumulate
+    /// trip progress on at least one of them. One breaker read on the
+    /// uniform fast path.
+    #[must_use]
+    pub fn any_pdu_trips_at(&self, per_pdu: Power) -> bool {
+        if self.uniform {
+            return !self.pdus[0].trip_time_at(per_pdu).is_never();
+        }
+        self.pdus
+            .iter()
+            .any(|b| !b.trip_time_at(per_pdu).is_never())
     }
 }
 

@@ -39,12 +39,14 @@
 
 use crate::error::SimError;
 use crate::scenario::{Scenario, SimSummary};
+use crate::simd::{fold_span_group, record_delta, F64x4};
 use crate::sink::SummaryFold;
-use dcs_core::{ControllerConfig, FixedBound, SprintController};
+use crate::sweep::parallel_map;
+use dcs_core::{ControllerConfig, FixedBound, SprintController, StepRecord};
 use dcs_faults::{ActiveFaults, FaultObserver, FaultSchedule, FaultTimeline, Observation};
 use dcs_power::DataCenterSpec;
-use dcs_units::{Power, Ratio, Seconds, TempDelta};
-use dcs_workload::Trace;
+use dcs_units::{Energy, Power, Ratio, Seconds, TempDelta};
+use dcs_workload::{AdmissionLog, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Work counters for a batched run: lanes submitted, lanes actually
@@ -157,7 +159,7 @@ fn summary_of(ctrl: &SprintController<'_>, fold: &SummaryFold, dt: Seconds) -> S
 /// certificate that holds now keeps holding for the rest of the tail. A
 /// tripped breaker zeroes its cap and fails the check, which safely forces
 /// the live-step fallback.
-fn fold_safe(ctrl: &SprintController<'_>) -> bool {
+fn fold_safe(ctrl: &mut SprintController<'_>) -> bool {
     let spec = ctrl.spec();
     let server = spec.server();
     let plant = ctrl.plant();
@@ -165,8 +167,8 @@ fn fold_safe(ctrl: &SprintController<'_>) -> bool {
     if plant.design_capacity() < peak_normal_it {
         return false;
     }
-    let caps = ctrl.topology().caps(ctrl.config().reserve);
     let worst_cooling = plant.electric_power(plant.design_capacity(), Power::ZERO);
+    let caps = ctrl.reserve_caps();
     let dc_it_budget = (caps.dc_total - worst_cooling - ctrl.external_load()).max_zero();
     let allowed_per_pdu = caps.per_pdu.min(dc_it_budget / spec.pdu_count() as f64);
     let worst_per_pdu = server.peak_normal_power() * spec.servers_per_pdu() as f64;
@@ -174,33 +176,217 @@ fn fold_safe(ctrl: &SprintController<'_>) -> bool {
         return false;
     }
     let topo = ctrl.topology();
-    if topo
-        .pdu_breakers()
-        .iter()
-        .any(|b| !b.trip_time_at(worst_per_pdu).is_never())
-    {
+    if topo.any_pdu_trips_at(worst_per_pdu) {
         return false;
     }
     let worst_dc = peak_normal_it + worst_cooling + ctrl.external_load();
     topo.dc_breaker().trip_time_at(worst_dc).is_never()
 }
 
-/// Lane state, structure-of-arrays: controllers, fold accumulators, and
-/// per-lane flags live in parallel vectors so the lockstep inner loop
-/// walks each array contiguously.
-struct LaneSet<'a> {
-    ctrls: Vec<SprintController<'a>>,
-    folds: Vec<SummaryFold>,
-    terminated: Vec<bool>,
-    /// Lane's effective core cap equals the normal allocation, so burst
-    /// steps are also closed-form once faults go nominal.
-    normal_pinned: Vec<bool>,
-    done: Vec<bool>,
+/// Lanes per thread-sharded block. Small enough that a block's controllers
+/// stay cache-resident and hyperscale grids spread across every worker,
+/// large enough to amortize the per-block fork; at most 64 so each
+/// per-block flag set fits one [`LaneMask`] word.
+const BLOCK_LANES: usize = 16;
+
+/// A bitmask over one block's lanes (`BLOCK_LANES <= 64` by construction):
+/// the terminated / normal-pinned / done / tripped / overheated flags the
+/// lockstep inner loop consults every step live in single words instead of
+/// `Vec<bool>`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LaneMask(u64);
+
+impl LaneMask {
+    /// The mask with the low `n` lanes set.
+    fn all(n: usize) -> LaneMask {
+        debug_assert!(n <= 64);
+        if n >= 64 {
+            LaneMask(u64::MAX)
+        } else {
+            LaneMask((1u64 << n) - 1)
+        }
+    }
+
+    fn set(&mut self, lane: usize) {
+        self.0 |= 1 << lane;
+    }
+
+    fn get(self, lane: usize) -> bool {
+        (self.0 >> lane) & 1 == 1
+    }
+
+    fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
 }
 
-impl LaneSet<'_> {
+/// Per-lane fold state, structure-of-arrays: each lane's admission
+/// integrals live in one [`F64x4`] (`[served·dt, demand·dt, elapsed,
+/// pad]`), so a live step or a folded span updates all of them with one
+/// vector add; the scalar sidecars (invalid-sample counts, step counts,
+/// peak degrees) sit in their own contiguous arrays, and the boolean
+/// outcome flags are [`LaneMask`] bits.
+///
+/// Every mutation mirrors the scalar [`SummaryFold`] arithmetic exactly
+/// (see [`record_delta`] / [`fold_span_group`]), so
+/// [`FoldBank::fold_of`] reassembles a fold bit-identical to one that
+/// absorbed the same steps directly.
+struct FoldBank {
+    accs: Vec<F64x4>,
+    invalid: Vec<u64>,
+    steps: Vec<usize>,
+    peak_degree: Vec<f64>,
+    tripped: LaneMask,
+    overheated: LaneMask,
+}
+
+impl FoldBank {
+    /// A bank of `n` lanes, every lane seeded from the forked prefix fold.
+    fn seeded(n: usize, prefix: &SummaryFold) -> FoldBank {
+        let (admission, steps, tripped, overheated, peak) = prefix.parts();
+        let (served, demand, elapsed) = admission.integrals();
+        FoldBank {
+            accs: vec![F64x4::new(served, demand, elapsed, 0.0); n],
+            invalid: vec![admission.invalid_samples(); n],
+            steps: vec![steps; n],
+            peak_degree: vec![peak; n],
+            tripped: if tripped {
+                LaneMask::all(n)
+            } else {
+                LaneMask::default()
+            },
+            overheated: if overheated {
+                LaneMask::all(n)
+            } else {
+                LaneMask::default()
+            },
+        }
+    }
+
+    /// Absorbs one finished live step for `slot` — bitwise the same
+    /// accumulation as [`SummaryFold::absorb`].
+    fn absorb(&mut self, slot: usize, rec: &StepRecord, dt: Seconds) {
+        let (served_dt, demand_dt, inv) = record_delta(rec.demand, rec.served, dt);
+        self.accs[slot] += F64x4::new(served_dt, demand_dt, dt.as_secs(), 0.0);
+        self.invalid[slot] += inv;
+        self.steps[slot] += 1;
+        if rec.tripped {
+            self.tripped.set(slot);
+        }
+        if rec.overheated {
+            self.overheated.set(slot);
+        }
+        self.peak_degree[slot] = self.peak_degree[slot].max(rec.degree.as_f64());
+    }
+
+    /// Retires a group of lanes onto the shared quiet span: one kernel
+    /// fold computes each step's delta once and broadcast-adds it to every
+    /// retiring accumulator (lanes are independent, so deferring a lane's
+    /// fold to the end of its retirement step cannot change any result).
+    fn retire_group(
+        &mut self,
+        slots: &[usize],
+        demands: &[f64],
+        dt: Seconds,
+        normal_capacity: f64,
+    ) {
+        if slots.is_empty() {
+            return;
+        }
+        let mut group: Vec<F64x4> = slots.iter().map(|&s| self.accs[s]).collect();
+        let invalid = fold_span_group(&mut group, demands, dt, normal_capacity);
+        for (&slot, acc) in slots.iter().zip(group) {
+            self.accs[slot] = acc;
+            self.invalid[slot] += invalid;
+            self.steps[slot] += demands.len();
+            if !demands.is_empty() {
+                self.peak_degree[slot] = self.peak_degree[slot].max(1.0);
+            }
+        }
+    }
+
+    /// Reassembles `slot`'s state as the scalar fold it is bit-equal to.
+    fn fold_of(&self, slot: usize) -> SummaryFold {
+        let acc = self.accs[slot].0;
+        SummaryFold::from_parts(
+            AdmissionLog::from_integrals(acc[0], acc[1], acc[2], self.invalid[slot]),
+            self.steps[slot],
+            self.tripped.get(slot),
+            self.overheated.get(slot),
+            self.peak_degree[slot],
+        )
+    }
+}
+
+/// One thread shard of the lane set: up to [`BLOCK_LANES`] controllers
+/// plus the structure-of-arrays fold bank and flag masks.
+///
+/// Blocks are carved from the deduped lane order in fixed-size chunks, so
+/// the block→lane assignment — and with it every lane's arithmetic, clone
+/// order, and the merged output order — is a function of the input alone,
+/// never of how many workers happen to execute the blocks. That keeps
+/// batched results (and the checkpoint/resume digests built on them)
+/// bit-identical across thread counts.
+struct LaneBlock<'a> {
+    ctrls: Vec<SprintController<'a>>,
+    bank: FoldBank,
+    terminated: LaneMask,
+    /// Lane's effective core cap equals the normal allocation, so burst
+    /// steps are also closed-form once faults go nominal.
+    normal_pinned: LaneMask,
+    done: LaneMask,
+}
+
+impl<'a> LaneBlock<'a> {
+    /// Forks one block of lanes off the shared prefix: clone the
+    /// representative per bound, prime the lane-independent energy budget,
+    /// seed every lane's fold state from the prefix fold.
+    fn forked(
+        rep: &SprintController<'a>,
+        prefix: &SummaryFold,
+        bounds: &[Ratio],
+        pinned: impl Iterator<Item = bool>,
+        primed: Energy,
+    ) -> LaneBlock<'a> {
+        let mut normal_pinned = LaneMask::default();
+        for (slot, is_pinned) in pinned.enumerate() {
+            if is_pinned {
+                normal_pinned.set(slot);
+            }
+        }
+        LaneBlock {
+            ctrls: bounds
+                .iter()
+                .map(|&b| {
+                    let mut ctrl = rep.clone_with_strategy(Box::new(FixedBound::new(b)));
+                    ctrl.prime_energy_budget(primed);
+                    ctrl
+                })
+                .collect(),
+            bank: FoldBank::seeded(bounds.len(), prefix),
+            terminated: LaneMask::default(),
+            normal_pinned,
+            done: LaneMask::default(),
+        }
+    }
+
     fn len(&self) -> usize {
         self.ctrls.len()
+    }
+
+    /// Runs one live controller step for `slot` and absorbs the record
+    /// into the fold bank, latching termination.
+    fn live_step(&mut self, slot: usize, demand: f64, obs: &Observation, dt: Seconds) {
+        let rec = self.ctrls[slot].step_observed(demand, obs, dt);
+        self.bank.absorb(slot, &rec, dt);
+        if rec.tripped || rec.overheated {
+            self.terminated.set(slot);
+        }
+    }
+
+    /// Finishes `slot` into its summary.
+    fn summary(&self, slot: usize, dt: Seconds) -> SimSummary {
+        summary_of(&self.ctrls[slot], &self.bank.fold_of(slot), dt)
     }
 }
 
@@ -304,7 +490,7 @@ pub fn run_bound_batch(
     while i < fork_at {
         let quiet_ok = i >= shared.inert_from;
         let term_ok = rep_terminated && i >= shared.nominal_from;
-        if (quiet_ok || term_ok) && fold_safe(&rep) {
+        if (quiet_ok || term_ok) && fold_safe(&mut rep) {
             rep_fold.fold_span(&shared.demands[i..], dt, normal_capacity);
             stats.folded_lane_steps += (len - i) as u64;
             rep_done = true;
@@ -326,7 +512,7 @@ pub fn run_bound_batch(
         while !rep_done && i < len {
             let quiet_ok = i >= shared.inert_from;
             let term_ok = rep_terminated && i >= shared.nominal_from;
-            if (quiet_ok || term_ok) && fold_safe(&rep) {
+            if (quiet_ok || term_ok) && fold_safe(&mut rep) {
                 rep_fold.fold_span(&shared.demands[i..], dt, normal_capacity);
                 stats.folded_lane_steps += (len - i) as u64;
                 break;
@@ -347,58 +533,72 @@ pub fn run_bound_batch(
         };
     }
 
-    // --- Fork: clone the prefix into one lane per distinct bound ----------
+    // --- Fork: clone the prefix into one lane per distinct bound, sharded
+    // into fixed-size blocks across the sweep workers -----------------------
     stats.unique_lanes = rep_bounds.len();
     let primed = rep.energy_budget_under(&shared.obs[fork_at].active, dt);
-    let mut lanes = LaneSet {
-        ctrls: rep_bounds
-            .iter()
-            .map(|&b| {
-                let mut ctrl = rep.clone_with_strategy(Box::new(FixedBound::new(b)));
-                ctrl.prime_energy_budget(primed);
-                ctrl
-            })
-            .collect(),
-        folds: vec![rep_fold; rep_bounds.len()],
-        terminated: vec![false; rep_bounds.len()],
-        normal_pinned: keys.iter().map(|&k| k <= normal).collect(),
-        done: vec![false; rep_bounds.len()],
+    let rep = &rep;
+    let rep_fold = &rep_fold;
+    let shared = &shared;
+    let run_block = |range: &std::ops::Range<usize>| -> (Vec<SimSummary>, BatchStats) {
+        let mut block = LaneBlock::forked(
+            rep,
+            rep_fold,
+            &rep_bounds[range.clone()],
+            keys[range.clone()].iter().map(|&k| k <= normal),
+            primed,
+        );
+        let mut bstats = BatchStats::default();
+        // Slots retiring this step; their tails fold as one group below.
+        let mut retire: Vec<usize> = Vec::with_capacity(block.len());
+        for i in fork_at..len {
+            if block.done.count() == block.len() {
+                break;
+            }
+            let demand = shared.demands[i];
+            let obs = &shared.obs[i];
+            let quiet_ok = i >= shared.inert_from;
+            let nominal_ok = i >= shared.nominal_from;
+            retire.clear();
+            for slot in 0..block.len() {
+                if block.done.get(slot) {
+                    continue;
+                }
+                let exempt = block.terminated.get(slot) || block.normal_pinned.get(slot);
+                if (quiet_ok || (exempt && nominal_ok)) && fold_safe(&mut block.ctrls[slot]) {
+                    retire.push(slot);
+                    block.done.set(slot);
+                    continue;
+                }
+                block.live_step(slot, demand, obs, dt);
+                bstats.live_lane_steps += 1;
+            }
+            if !retire.is_empty() {
+                block
+                    .bank
+                    .retire_group(&retire, &shared.demands[i..], dt, normal_capacity);
+                bstats.folded_lane_steps += (len - i) as u64 * retire.len() as u64;
+            }
+        }
+        let summaries = (0..block.len())
+            .map(|slot| block.summary(slot, dt))
+            .collect();
+        (summaries, bstats)
     };
-
-    // --- Lockstep over the remaining steps --------------------------------
-    let mut done_count = 0;
-    for i in fork_at..len {
-        if done_count == lanes.len() {
-            break;
-        }
-        let demand = shared.demands[i];
-        let obs = &shared.obs[i];
-        let quiet_ok = i >= shared.inert_from;
-        let nominal_ok = i >= shared.nominal_from;
-        for lane in 0..lanes.len() {
-            if lanes.done[lane] {
-                continue;
-            }
-            let exempt = lanes.terminated[lane] || lanes.normal_pinned[lane];
-            if (quiet_ok || (exempt && nominal_ok)) && fold_safe(&lanes.ctrls[lane]) {
-                lanes.folds[lane].fold_span(&shared.demands[i..], dt, normal_capacity);
-                stats.folded_lane_steps += (len - i) as u64;
-                lanes.done[lane] = true;
-                done_count += 1;
-                continue;
-            }
-            let rec =
-                lanes.ctrls[lane].step_observed_with_sink(demand, obs, dt, &mut lanes.folds[lane]);
-            stats.live_lane_steps += 1;
-            if rec.tripped || rec.overheated {
-                lanes.terminated[lane] = true;
-            }
-        }
-    }
-
-    let lane_summaries: Vec<SimSummary> = (0..lanes.len())
-        .map(|lane| summary_of(&lanes.ctrls[lane], &lanes.folds[lane], dt))
+    let blocks: Vec<std::ops::Range<usize>> = (0..rep_bounds.len())
+        .step_by(BLOCK_LANES)
+        .map(|lo| lo..(lo + BLOCK_LANES).min(rep_bounds.len()))
         .collect();
+    let results = if blocks.len() == 1 {
+        vec![run_block(&blocks[0])]
+    } else {
+        parallel_map(&blocks, run_block)
+    };
+    let mut lane_summaries: Vec<SimSummary> = Vec::with_capacity(rep_bounds.len());
+    for (summaries, bstats) in results {
+        lane_summaries.extend(summaries);
+        stats.merge(bstats);
+    }
     BatchOutcome {
         summaries: lane_of_input
             .iter()
@@ -525,7 +725,7 @@ pub(crate) fn run_bound_batch_tapped(
             .map_or(0, |last| last + 1);
         let mut j = tap.at;
         while j < tail.len() {
-            if (j >= tail_inert || term) && fold_safe(&ctrl) {
+            if (j >= tail_inert || term) && fold_safe(&mut ctrl) {
                 fold.fold_span(&tail[j..], dt, normal_capacity);
                 stats.folded_lane_steps += (tail.len() - j) as u64;
                 break;
@@ -586,7 +786,7 @@ pub(crate) fn run_bound_batch_tapped(
             let taps_ok = tap_order[next_tap..]
                 .iter()
                 .all(|&t| rep_terminated || tail_quiet[t]);
-            if (quiet_ok || term_ok) && taps_ok && fold_safe(&rep) {
+            if (quiet_ok || term_ok) && taps_ok && fold_safe(&mut rep) {
                 rep_frozen_at = Some(i);
             }
         }
@@ -601,99 +801,124 @@ pub(crate) fn run_bound_batch_tapped(
         i += 1;
     }
 
-    // --- Phase B: forked lockstep over the burst and beyond ----------------
+    // --- Phase B: forked lockstep over the burst and beyond, sharded into
+    // fixed-size lane blocks across the sweep workers. Taps touch only
+    // their own lane's state and their output slots are disjoint, so each
+    // block resolves its lanes' taps independently; tap order within a
+    // lane (ascending `at`) is preserved per block. ------------------------
     if forked {
         let primed = rep.energy_budget_under(&shared.obs[fork_at].active, dt);
         let lane_ids: Vec<usize> = (0..bounds.len())
             .filter(|&l| !pending[l].is_empty())
             .collect();
-        let mut lanes = LaneSet {
-            ctrls: lane_ids
-                .iter()
-                .map(|&l| {
-                    let mut ctrl = rep.clone_with_strategy(Box::new(FixedBound::new(bounds[l])));
-                    ctrl.prime_energy_budget(primed);
-                    ctrl
-                })
-                .collect(),
-            folds: vec![rep_fold; lane_ids.len()],
-            terminated: vec![false; lane_ids.len()],
-            normal_pinned: lane_ids
-                .iter()
-                .map(|&l| {
+        let rep = &rep;
+        let rep_fold = &rep_fold;
+        let shared = &shared;
+        let pending = &pending;
+        let remaining_taps = &tap_order[next_tap..];
+        let run_block = |range: &std::ops::Range<usize>| -> (Vec<(usize, SimSummary)>, BatchStats) {
+            let blk_lanes = &lane_ids[range.clone()];
+            let blk_bounds: Vec<Ratio> = blk_lanes.iter().map(|&l| bounds[l]).collect();
+            let mut block = LaneBlock::forked(
+                rep,
+                rep_fold,
+                &blk_bounds,
+                blk_lanes.iter().map(|&l| {
                     server
                         .cores_at_degree(bounds[l].min(max_degree))
                         .max(normal)
                         <= normal
-                })
-                .collect(),
-            done: vec![false; lane_ids.len()],
+                }),
+                primed,
+            );
+            let mut bstats = BatchStats::default();
+            let mut frozen_at: Vec<Option<usize>> = vec![None; blk_lanes.len()];
+            let mut blk_pending: Vec<Vec<usize>> =
+                blk_lanes.iter().map(|&l| pending[l].clone()).collect();
+            let blk_taps: Vec<usize> = remaining_taps
+                .iter()
+                .copied()
+                .filter(|&t| blk_lanes.contains(&taps[t].lane))
+                .collect();
+            let mut resolved: Vec<(usize, SimSummary)> = Vec::with_capacity(blk_taps.len());
+            let mut bnext = 0usize;
+            for i in fork_at..=len {
+                if block.done.count() == block.len() {
+                    break;
+                }
+                while bnext < blk_taps.len() && taps[blk_taps[bnext]].at == i {
+                    let t = blk_taps[bnext];
+                    let tap = &taps[t];
+                    let slot = blk_lanes
+                        .iter()
+                        .position(|&l| l == tap.lane)
+                        .expect("tap lane was forked");
+                    let fold = block.bank.fold_of(slot);
+                    resolved.push((
+                        t,
+                        resolve_tap(
+                            &block.ctrls[slot],
+                            &fold,
+                            block.terminated.get(slot),
+                            frozen_at[slot].unwrap_or(i),
+                            tap,
+                            tail_quiet[t],
+                            bounds[tap.lane],
+                            shared,
+                            threshold,
+                            normal_capacity,
+                            dt,
+                            &mut bstats,
+                        ),
+                    ));
+                    blk_pending[slot].pop();
+                    if blk_pending[slot].is_empty() && !block.done.get(slot) {
+                        block.done.set(slot);
+                    }
+                    bnext += 1;
+                }
+                if i == len || block.done.count() == block.len() {
+                    break;
+                }
+                let demand = shared.demands[i];
+                let obs = &shared.obs[i];
+                let quiet_ok = i >= shared.inert_from;
+                let nominal_ok = i >= shared.nominal_from;
+                for slot in 0..block.len() {
+                    if block.done.get(slot) || frozen_at[slot].is_some() {
+                        continue;
+                    }
+                    let exempt = block.terminated.get(slot) || block.normal_pinned.get(slot);
+                    let taps_ok = blk_pending[slot]
+                        .iter()
+                        .all(|&t| block.terminated.get(slot) || tail_quiet[t]);
+                    if (quiet_ok || (exempt && nominal_ok))
+                        && taps_ok
+                        && fold_safe(&mut block.ctrls[slot])
+                    {
+                        frozen_at[slot] = Some(i);
+                        continue;
+                    }
+                    block.live_step(slot, demand, obs, dt);
+                    bstats.live_lane_steps += 1;
+                }
+            }
+            (resolved, bstats)
         };
-        let mut frozen_at: Vec<Option<usize>> = vec![None; lane_ids.len()];
-        let mut done_count = 0;
-        for i in fork_at..=len {
-            if done_count == lanes.len() {
-                break;
+        let blocks: Vec<std::ops::Range<usize>> = (0..lane_ids.len())
+            .step_by(BLOCK_LANES)
+            .map(|lo| lo..(lo + BLOCK_LANES).min(lane_ids.len()))
+            .collect();
+        let results = if blocks.len() <= 1 {
+            blocks.iter().map(run_block).collect()
+        } else {
+            parallel_map(&blocks, run_block)
+        };
+        for (block_resolved, bstats) in results {
+            for (t, summary) in block_resolved {
+                out[t] = Some(summary);
             }
-            while next_tap < tap_order.len() && taps[tap_order[next_tap]].at == i {
-                let t = tap_order[next_tap];
-                let tap = &taps[t];
-                let slot = lane_ids
-                    .iter()
-                    .position(|&l| l == tap.lane)
-                    .expect("tap lane was forked");
-                out[t] = Some(resolve_tap(
-                    &lanes.ctrls[slot],
-                    &lanes.folds[slot],
-                    lanes.terminated[slot],
-                    frozen_at[slot].unwrap_or(i),
-                    tap,
-                    tail_quiet[t],
-                    bounds[tap.lane],
-                    &shared,
-                    threshold,
-                    normal_capacity,
-                    dt,
-                    &mut stats,
-                ));
-                pending[tap.lane].pop();
-                if pending[tap.lane].is_empty() && !lanes.done[slot] {
-                    lanes.done[slot] = true;
-                    done_count += 1;
-                }
-                next_tap += 1;
-            }
-            if i == len || done_count == lanes.len() {
-                break;
-            }
-            let demand = shared.demands[i];
-            let obs = &shared.obs[i];
-            let quiet_ok = i >= shared.inert_from;
-            let nominal_ok = i >= shared.nominal_from;
-            for slot in 0..lanes.len() {
-                if lanes.done[slot] || frozen_at[slot].is_some() {
-                    continue;
-                }
-                let exempt = lanes.terminated[slot] || lanes.normal_pinned[slot];
-                let taps_ok = pending[lane_ids[slot]]
-                    .iter()
-                    .all(|&t| lanes.terminated[slot] || tail_quiet[t]);
-                if (quiet_ok || (exempt && nominal_ok)) && taps_ok && fold_safe(&lanes.ctrls[slot])
-                {
-                    frozen_at[slot] = Some(i);
-                    continue;
-                }
-                let rec = lanes.ctrls[slot].step_observed_with_sink(
-                    demand,
-                    obs,
-                    dt,
-                    &mut lanes.folds[slot],
-                );
-                stats.live_lane_steps += 1;
-                if rec.tripped || rec.overheated {
-                    lanes.terminated[slot] = true;
-                }
-            }
+            stats.merge(bstats);
         }
     }
 

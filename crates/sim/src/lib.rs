@@ -30,6 +30,9 @@
 //! * [`parallel_map`] — the scoped-thread sweep helper used by the
 //!   benches to parallelize parameter sweeps (nested calls run inline
 //!   under a per-worker budget instead of oversubscribing the machine);
+//! * [`simd`] — the hand-rolled `f64x4` kernel behind the batch engine's
+//!   structure-of-arrays lane accumulators and span folds (bit-identical
+//!   to the scalar path by construction);
 //! * [`parallel_map_supervised`] / [`Supervisor`] — the supervised slow
 //!   path: per-item panic isolation (`catch_unwind`), retries with capped
 //!   exponential backoff, a watchdog-enforced per-item deadline, and a
@@ -71,6 +74,7 @@ mod error;
 mod oracle;
 mod runner;
 mod scenario;
+pub mod simd;
 mod sink;
 mod supervisor;
 mod sweep;
@@ -99,7 +103,7 @@ pub use supervisor::{
     parallel_map_supervised, FailureCause, RetryPolicy, Supervisor, SweepFailure, SweepRecovery,
     SweepReport,
 };
-pub use sweep::parallel_map;
+pub use sweep::{machine_parallelism, parallel_map, with_worker_budget};
 pub use table_builder::{
     build_upper_bound_table, build_upper_bound_table_resumable, build_upper_bound_table_stats,
     build_upper_bound_table_unbatched, build_upper_bound_table_with, table_checkpoint_store,

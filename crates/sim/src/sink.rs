@@ -15,6 +15,7 @@
 //! A new telemetry shape is one `impl StepSink<FacilityState>` away and
 //! touches neither the physics nor any policy.
 
+use crate::simd::{fold_span_group, F64x4};
 use crate::SimSummary;
 use dcs_core::{FacilityState, StepEffects, StepInput, StepRecord, StepSink};
 use dcs_units::{Energy, Seconds};
@@ -98,14 +99,55 @@ impl SummaryFold {
     /// normal allocation with a frozen plant: each step contributes
     /// `record(demand, min(demand, normal_capacity))`, one step count, and
     /// a degree of exactly 1 — nothing else in the summary moves.
+    ///
+    /// Runs through the data-parallel [`fold_span_group`] kernel (a group
+    /// of one), which performs bitwise the same per-step accumulation the
+    /// admission log would.
     pub fn fold_span(&mut self, demands: &[f64], dt: Seconds, normal_capacity: f64) {
-        for &demand in demands {
-            self.admission
-                .record(demand, demand.min(normal_capacity), dt);
-        }
+        let (served, demand, elapsed) = self.admission.integrals();
+        let mut acc = [F64x4::new(served, demand, elapsed, 0.0)];
+        let invalid = fold_span_group(&mut acc, demands, dt, normal_capacity);
+        self.admission = AdmissionLog::from_integrals(
+            acc[0].0[0],
+            acc[0].0[1],
+            acc[0].0[2],
+            self.admission.invalid_samples() + invalid,
+        );
         self.steps += demands.len();
         if !demands.is_empty() {
             self.peak_degree = self.peak_degree.max(1.0);
+        }
+    }
+
+    /// Decomposes the fold into `(admission, steps, tripped, overheated,
+    /// peak_degree)` — the batch engine seeds its structure-of-arrays fold
+    /// bank from these parts at the fork.
+    pub(crate) fn parts(&self) -> (AdmissionLog, usize, bool, bool, f64) {
+        (
+            self.admission,
+            self.steps,
+            self.tripped,
+            self.overheated,
+            self.peak_degree,
+        )
+    }
+
+    /// Reassembles a fold from parts previously produced by
+    /// [`SummaryFold::parts`] or accumulated in the batch engine's fold
+    /// bank.
+    pub(crate) fn from_parts(
+        admission: AdmissionLog,
+        steps: usize,
+        tripped: bool,
+        overheated: bool,
+        peak_degree: f64,
+    ) -> SummaryFold {
+        SummaryFold {
+            admission,
+            steps,
+            tripped,
+            overheated,
+            peak_degree,
         }
     }
 

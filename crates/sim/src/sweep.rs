@@ -2,6 +2,7 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     /// How many workers a nested [`parallel_map`] on this thread may use.
@@ -36,6 +37,47 @@ impl Drop for BudgetGuard {
     fn drop(&mut self) {
         WORKER_BUDGET.with(|b| b.set(self.previous));
     }
+}
+
+/// The machine's worker parallelism, resolved once per process.
+///
+/// The `DCS_THREADS` environment variable (a positive integer) overrides
+/// the hardware count — the knob the thread-scaling benches and operators
+/// pinning a sweep to a core budget use. The value is cached in a
+/// `OnceLock` on first use: `available_parallelism` is a syscall, and the
+/// sweep helper may be called once per lane block in a hot loop, so the
+/// lookup must not be. Consequently, changing `DCS_THREADS` after the
+/// first sweep of the process has no effect; use
+/// [`with_worker_budget`] for scoped, programmatic control.
+pub fn machine_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Some(n) = std::env::var("DCS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` with the calling thread's worker budget pinned to `workers`
+/// (at least 1): every [`parallel_map`] reached from `f` — including the
+/// batch engine's lane-block shards — spawns at most that many workers,
+/// and a budget of one runs inline with no spawn at all.
+///
+/// This is the programmatic counterpart to the `DCS_THREADS` environment
+/// override, scoped instead of process-global; the thread-scaling section
+/// of `perf_report` and the shard-invariance equivalence tests sweep
+/// thread counts through it. The previous budget is restored when `f`
+/// returns (or unwinds).
+pub fn with_worker_budget<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = BudgetGuard::set(Some(workers.max(1)));
+    f()
 }
 
 /// Renders a caught panic payload for error messages: the common `String`
@@ -97,11 +139,7 @@ where
     }
     let len = inputs.len();
     let budget = WORKER_BUDGET.with(Cell::get);
-    let cap = budget.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
+    let cap = budget.unwrap_or_else(machine_parallelism);
     if budget.is_some() && cap <= 1 {
         // A nested sweep with no spare workers: run on the calling worker.
         return inputs.iter().map(&f).collect();
@@ -311,6 +349,29 @@ mod tests {
                 "row {x}"
             );
         }
+    }
+
+    #[test]
+    fn machine_parallelism_is_positive_and_stable() {
+        let first = machine_parallelism();
+        assert!(first >= 1);
+        // OnceLock semantics: repeated calls return the cached value.
+        assert_eq!(machine_parallelism(), first);
+    }
+
+    #[test]
+    fn with_worker_budget_pins_and_restores() {
+        let before = BudgetGuard::current();
+        let (inside, here) = with_worker_budget(1, || {
+            let here = std::thread::current().id();
+            let ids = parallel_map(&[1, 2], |_| std::thread::current().id());
+            (ids, here)
+        });
+        assert!(
+            inside.iter().all(|&id| id == here),
+            "budget of one must run inline"
+        );
+        assert_eq!(BudgetGuard::current(), before, "budget must be restored");
     }
 
     #[test]

@@ -204,6 +204,57 @@ proptest! {
     }
 }
 
+/// Thread-shard invariance: the batched engine carves lanes into
+/// fixed-size blocks independent of the worker count, so the same batch —
+/// fault-free or degraded — run under worker budgets of 1, 2, and the
+/// machine width yields bit-identical summaries *and* identical work
+/// counters.
+#[test]
+fn batched_lanes_are_invariant_across_worker_budgets() {
+    let s = scenario(7, 4.0, 12.0);
+    // A grid wide enough to span several lane blocks after dedup.
+    let bounds: Vec<Ratio> = (0..40)
+        .map(|i| Ratio::new(1.0 + f64::from(i) * 0.09))
+        .collect();
+    let schedules = [
+        FaultSchedule::none(),
+        FaultSchedule::random(11, s.trace().duration()),
+    ];
+    for faults in &schedules {
+        let reference = dcs_sim::with_worker_budget(1, || run_bound_batch(&s, &bounds, faults));
+        for workers in [2usize, dcs_sim::machine_parallelism().max(4)] {
+            let got = dcs_sim::with_worker_budget(workers, || run_bound_batch(&s, &bounds, faults));
+            assert_eq!(got.summaries, reference.summaries, "workers {workers}");
+            assert_eq!(got.stats, reference.stats, "workers {workers}");
+        }
+    }
+}
+
+/// The data-parallel span fold is bitwise the scalar accounting: pushing a
+/// real trace's samples through the `f64x4` group kernel and through
+/// per-step `AdmissionLog::record` calls yields bit-identical integrals
+/// for every lane in the group — no reassociation tolerance needed.
+#[test]
+fn group_fold_matches_admission_log_bitwise() {
+    use dcs_sim::simd::{fold_span_group, F64x4};
+    use dcs_workload::AdmissionLog;
+
+    let trace = yahoo_trace::baseline(9);
+    let span = trace.samples();
+    let dt = trace.step();
+    let cap = 1.1;
+    let mut log = AdmissionLog::new();
+    for &demand in span {
+        log.record(demand, demand.min(cap), dt);
+    }
+    let mut accs = [F64x4::ZERO; 3];
+    let invalid = fold_span_group(&mut accs, span, dt, cap);
+    for acc in accs {
+        let rebuilt = AdmissionLog::from_integrals(acc.0[0], acc.0[1], acc.0[2], invalid);
+        assert_eq!(rebuilt, log);
+    }
+}
+
 /// Early retirement: a derated breaker under a hard burst trips the
 /// aggressive lanes mid-trace. A tripped lane is frozen to its terminal
 /// summary, and that frozen summary must still match the independent run

@@ -110,6 +110,40 @@ impl AdmissionLog {
         Seconds::new(self.elapsed)
     }
 
+    /// Returns the raw `(served_integral, demand_integral, elapsed)`
+    /// accumulators, in demand-seconds and seconds.
+    ///
+    /// Together with [`AdmissionLog::invalid_samples`] and
+    /// [`AdmissionLog::from_integrals`] this lets an engine carry the log's
+    /// state in its own structure-of-arrays accumulators (the batched lane
+    /// engine's fold bank) and reassemble the log bit-identically.
+    #[must_use]
+    pub fn integrals(&self) -> (f64, f64, f64) {
+        (self.served_integral, self.demand_integral, self.elapsed)
+    }
+
+    /// Reassembles a log from raw accumulator state previously obtained via
+    /// [`AdmissionLog::integrals`] and [`AdmissionLog::invalid_samples`].
+    ///
+    /// The caller owns the invariant that the integrals came from a valid
+    /// accumulation (this constructor does not re-derive or re-check them);
+    /// it exists so external structure-of-arrays accumulators round-trip
+    /// exactly.
+    #[must_use]
+    pub fn from_integrals(
+        served_integral: f64,
+        demand_integral: f64,
+        elapsed: f64,
+        invalid_samples: u64,
+    ) -> AdmissionLog {
+        AdmissionLog {
+            served_integral,
+            demand_integral,
+            elapsed,
+            invalid_samples,
+        }
+    }
+
     /// Returns how many NaN or negative demand/capacity samples were
     /// clamped to zero by [`AdmissionLog::record`] — a nonzero count flags
     /// corrupted telemetry feeding the accounting.
@@ -202,6 +236,21 @@ mod tests {
         assert!((log.average_demand() - 1.0 / 3.0).abs() < 1e-12);
         assert!(log.drop_fraction().abs() < 1e-12);
         assert_eq!(log.elapsed(), Seconds::new(30.0));
+    }
+
+    #[test]
+    fn integrals_round_trip_bitwise() {
+        let mut log = AdmissionLog::new();
+        log.record(2.0, 1.5, Seconds::new(60.0));
+        log.record(f64::NAN, 1.0, Seconds::new(30.0));
+        log.record(0.3, 0.9, Seconds::new(45.0));
+        let (served, demand, elapsed) = log.integrals();
+        let rebuilt = AdmissionLog::from_integrals(served, demand, elapsed, log.invalid_samples());
+        assert_eq!(rebuilt, log);
+        assert_eq!(
+            rebuilt.average_served().to_bits(),
+            log.average_served().to_bits()
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! `Deserialize` traits. Built directly on `proc_macro` token trees — no
 //! `syn`/`quote` — so it supports exactly the shapes this workspace uses:
 //!
-//! * named-field structs (with `#[serde(default)]` fields);
+//! * named-field structs (with `#[serde(default)]` and `#[serde(skip)]`
+//!   fields — skipped fields are omitted on the wire and restored with
+//!   `Default::default()`);
 //! * `#[serde(transparent)]` newtype structs;
 //! * plain enums, externally tagged (unit variant ⇄ string, data variant
 //!   ⇄ single-key object);
@@ -43,6 +45,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct SerdeAttrs {
     transparent: bool,
     default: bool,
+    skip: bool,
     tag: Option<String>,
     rename_all: Option<String>,
 }
@@ -187,6 +190,7 @@ fn merge_serde_attr(attrs: &mut SerdeAttrs, bracket: &TokenStream) {
         match key.as_str() {
             "transparent" => attrs.transparent = true,
             "default" => attrs.default = true,
+            "skip" => attrs.skip = true,
             "tag" => attrs.tag = value,
             "rename_all" => attrs.rename_all = value,
             other => panic!("serde_derive stand-in: unsupported serde attribute `{other}`"),
@@ -374,6 +378,9 @@ fn gen_struct_ser(item: &Item, fields: &[Field], named: bool) -> String {
         let mut out =
             String::from("let mut __entries: Vec<(String, serde::Value)> = Vec::new();\n");
         for f in fields {
+            if f.attrs.skip {
+                continue;
+            }
             let n = f.name.as_ref().unwrap();
             out.push_str(&format!(
                 "__entries.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n"
@@ -518,6 +525,10 @@ fn gen_struct_de(item: &Item, fields: &[Field], named: bool) -> String {
         );
         for f in fields {
             let n = f.name.as_ref().unwrap();
+            if f.attrs.skip {
+                out.push_str(&format!("{n}: std::default::Default::default(),\n"));
+                continue;
+            }
             let helper = if f.attrs.default {
                 "field_or_default"
             } else {
