@@ -186,19 +186,32 @@ EOF
 wait "$svc_pid"
 rm -rf "$svc_dir"
 
-echo "== load report (service throughput/latency floors) =="
+echo "== chaos soak (1k decisions through the seeded fault proxy) =="
+# The seeded ChaosProxy soak: a RetryClient drives 1,000 decisions through
+# injected resets, truncations, stalls, and trickled bytes, then asserts
+# the post-soak hot state is bit-identical to a clean run of the same
+# demand stream (exactly-once under ambiguous retries). The stage timeout
+# is the zero-hang proof: a single wedged read would blow it.
+timeout 300 cargo test -p dcs-service --test soak --offline -q
+
+echo "== load report (multi-client throughput, chaos mode, idempotent retry) =="
 # Full-mode run: the binary itself aborts unless the bare engine clears
-# 50k decisions/s with a sub-ms p99 and the HTTP loopback drive sees zero
-# 5xx; the validator re-checks the flags from the written report.
+# 50k decisions/s with a sub-ms p99, the single-connection and pipelined
+# multi-client drives see zero 5xx, the aggregate pipelined rate clears
+# its floor, the chaos-proxy run surfaces only typed errors and advances
+# the plant exactly once per decision, and the forced ambiguous retry is
+# replayed rather than re-applied. The validator re-checks every flag
+# from the written report.
 load_json="$(mktemp)"
 cargo run --release -p dcs-bench --bin load_report --offline -q -- \
   --out "$load_json" > /dev/null
 python3 - "$load_json" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "dcs-bench/perf-report-v5", r["schema"]
+assert r["schema"] == "dcs-bench/perf-report-v7", r["schema"]
 assert r["mode"] == "full", r["mode"]
 e, h = r["engine"], r["http"]
+m, c, idem = r["http_multi"], r["chaos"], r["idempotent_retry"]
 assert e["decisions"] >= 100_000, e["decisions"]
 assert e["rate_per_sec"] >= 50_000, e["rate_per_sec"]
 assert e["latency"]["p99_us"] < 1_000, e["latency"]
@@ -206,9 +219,32 @@ assert e["meets_rate_floor"] and e["sub_ms_p99"], e
 assert h["requests"] >= 1_000, h["requests"]
 assert h["responses_5xx"] == 0 and h["zero_5xx"], h
 assert h["rate_per_sec"] > 100, h["rate_per_sec"]
+# Aggregate pipelined throughput: the worker-pool accept path must
+# sustain many concurrent clients without a single 5xx.
+assert m["clients"] >= 4 and m["pipeline_depth"] >= 8, m
+assert m["requests"] >= 10_000, m["requests"]
+assert m["responses_5xx"] == 0 and m["zero_5xx"], m
+assert m["aggregate_rate_per_sec"] >= 25_000, m["aggregate_rate_per_sec"]
+assert m["meets_rate_floor"], m
+# Chaos mode: faults were actually injected, every surfaced error was
+# typed, and the plant advanced exactly once per intended decision.
+assert c["decisions"] >= 1_000, c["decisions"]
+faults = (c["injected_resets"] + c["injected_truncations"]
+          + c["injected_stalls"] + c["injected_trickles"])
+assert faults > 0, "chaos run injected no faults"
+assert c["client_retries"] > 0, "chaos never forced a retry"
+assert c["untyped_errors"] == 0, c["untyped_errors"]
+assert c["exactly_once"], "chaos run was not exactly-once"
+# The forced ambiguous retry: replayed, never re-applied.
+assert idem["replayed_on_retry"], idem
+assert idem["no_double_advance"], idem
+assert idem["conflict_is_typed"], idem
 print(f"load report OK: engine {e['rate_per_sec']:.0f}/s "
       f"(p99 {e['latency']['p99_us']:.1f} us), "
-      f"http {h['rate_per_sec']:.0f}/s, zero 5xx")
+      f"http {h['rate_per_sec']:.0f}/s, "
+      f"multi {m['aggregate_rate_per_sec']:.0f}/s aggregate, "
+      f"chaos {faults} faults / {c['client_retries']} retries / "
+      f"0 untyped, idempotent retry OK")
 EOF
 rm -f "$load_json"
 

@@ -1,44 +1,75 @@
 //! Live-service load report: decision throughput and latency for the
-//! `dcs-service` control loop, in-process and over HTTP loopback.
+//! `dcs-service` control loop — bare engine, single-connection HTTP,
+//! multi-client pipelined HTTP, network-chaos mode, and an idempotent
+//! retry correctness check.
 //!
 //! ```text
-//! cargo run --release -p dcs-bench --bin load_report               # full, BENCH_PR6.json
+//! cargo run --release -p dcs-bench --bin load_report               # full, BENCH_PR9.json
 //! cargo run --release -p dcs-bench --bin load_report -- --tiny     # CI smoke
 //! cargo run --release -p dcs-bench --bin load_report -- --out p.json
 //! ```
 //!
-//! Two sections:
+//! Five sections:
 //!
 //! - **engine**: bare `step_cycle` decisions on the service's plant —
 //!   the physics ceiling a deployment can never beat. Full mode asserts
-//!   the floor the service contract is built on: ≥ 50k decisions/s and a
-//!   sub-millisecond p99 (the default 250 ms request deadline is then
-//!   pure safety margin, not a working budget).
+//!   ≥ 50k decisions/s and a sub-millisecond p99.
 //! - **http**: a real [`SprintService`] on loopback, one keep-alive
 //!   connection driving sequential `POST /step` requests. Asserts zero
-//!   5xx responses — under clean load the service never errors.
+//!   5xx responses under clean load.
+//! - **http_multi**: many concurrent clients, each pipelining batches of
+//!   requests down a keep-alive connection — the aggregate-throughput
+//!   number the worker-pool accept path is sized for. Full mode asserts
+//!   an aggregate floor and zero 5xx.
+//! - **chaos**: a [`RetryClient`] driving decisions through the seeded
+//!   [`ChaosProxy`] (resets, truncations, stalls, trickles). Asserts
+//!   every surfaced error is typed and the plant advanced exactly once
+//!   per intended decision.
+//! - **idempotent_retry**: the forced ambiguous case — the same tagged
+//!   `/step` sent twice must be replayed, not re-applied.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Instant;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
 
 use dcs_core::{step_cycle, FacilityState, Greedy, NullSink, SprintPolicy, StepInput};
-use dcs_service::{ServiceConfig, ServiceOptions, SprintService};
+use dcs_service::{
+    ChaosProxy, ClientError, RetryClient, RetryConfig, ServiceConfig, ServiceOptions, SprintService,
+};
 use dcs_units::Seconds;
 use serde::{Deserialize, Serialize};
 
 /// Full-mode engine decision count.
 const FULL_ENGINE_DECISIONS: usize = 200_000;
-/// Full-mode HTTP request count.
+/// Full-mode single-connection HTTP request count.
 const FULL_HTTP_REQUESTS: usize = 2_000;
+/// Full-mode pipelined requests per client.
+const FULL_MULTI_PER_CLIENT: usize = 8_000;
+/// Full-mode chaos decision count.
+const FULL_CHAOS_DECISIONS: u64 = 1_000;
 /// Tiny-mode engine decision count.
 const TINY_ENGINE_DECISIONS: usize = 5_000;
-/// Tiny-mode HTTP request count.
+/// Tiny-mode single-connection HTTP request count.
 const TINY_HTTP_REQUESTS: usize = 200;
+/// Tiny-mode pipelined requests per client.
+const TINY_MULTI_PER_CLIENT: usize = 500;
+/// Tiny-mode chaos decision count.
+const TINY_CHAOS_DECISIONS: u64 = 150;
+/// Concurrent pipelined clients (both modes).
+const MULTI_CLIENTS: usize = 8;
+/// Requests written per batch on each pipelined connection.
+const PIPELINE_DEPTH: usize = 32;
 /// Full-mode floor on bare decision throughput (decisions/s).
 const ENGINE_RATE_FLOOR: f64 = 50_000.0;
 /// Full-mode ceiling on bare decision p99 (µs).
 const ENGINE_P99_CEILING_US: f64 = 1_000.0;
+/// Full-mode floor on aggregate pipelined HTTP throughput (req/s).
+const MULTI_RATE_FLOOR: f64 = 25_000.0;
+/// Chaos-mode proxy seed.
+const CHAOS_SEED: u64 = 42;
+/// Chaos-mode per-connection fault probability (per-mille).
+const CHAOS_FAULT_PER_MILLE: u32 = 300;
 
 /// Latency percentiles over one section's per-operation samples.
 #[derive(Debug, Serialize, Deserialize)]
@@ -90,6 +121,61 @@ struct HttpSection {
     zero_5xx: bool,
 }
 
+/// Aggregate pipelined load from concurrent clients.
+#[derive(Debug, Serialize, Deserialize)]
+struct MultiSection {
+    clients: u64,
+    pipeline_depth: u64,
+    requests: u64,
+    responses_5xx: u64,
+    responses_429: u64,
+    total_ms: f64,
+    /// Aggregate request rate across every client (req/s).
+    aggregate_rate_per_sec: f64,
+    /// Per-request latency (batch time / batch size — pipelining hides
+    /// individual response times).
+    latency: Latency,
+    zero_5xx: bool,
+    /// `aggregate_rate_per_sec >= 25k` (asserted in full mode).
+    meets_rate_floor: bool,
+}
+
+/// Chaos-on decisions through the fault-injecting proxy.
+#[derive(Debug, Serialize, Deserialize)]
+struct ChaosSection {
+    decisions: u64,
+    total_ms: f64,
+    rate_per_sec: f64,
+    /// Proxy seed (reruns replay identical chaos).
+    seed: u64,
+    fault_per_mille: u32,
+    proxy_connections: u64,
+    injected_resets: u64,
+    injected_truncations: u64,
+    injected_stalls: u64,
+    injected_trickles: u64,
+    client_attempts: u64,
+    client_retries: u64,
+    /// Ambiguous retries answered from the replay cache.
+    client_replays: u64,
+    typed_4xx_errors: u64,
+    /// Errors that were neither transport-level nor typed (must be 0).
+    untyped_errors: u64,
+    /// Final decision count matched the intended stream exactly.
+    exactly_once: bool,
+}
+
+/// The forced ambiguous retry: same tagged request twice.
+#[derive(Debug, Serialize, Deserialize)]
+struct IdempotentSection {
+    /// The retry was served from the replay cache.
+    replayed_on_retry: bool,
+    /// The plant advanced once, not twice.
+    no_double_advance: bool,
+    /// A conflicting claim on the same index got a typed 409.
+    conflict_is_typed: bool,
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct Report {
     schema: String,
@@ -97,9 +183,12 @@ struct Report {
     mode: String,
     engine: EngineSection,
     http: HttpSection,
+    http_multi: MultiSection,
+    chaos: ChaosSection,
+    idempotent_retry: IdempotentSection,
 }
 
-/// The demand cycle both sections drive: mostly quiet with periodic
+/// The demand cycle the load sections drive: mostly quiet with periodic
 /// bursts, so decisions exercise the sprint path, not just the idle one.
 fn demand_at(i: usize) -> f64 {
     if i % 60 < 12 {
@@ -138,20 +227,8 @@ fn engine_section(decisions: usize) -> EngineSection {
     }
 }
 
-/// Sends one keep-alive `POST /step` and returns the status code.
-fn send_step(
-    stream: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    demand: f64,
-) -> (u16, bool) {
-    let body = format!(r#"{{"demand":{demand:?}}}"#);
-    let message = format!(
-        "POST /step HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(message.as_bytes()).expect("write request");
-    stream.flush().expect("flush");
-
+/// Reads one HTTP response; returns `(status, body)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<u8>) {
     let mut line = String::new();
     reader.read_line(&mut line).expect("status line");
     let status: u16 = line
@@ -176,8 +253,24 @@ fn send_step(
     }
     let mut buf = vec![0_u8; content_length];
     reader.read_exact(&mut buf).expect("body");
-    let degraded = String::from_utf8_lossy(&buf).contains(r#""degraded":true"#);
-    (status, degraded)
+    (status, buf)
+}
+
+/// Sends one keep-alive request and reads the response.
+fn exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<u8>) {
+    let message = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(message.as_bytes()).expect("write request");
+    stream.flush().expect("flush");
+    read_response(reader)
 }
 
 fn http_section(requests: usize) -> HttpSection {
@@ -196,8 +289,9 @@ fn http_section(requests: usize) -> HttpSection {
     let mut samples_us = Vec::with_capacity(requests);
     let start = Instant::now();
     for i in 0..requests {
+        let body = format!(r#"{{"demand":{:?}}}"#, demand_at(i));
         let tick = Instant::now();
-        let (status, degraded) = send_step(&mut stream, &mut reader, demand_at(i));
+        let (status, payload) = exchange(&mut stream, &mut reader, "POST", "/step", &body);
         samples_us.push(tick.elapsed().as_secs_f64() * 1e6);
         if status >= 500 {
             responses_5xx += 1;
@@ -205,7 +299,7 @@ fn http_section(requests: usize) -> HttpSection {
         if status == 429 {
             responses_429 += 1;
         }
-        if degraded {
+        if String::from_utf8_lossy(&payload).contains(r#""degraded":true"#) {
             degraded_responses += 1;
         }
     }
@@ -226,6 +320,222 @@ fn http_section(requests: usize) -> HttpSection {
     }
 }
 
+/// One pipelined client: writes `PIPELINE_DEPTH` requests per burst,
+/// then reads the whole burst of responses.
+fn run_pipelined_client(addr: SocketAddr, requests: usize) -> (u64, u64, Vec<f64>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+    let mut responses_5xx = 0_u64;
+    let mut responses_429 = 0_u64;
+    let mut samples_us = Vec::with_capacity(requests / PIPELINE_DEPTH + 1);
+    let mut sent = 0_usize;
+    while sent < requests {
+        let batch = PIPELINE_DEPTH.min(requests - sent);
+        let mut burst = Vec::with_capacity(batch * 160);
+        for i in 0..batch {
+            let body = format!(r#"{{"demand":{:?}}}"#, demand_at(sent + i));
+            burst.extend_from_slice(
+                format!(
+                    "POST /step HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        let tick = Instant::now();
+        stream.write_all(&burst).expect("write burst");
+        stream.flush().expect("flush");
+        for _ in 0..batch {
+            let (status, _) = read_response(&mut reader);
+            if status >= 500 {
+                responses_5xx += 1;
+            }
+            if status == 429 {
+                responses_429 += 1;
+            }
+        }
+        samples_us.push(tick.elapsed().as_secs_f64() * 1e6 / batch as f64);
+        sent += batch;
+    }
+    (responses_5xx, responses_429, samples_us)
+}
+
+fn multi_section(per_client: usize) -> MultiSection {
+    let mut config = ServiceConfig::for_facility(2, 20);
+    // Deep enough that a full pipeline from every client fits in the
+    // engine queue instead of tripping backpressure.
+    config.queue_depth = Some(MULTI_CLIENTS * PIPELINE_DEPTH * 2);
+    config.deadline_ms = Some(5_000);
+    let service =
+        SprintService::spawn(config, ServiceOptions::default(), 0).expect("spawn service");
+    let addr = service.addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..MULTI_CLIENTS)
+        .map(|_| std::thread::spawn(move || run_pipelined_client(addr, per_client)))
+        .collect();
+    let mut responses_5xx = 0_u64;
+    let mut responses_429 = 0_u64;
+    let mut samples_us = Vec::new();
+    for handle in handles {
+        let (c5xx, c429, samples) = handle.join().expect("client thread");
+        responses_5xx += c5xx;
+        responses_429 += c429;
+        samples_us.extend(samples);
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+
+    let requests = (MULTI_CLIENTS * per_client) as u64;
+    let aggregate_rate_per_sec = requests as f64 / (total_ms / 1e3);
+    MultiSection {
+        clients: MULTI_CLIENTS as u64,
+        pipeline_depth: PIPELINE_DEPTH as u64,
+        requests,
+        responses_5xx,
+        responses_429,
+        total_ms,
+        aggregate_rate_per_sec,
+        latency: Latency::from_samples(samples_us),
+        zero_5xx: responses_5xx == 0,
+        meets_rate_floor: aggregate_rate_per_sec >= MULTI_RATE_FLOOR,
+    }
+}
+
+fn chaos_section(decisions: u64) -> ChaosSection {
+    let mut config = ServiceConfig::for_facility(2, 20);
+    config.deadline_ms = Some(5_000);
+    let service =
+        SprintService::spawn(config, ServiceOptions::default(), 0).expect("spawn service");
+    let proxy =
+        ChaosProxy::spawn(service.addr(), CHAOS_SEED, CHAOS_FAULT_PER_MILLE).expect("proxy");
+    let mut client = RetryClient::with_config(
+        proxy.addr(),
+        RetryConfig {
+            deadline: Duration::from_secs(2),
+            rotate_after: 8,
+            ..RetryConfig::default()
+        },
+    );
+
+    let mut typed_4xx_errors = 0_u64;
+    let mut untyped_errors = 0_u64;
+    let start = Instant::now();
+    for i in 0..decisions {
+        let demand = demand_at(i as usize);
+        let mut tries = 0_u32;
+        loop {
+            match client.step(demand) {
+                Ok(response) => {
+                    if response.decision_index != Some(i) {
+                        untyped_errors += 1;
+                    }
+                    break;
+                }
+                Err(ClientError::BreakerOpen { retry_in }) => {
+                    std::thread::sleep(retry_in.min(Duration::from_millis(200)));
+                }
+                Err(ClientError::Exhausted { .. }) => {}
+                Err(ClientError::Rejected { kind, .. }) => {
+                    if matches!(kind.as_str(), "bad_request" | "request_timeout") {
+                        typed_4xx_errors += 1;
+                    } else {
+                        untyped_errors += 1;
+                    }
+                }
+            }
+            tries += 1;
+            if tries >= 100 {
+                untyped_errors += 1;
+                break;
+            }
+        }
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    let final_decisions = client.status().map(|s| s.decisions).unwrap_or(0);
+    let stats = client.stats();
+    let proxy_stats = proxy.stats();
+    let section = ChaosSection {
+        decisions,
+        total_ms,
+        rate_per_sec: decisions as f64 / (total_ms / 1e3),
+        seed: CHAOS_SEED,
+        fault_per_mille: CHAOS_FAULT_PER_MILLE,
+        proxy_connections: proxy_stats.connections.load(Ordering::SeqCst),
+        injected_resets: proxy_stats.resets.load(Ordering::SeqCst),
+        injected_truncations: proxy_stats.truncations.load(Ordering::SeqCst),
+        injected_stalls: proxy_stats.stalls.load(Ordering::SeqCst),
+        injected_trickles: proxy_stats.trickles.load(Ordering::SeqCst),
+        client_attempts: stats.attempts,
+        client_retries: stats.retries,
+        client_replays: stats.replays,
+        typed_4xx_errors,
+        untyped_errors,
+        exactly_once: final_decisions == decisions,
+    };
+    proxy.stop();
+    service.shutdown();
+    section
+}
+
+fn idempotent_section() -> IdempotentSection {
+    let service = SprintService::spawn(
+        ServiceConfig::for_facility(2, 20),
+        ServiceOptions::default(),
+        0,
+    )
+    .expect("spawn service");
+    let addr = service.addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut stream = stream;
+
+    let (status, _) = exchange(
+        &mut stream,
+        &mut reader,
+        "POST",
+        "/step",
+        r#"{"demand":0.7,"expect_index":0}"#,
+    );
+    assert_eq!(status, 200);
+    // The forced ambiguous retry: the identical tagged request twice.
+    let tagged = r#"{"demand":2.6,"expect_index":1}"#;
+    let (status, _) = exchange(&mut stream, &mut reader, "POST", "/step", tagged);
+    assert_eq!(status, 200);
+    let (status, retry_body) = exchange(&mut stream, &mut reader, "POST", "/step", tagged);
+    let retry_text = String::from_utf8_lossy(&retry_body).to_string();
+    let replayed_on_retry = status == 200 && retry_text.contains(r#""replayed":true"#);
+
+    let (status, status_body) = exchange(&mut stream, &mut reader, "GET", "/status", "");
+    assert_eq!(status, 200);
+    let no_double_advance = String::from_utf8_lossy(&status_body).contains(r#""decisions":2"#);
+
+    let (status, conflict_body) = exchange(
+        &mut stream,
+        &mut reader,
+        "POST",
+        "/step",
+        r#"{"demand":1.1,"expect_index":1}"#,
+    );
+    let conflict_is_typed =
+        status == 409 && String::from_utf8_lossy(&conflict_body).contains("index_conflict");
+
+    drop(stream);
+    drop(reader);
+    service.shutdown();
+    IdempotentSection {
+        replayed_on_retry,
+        no_double_advance,
+        conflict_is_typed,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
@@ -234,12 +544,22 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_owned());
 
-    let (engine_decisions, http_requests) = if tiny {
-        (TINY_ENGINE_DECISIONS, TINY_HTTP_REQUESTS)
+    let (engine_decisions, http_requests, multi_per_client, chaos_decisions) = if tiny {
+        (
+            TINY_ENGINE_DECISIONS,
+            TINY_HTTP_REQUESTS,
+            TINY_MULTI_PER_CLIENT,
+            TINY_CHAOS_DECISIONS,
+        )
     } else {
-        (FULL_ENGINE_DECISIONS, FULL_HTTP_REQUESTS)
+        (
+            FULL_ENGINE_DECISIONS,
+            FULL_HTTP_REQUESTS,
+            FULL_MULTI_PER_CLIENT,
+            FULL_CHAOS_DECISIONS,
+        )
     };
 
     eprintln!("load_report: timing {engine_decisions} bare engine decisions...");
@@ -254,12 +574,54 @@ fn main() {
         "load_report: http {:.0}/s, p99 {:.1} us, 5xx {}",
         http.rate_per_sec, http.latency.p99_us, http.responses_5xx
     );
+    eprintln!(
+        "load_report: driving {MULTI_CLIENTS} x {multi_per_client} pipelined requests (depth {PIPELINE_DEPTH})..."
+    );
+    let http_multi = multi_section(multi_per_client);
+    eprintln!(
+        "load_report: http_multi {:.0}/s aggregate, 5xx {}, 429 {}",
+        http_multi.aggregate_rate_per_sec, http_multi.responses_5xx, http_multi.responses_429
+    );
+    eprintln!("load_report: driving {chaos_decisions} decisions through the chaos proxy...");
+    let chaos = chaos_section(chaos_decisions);
+    eprintln!(
+        "load_report: chaos {:.0}/s, retries {}, replays {}, untyped errors {}",
+        chaos.rate_per_sec, chaos.client_retries, chaos.client_replays, chaos.untyped_errors
+    );
+    let idempotent_retry = idempotent_section();
 
     if !http.zero_5xx {
         eprintln!(
             "load_report: FAIL: {} 5xx responses under clean load",
             http.responses_5xx
         );
+        std::process::exit(1);
+    }
+    if !http_multi.zero_5xx {
+        eprintln!(
+            "load_report: FAIL: {} 5xx responses under pipelined load",
+            http_multi.responses_5xx
+        );
+        std::process::exit(1);
+    }
+    if chaos.untyped_errors > 0 {
+        eprintln!(
+            "load_report: FAIL: {} untyped errors under chaos",
+            chaos.untyped_errors
+        );
+        std::process::exit(1);
+    }
+    if !chaos.exactly_once {
+        eprintln!(
+            "load_report: FAIL: chaos run did not advance the plant exactly once per decision"
+        );
+        std::process::exit(1);
+    }
+    if !(idempotent_retry.replayed_on_retry
+        && idempotent_retry.no_double_advance
+        && idempotent_retry.conflict_is_typed)
+    {
+        eprintln!("load_report: FAIL: idempotent retry contract violated: {idempotent_retry:?}");
         std::process::exit(1);
     }
     if !tiny {
@@ -277,14 +639,24 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if !http_multi.meets_rate_floor {
+            eprintln!(
+                "load_report: FAIL: aggregate rate {:.0}/s below the {MULTI_RATE_FLOOR:.0}/s floor",
+                http_multi.aggregate_rate_per_sec
+            );
+            std::process::exit(1);
+        }
     }
 
     let report = Report {
-        schema: "dcs-bench/perf-report-v5".to_owned(),
-        pr: "pr6".to_owned(),
+        schema: "dcs-bench/perf-report-v7".to_owned(),
+        pr: "pr9".to_owned(),
         mode: if tiny { "tiny" } else { "full" }.to_owned(),
         engine,
         http,
+        http_multi,
+        chaos,
+        idempotent_retry,
     };
     let json = serde_json::to_string_pretty(&report).expect("encode report");
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");
@@ -298,10 +670,9 @@ mod tests {
     #[test]
     fn report_round_trips_with_schema() {
         let engine = engine_section(64);
-        let http_latency = Latency::from_samples(vec![10.0, 20.0, 30.0]);
         let report = Report {
-            schema: "dcs-bench/perf-report-v5".to_owned(),
-            pr: "pr6".to_owned(),
+            schema: "dcs-bench/perf-report-v7".to_owned(),
+            pr: "pr9".to_owned(),
             mode: "tiny".to_owned(),
             engine,
             http: HttpSection {
@@ -311,15 +682,53 @@ mod tests {
                 degraded_responses: 0,
                 total_ms: 1.0,
                 rate_per_sec: 3000.0,
-                latency: http_latency,
+                latency: Latency::from_samples(vec![10.0, 20.0, 30.0]),
                 zero_5xx: true,
+            },
+            http_multi: MultiSection {
+                clients: 8,
+                pipeline_depth: 32,
+                requests: 256,
+                responses_5xx: 0,
+                responses_429: 0,
+                total_ms: 4.0,
+                aggregate_rate_per_sec: 64_000.0,
+                latency: Latency::from_samples(vec![10.0, 20.0, 30.0]),
+                zero_5xx: true,
+                meets_rate_floor: true,
+            },
+            chaos: ChaosSection {
+                decisions: 10,
+                total_ms: 50.0,
+                rate_per_sec: 200.0,
+                seed: CHAOS_SEED,
+                fault_per_mille: CHAOS_FAULT_PER_MILLE,
+                proxy_connections: 4,
+                injected_resets: 1,
+                injected_truncations: 1,
+                injected_stalls: 0,
+                injected_trickles: 1,
+                client_attempts: 14,
+                client_retries: 4,
+                client_replays: 1,
+                typed_4xx_errors: 1,
+                untyped_errors: 0,
+                exactly_once: true,
+            },
+            idempotent_retry: IdempotentSection {
+                replayed_on_retry: true,
+                no_double_advance: true,
+                conflict_is_typed: true,
             },
         };
         let text = serde_json::to_string(&report).unwrap();
         let parsed: Report = serde_json::from_str(&text).unwrap();
-        assert_eq!(parsed.schema, "dcs-bench/perf-report-v5");
+        assert_eq!(parsed.schema, "dcs-bench/perf-report-v7");
         assert_eq!(parsed.engine.decisions, 64);
         assert!(parsed.http.zero_5xx);
+        assert!(parsed.http_multi.zero_5xx);
+        assert_eq!(parsed.chaos.untyped_errors, 0);
+        assert!(parsed.idempotent_retry.no_double_advance);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //!
 //! Boots a [`SprintService`] from the given config, prints
 //! `listening on <addr>` once the socket is bound, and serves until a
-//! `POST /shutdown` drains it. With `--state-dir`, hot state is
-//! checkpointed there and restored on boot — a crashed daemon restarted
-//! on the same directory resumes bit-identically.
+//! `POST /shutdown` — or a `SIGINT`/`SIGTERM` — drains it: in-flight
+//! requests finish under the drain deadline, the final checkpoint
+//! lands, then the process exits cleanly. With `--state-dir`, hot
+//! state is checkpointed there and restored on boot — a crashed daemon
+//! restarted on the same directory resumes bit-identically.
 //!
 //! Exit codes follow the repository convention: 2 usage, 3 config,
 //! 4 I/O, 7 service.
@@ -16,6 +18,8 @@
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use dcs_service::{ServiceConfig, ServiceOptions, SprintService};
 use dcs_sim::SimError;
@@ -27,6 +31,29 @@ struct Args {
 }
 
 const USAGE: &str = "usage: sprintd <config.json> [--state-dir DIR] [--port PORT]";
+
+/// Set from the signal handler; the main loop translates it into a
+/// graceful drain. Async-signal-safe: the handler only stores a flag.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: `on_signal` only touches an atomic flag, which is
+    // async-signal-safe; the handler stays valid for the process
+    // lifetime because it is a plain fn item.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut config_path = None;
@@ -67,6 +94,14 @@ fn run(args: &Args) -> Result<(), SimError> {
     let service = SprintService::spawn(config, options, args.port)?;
     println!("listening on {}", service.addr());
     let _ = std::io::stdout().flush();
+    install_signal_handlers();
+    while !service.engine_finished() {
+        if SIGNALED.swap(false, Ordering::SeqCst) {
+            eprintln!("sprintd: signal received, draining");
+            service.drain();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
     service.join();
     Ok(())
 }

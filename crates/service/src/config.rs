@@ -27,6 +27,17 @@ pub const DEFAULT_CHECKPOINT_EVERY: u64 = 16;
 pub const DEFAULT_WINDOW_STEPS: usize = 256;
 /// Default control period.
 pub const DEFAULT_STEP_SECS: f64 = 1.0;
+/// Default connection worker-pool size.
+pub const DEFAULT_WORKERS: usize = 16;
+/// Default bounded pending-connection queue depth (the hard connection
+/// limit is `workers + accept_queue`).
+pub const DEFAULT_ACCEPT_QUEUE: usize = 64;
+/// Default graceful-drain deadline.
+pub const DEFAULT_DRAIN_DEADLINE_MS: u64 = 5_000;
+/// Default replay-cache depth (idempotent-retry window, in decisions).
+pub const DEFAULT_REPLAY_CACHE: usize = 512;
+/// Default total per-request read budget (slowloris guard).
+pub const DEFAULT_READ_BUDGET_MS: u64 = 5_000;
 
 /// The live service's configuration. Facility geometry is required;
 /// everything else defaults.
@@ -56,6 +67,27 @@ pub struct ServiceConfig {
     pub checkpoint_every: Option<u64>,
     /// Recent-step telemetry window (default 256).
     pub window_steps: Option<usize>,
+    /// Connection worker-pool size (default 16; fixed at boot — a reload
+    /// does not resize the pool).
+    #[serde(default)]
+    pub workers: Option<usize>,
+    /// Pending-connection queue depth (default 64; fixed at boot). With
+    /// `workers` this is the hard connection limit — beyond it the
+    /// acceptor answers a typed `503 overloaded` immediately.
+    #[serde(default)]
+    pub accept_queue: Option<usize>,
+    /// Graceful-drain deadline in milliseconds (default 5000): how long
+    /// a shutdown waits for in-flight requests before checkpointing.
+    #[serde(default)]
+    pub drain_deadline_ms: Option<u64>,
+    /// Replay-cache depth in decisions (default 512): how far back an
+    /// idempotent retry (`expect_index`) can be answered from cache.
+    #[serde(default)]
+    pub replay_cache: Option<usize>,
+    /// Total per-request read budget in milliseconds (default 5000): a
+    /// peer that trickles a request slower than this gets a typed `408`.
+    #[serde(default)]
+    pub read_budget_ms: Option<u64>,
 }
 
 impl ServiceConfig {
@@ -75,6 +107,11 @@ impl ServiceConfig {
             stale_after_ms: None,
             checkpoint_every: None,
             window_steps: None,
+            workers: None,
+            accept_queue: None,
+            drain_deadline_ms: None,
+            replay_cache: None,
+            read_budget_ms: None,
         }
     }
 
@@ -124,6 +161,21 @@ impl ServiceConfig {
         }
         if self.checkpoint_every == Some(0) {
             return Err(SimError::config("checkpoint_every must be at least 1"));
+        }
+        if self.workers == Some(0) {
+            return Err(SimError::config("workers must be at least 1"));
+        }
+        if self.accept_queue == Some(0) {
+            return Err(SimError::config("accept_queue must be at least 1"));
+        }
+        if self.drain_deadline_ms == Some(0) {
+            return Err(SimError::config("drain_deadline_ms must be at least 1"));
+        }
+        if self.replay_cache == Some(0) {
+            return Err(SimError::config("replay_cache must be at least 1"));
+        }
+        if self.read_budget_ms == Some(0) {
+            return Err(SimError::config("read_budget_ms must be at least 1"));
         }
         if let Some(cfg) = &self.controller {
             if !cfg.burst_threshold.is_finite() || cfg.burst_threshold <= 0.0 {
@@ -191,6 +243,36 @@ impl ServiceConfig {
         self.window_steps.unwrap_or(DEFAULT_WINDOW_STEPS)
     }
 
+    /// The connection worker-pool size (defaulted).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(DEFAULT_WORKERS)
+    }
+
+    /// The pending-connection queue depth (defaulted).
+    #[must_use]
+    pub fn accept_queue(&self) -> usize {
+        self.accept_queue.unwrap_or(DEFAULT_ACCEPT_QUEUE)
+    }
+
+    /// The graceful-drain deadline (defaulted).
+    #[must_use]
+    pub fn drain_deadline_ms(&self) -> u64 {
+        self.drain_deadline_ms.unwrap_or(DEFAULT_DRAIN_DEADLINE_MS)
+    }
+
+    /// The replay-cache depth (defaulted).
+    #[must_use]
+    pub fn replay_cache(&self) -> usize {
+        self.replay_cache.unwrap_or(DEFAULT_REPLAY_CACHE)
+    }
+
+    /// The total per-request read budget (defaulted).
+    #[must_use]
+    pub fn read_budget_ms(&self) -> u64 {
+        self.read_budget_ms.unwrap_or(DEFAULT_READ_BUDGET_MS)
+    }
+
     /// `true` if `other` describes the same plant — same geometry and
     /// controller configuration — so hot state exported under `self`
     /// imports cleanly under `other` (service-level knobs are free to
@@ -256,6 +338,23 @@ mod tests {
             (
                 r#"{"pdus":2,"servers_per_pdu":5,"checkpoint_every":0}"#,
                 "checkpoint_every",
+            ),
+            (r#"{"pdus":2,"servers_per_pdu":5,"workers":0}"#, "workers"),
+            (
+                r#"{"pdus":2,"servers_per_pdu":5,"accept_queue":0}"#,
+                "accept_queue",
+            ),
+            (
+                r#"{"pdus":2,"servers_per_pdu":5,"drain_deadline_ms":0}"#,
+                "drain_deadline_ms",
+            ),
+            (
+                r#"{"pdus":2,"servers_per_pdu":5,"replay_cache":0}"#,
+                "replay_cache",
+            ),
+            (
+                r#"{"pdus":2,"servers_per_pdu":5,"read_budget_ms":0}"#,
+                "read_budget_ms",
             ),
         ] {
             let err = ServiceConfig::from_json(json).unwrap_err();

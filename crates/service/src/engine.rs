@@ -14,6 +14,7 @@
 //! is checkpointed; on boot (and on plant rebuild) the newest intact
 //! snapshot is restored, so a `kill -9` resumes bit-identically.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
@@ -84,6 +85,45 @@ pub struct StepOutcome {
     pub record: StepRecord,
     /// Lifetime decision index of this step.
     pub decision_index: u64,
+    /// `true` when this outcome was served from the replay cache (an
+    /// idempotent retry); the plant did not advance.
+    pub replayed: bool,
+}
+
+/// Why a step was not served, typed so the HTTP layer can answer with
+/// the right status.
+#[derive(Debug, Clone)]
+pub enum StepFailure {
+    /// The decision panicked or the engine could not run it (`503
+    /// decision_failed`).
+    Failed(String),
+    /// The request's `expect_index` is older than the replay cache
+    /// retains — the outcome is unknowable (`409 replay_gap`).
+    ReplayGap {
+        /// The index the sender expected.
+        expect: u64,
+        /// The oldest index still cached.
+        floor: u64,
+    },
+    /// The request's `expect_index` does not match the plant: it is
+    /// ahead of the next decision, or a *different* request was already
+    /// applied at that index (`409 index_conflict`).
+    IndexConflict {
+        /// The index the sender expected.
+        expect: u64,
+        /// The plant's lifetime decision count.
+        decisions: u64,
+    },
+}
+
+/// One replay-cache entry: the applied request's fingerprint plus its
+/// outcome. The fingerprint (exact input bits) is what makes replay
+/// sound under concurrent writers — a retry of the *same* request
+/// replays, a *different* request aimed at a taken index conflicts.
+struct ReplayEntry {
+    demand_bits: u64,
+    dt_bits: u64,
+    outcome: StepOutcome,
 }
 
 /// What a reload did.
@@ -103,8 +143,11 @@ pub enum EngineMsg {
         demand: f64,
         /// Optional step-length override in seconds.
         dt_secs: Option<f64>,
+        /// Idempotency key: the decision index the sender expects this
+        /// step to land on (see [`crate::StepBody::expect_index`]).
+        expect_index: Option<u64>,
         /// Where the outcome goes.
-        reply: SyncSender<Result<StepOutcome, String>>,
+        reply: SyncSender<Result<StepOutcome, StepFailure>>,
     },
     /// Liveness probe: replies immediately if the engine is not wedged.
     Ping {
@@ -113,8 +156,9 @@ pub enum EngineMsg {
     },
     /// Swap in a validated config.
     Reload {
-        /// The already-validated replacement config.
-        config: ServiceConfig,
+        /// The already-validated replacement config (boxed: a config is
+        /// much larger than the other message variants).
+        config: Box<ServiceConfig>,
         /// Where the outcome goes.
         reply: SyncSender<Result<ReloadOutcome, String>>,
     },
@@ -141,6 +185,15 @@ pub struct Counters {
     pub reloads: AtomicU64,
     /// Rejected (rolled-back) config reloads.
     pub reloads_rejected: AtomicU64,
+    /// Connections handed to the worker pool.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused with a typed 503 (pool at capacity, or
+    /// draining).
+    pub connections_rejected: AtomicU64,
+    /// Requests rejected by the HTTP parser with a typed 4xx.
+    pub parse_rejects: AtomicU64,
+    /// Idempotent retries answered from the replay cache.
+    pub replays_served: AtomicU64,
 }
 
 /// The engine-maintained part of `/status`, refreshed after every
@@ -175,6 +228,13 @@ pub struct Shared {
     pub failsafe_cores: AtomicU32,
     /// Config generation; bumped on each successful reload.
     pub config_generation: AtomicU64,
+    /// Connections currently being served by pool workers (gauge).
+    pub connections_active: AtomicU64,
+    /// Requests currently being routed (gauge; a drain waits for this to
+    /// reach zero).
+    pub requests_in_flight: AtomicU64,
+    /// Uptime milliseconds at which a drain began (`u64::MAX` before).
+    pub drain_started_ms: AtomicU64,
     /// Process start, the epoch for `last_feed_ms` and uptime.
     pub started: Instant,
     /// Since-boot counters.
@@ -199,6 +259,9 @@ impl Shared {
             last_feed_ms: AtomicU64::new(0),
             failsafe_cores: AtomicU32::new(0),
             config_generation: AtomicU64::new(1),
+            connections_active: AtomicU64::new(0),
+            requests_in_flight: AtomicU64::new(0),
+            drain_started_ms: AtomicU64::new(u64::MAX),
             started,
             counters: Counters::default(),
             status: Mutex::new(EngineStatus {
@@ -392,6 +455,10 @@ pub fn run_engine(
         // (index, attempt), so a panicked decision index 0 retried by the
         // client is attempt 1 — one injected panic hits one request.
         let mut attempt: u32 = 0;
+        // Bounded replay cache for idempotent retries: entries are
+        // contiguous, ending at decision `decisions - 1`. Rebuilding the
+        // plant resets it along with the decision count.
+        let mut replay: VecDeque<ReplayEntry> = VecDeque::new();
 
         loop {
             let msg = match rx.recv() {
@@ -405,16 +472,56 @@ pub fn run_engine(
                 EngineMsg::Step {
                     demand,
                     dt_secs,
+                    expect_index,
                     reply,
                 } => {
                     let index = decisions;
+                    let dt = Seconds::new(dt_secs.unwrap_or_else(|| config.step_secs()));
+                    // Idempotency gate: a replayed or conflicting request
+                    // is answered without touching the plant (and without
+                    // consuming a chaos event or an attempt).
+                    if let Some(expect) = expect_index {
+                        if expect > index {
+                            let _ = reply.try_send(Err(StepFailure::IndexConflict {
+                                expect,
+                                decisions: index,
+                            }));
+                            continue;
+                        }
+                        if expect < index {
+                            let floor = index - replay.len() as u64;
+                            if expect < floor {
+                                let _ =
+                                    reply.try_send(Err(StepFailure::ReplayGap { expect, floor }));
+                            } else {
+                                let entry = &replay[usize::try_from(expect - floor)
+                                    .expect("replay cache is bounded")];
+                                if entry.demand_bits == demand.to_bits()
+                                    && entry.dt_bits == dt.as_secs().to_bits()
+                                {
+                                    shared
+                                        .counters
+                                        .replays_served
+                                        .fetch_add(1, Ordering::SeqCst);
+                                    let mut outcome = entry.outcome.clone();
+                                    outcome.replayed = true;
+                                    let _ = reply.try_send(Ok(outcome));
+                                } else {
+                                    let _ = reply.try_send(Err(StepFailure::IndexConflict {
+                                        expect,
+                                        decisions: index,
+                                    }));
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     let injected =
                         chaos.lookup(usize::try_from(index).unwrap_or(usize::MAX), attempt);
                     if let Some(ChaosKind::Delay { millis }) = injected {
                         std::thread::sleep(std::time::Duration::from_millis(*millis));
                     }
                     let chaos_panic = matches!(injected, Some(ChaosKind::Panic));
-                    let dt = Seconds::new(dt_secs.unwrap_or_else(|| config.step_secs()));
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         assert!(!chaos_panic, "chaos: injected decision panic");
                         let input = StepInput::nominal(facility.now(), demand, dt);
@@ -441,14 +548,25 @@ pub fn run_engine(
                                 }
                             }
                             publish_status(shared, decisions, &facility, &policy, &sink);
-                            let _ = reply.try_send(Ok(StepOutcome {
+                            let outcome = StepOutcome {
                                 record: effects.record,
                                 decision_index: index,
-                            }));
+                                replayed: false,
+                            };
+                            replay.push_back(ReplayEntry {
+                                demand_bits: demand.to_bits(),
+                                dt_bits: dt.as_secs().to_bits(),
+                                outcome: outcome.clone(),
+                            });
+                            while replay.len() > config.replay_cache() {
+                                replay.pop_front();
+                            }
+                            let _ = reply.try_send(Ok(outcome));
                         }
                         Err(payload) => {
                             attempt = attempt.saturating_add(1);
-                            let _ = reply.try_send(Err(panic_message(payload)));
+                            let _ =
+                                reply.try_send(Err(StepFailure::Failed(panic_message(payload))));
                         }
                     }
                 }
@@ -457,7 +575,7 @@ pub fn run_engine(
                     reply,
                 } => {
                     if config.same_plant(&new_config) {
-                        let new_config = Arc::new(new_config);
+                        let new_config = Arc::new(*new_config);
                         if new_config.window_steps() != config.window_steps() {
                             sink = ServiceSink::with_window(new_config.window_steps());
                         }
@@ -480,7 +598,7 @@ pub fn run_engine(
                             None => Some((None, None)),
                         };
                         if let Some((new_store, new_restored)) = opened {
-                            let new_config = Arc::new(new_config);
+                            let new_config = Arc::new(*new_config);
                             config = new_config.clone();
                             *shared.config.lock().expect("config lock") = new_config;
                             shared.config_generation.fetch_add(1, Ordering::SeqCst);

@@ -33,23 +33,30 @@
 //! The daemon binary is `sprintd`; see the crate's integration tests for
 //! end-to-end flows including a real `kill -9` crash/recovery cycle.
 
+pub mod client;
 mod config;
 mod engine;
 mod hot;
-mod http;
+pub mod http;
+pub mod netchaos;
+mod pool;
 mod protocol;
 mod service;
 
+pub use client::{ClientError, RetryClient, RetryConfig};
 pub use config::{
-    ServiceConfig, DEFAULT_CHECKPOINT_EVERY, DEFAULT_DEADLINE_MS, DEFAULT_QUEUE_DEPTH,
-    DEFAULT_STALE_AFTER_MS, DEFAULT_STEP_SECS, DEFAULT_WINDOW_STEPS,
+    ServiceConfig, DEFAULT_ACCEPT_QUEUE, DEFAULT_CHECKPOINT_EVERY, DEFAULT_DEADLINE_MS,
+    DEFAULT_DRAIN_DEADLINE_MS, DEFAULT_QUEUE_DEPTH, DEFAULT_READ_BUDGET_MS, DEFAULT_REPLAY_CACHE,
+    DEFAULT_STALE_AFTER_MS, DEFAULT_STEP_SECS, DEFAULT_WINDOW_STEPS, DEFAULT_WORKERS,
 };
 pub use engine::{
-    open_store, Counters, EngineMsg, EngineStatus, Mode, ReloadOutcome, Shared, StepOutcome,
+    open_store, Counters, EngineMsg, EngineStatus, Mode, ReloadOutcome, Shared, StepFailure,
+    StepOutcome,
 };
 pub use hot::{ServiceHotState, HOT_STATE_KIND, HOT_STATE_SCHEMA};
+pub use netchaos::{ChaosProxy, FaultDirection, FaultKind, FaultPlan, ProxyStats};
 pub use protocol::{
-    BreakerStatus, DegradedFlags, ErrorBody, ErrorDetail, FacilityStatus, HealthBody,
+    BreakerStatus, DegradedFlags, DrainStatus, ErrorBody, ErrorDetail, FacilityStatus, HealthBody,
     ReloadResponse, ServiceCounters, ShutdownResponse, SprintStatus, StatusBody, StepBody,
     StepResponse, TesStatus, UpsStatus, STATUS_SCHEMA,
 };

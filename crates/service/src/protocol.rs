@@ -11,7 +11,7 @@ use dcs_core::{StepRecord, WindowStats};
 use serde::{Deserialize, Serialize};
 
 /// Status schema tag.
-pub const STATUS_SCHEMA: &str = "dcs-service/status-v1";
+pub const STATUS_SCHEMA: &str = "dcs-service/status-v2";
 
 /// `POST /step` request body.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +20,14 @@ pub struct StepBody {
     pub demand: f64,
     /// Optional step length override in seconds.
     pub dt_secs: Option<f64>,
+    /// Idempotency key: the decision index the sender expects this step
+    /// to be applied at. When set, a retry of a request the engine
+    /// already applied is answered from the bounded replay cache
+    /// (`replayed: true`) instead of advancing the plant again; a
+    /// *different* request aimed at an already-taken index is a typed
+    /// `409 index_conflict`.
+    #[serde(default)]
+    pub expect_index: Option<u64>,
 }
 
 /// `POST /step` success response.
@@ -38,6 +46,11 @@ pub struct StepResponse {
     pub failsafe_cores: Option<u32>,
     /// Decision sequence number (lifetime, survives restarts).
     pub decision_index: Option<u64>,
+    /// `true` when this response was served from the replay cache (an
+    /// idempotent retry of an already-applied decision); the plant did
+    /// not advance.
+    #[serde(default)]
+    pub replayed: bool,
 }
 
 /// A typed error body: `{"error": {...}}`.
@@ -52,7 +65,9 @@ pub struct ErrorBody {
 pub struct ErrorDetail {
     /// Stable machine-readable kind: `bad_request`, `backpressure`,
     /// `deadline_exceeded`, `decision_failed`, `draining`, `config`,
-    /// `not_found`, `method_not_allowed`.
+    /// `not_found`, `method_not_allowed`, `overloaded`,
+    /// `request_timeout`, `payload_too_large`, `headers_too_large`,
+    /// `replay_gap`, `index_conflict`.
     pub kind: String,
     /// Human-readable context.
     pub message: String,
@@ -175,6 +190,35 @@ pub struct ServiceCounters {
     pub reloads: u64,
     /// Rejected (rolled-back) config reloads.
     pub reloads_rejected: u64,
+    /// Connections handed to the worker pool.
+    #[serde(default)]
+    pub connections_accepted: u64,
+    /// Connections refused with a typed `503` — the pool was at capacity
+    /// (`overloaded`) or the service was draining (`draining`).
+    #[serde(default)]
+    pub connections_rejected: u64,
+    /// Requests rejected by the HTTP parser with a typed `4xx`
+    /// (malformed, oversized, or slowloris-slow).
+    #[serde(default)]
+    pub parse_rejects: u64,
+    /// Idempotent retries answered from the replay cache.
+    #[serde(default)]
+    pub replays_served: u64,
+}
+
+/// Drain standing in `/status`: what a graceful shutdown is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrainStatus {
+    /// `true` once a drain has begun (the mode is also `draining`).
+    pub draining: bool,
+    /// Uptime milliseconds at which the drain began (absent before).
+    pub since_ms: Option<u64>,
+    /// The configured drain deadline.
+    pub deadline_ms: u64,
+    /// Connections currently being served by pool workers.
+    pub connections_active: u64,
+    /// Requests currently being routed (the drain waits for these).
+    pub requests_in_flight: u64,
 }
 
 /// `GET /status` response.
@@ -192,6 +236,9 @@ pub struct StatusBody {
     pub degraded: DegradedFlags,
     /// Since-boot counters.
     pub counters: ServiceCounters,
+    /// Drain standing (what a graceful shutdown waits on).
+    #[serde(default)]
+    pub drain: DrainStatus,
     /// Config generation (bumped by each successful reload).
     pub config_generation: u64,
     /// The most recent rejected reload's error, if any.
@@ -202,6 +249,20 @@ pub struct StatusBody {
     pub sprint: SprintStatus,
     /// Recent-step telemetry window.
     pub window: WindowStats,
+}
+
+impl Default for DrainStatus {
+    /// The value `drain` deserializes to from a v1 status (no drain
+    /// information recorded): not draining, nothing counted.
+    fn default() -> DrainStatus {
+        DrainStatus {
+            draining: false,
+            since_ms: None,
+            deadline_ms: 0,
+            connections_active: 0,
+            requests_in_flight: 0,
+        }
+    }
 }
 
 /// `GET /healthz` response.

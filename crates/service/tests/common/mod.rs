@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A unique scratch directory per call; callers clean up on success.
+/// Not every test binary uses it.
+#[allow(dead_code)]
 pub fn scratch_dir(tag: &str) -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let n = SEQ.fetch_add(1, Ordering::SeqCst);
@@ -63,4 +65,68 @@ pub fn step(addr: SocketAddr, demand: f64) -> (u16, String) {
         "/step",
         Some(&format!(r#"{{"demand":{demand:?}}}"#)),
     )
+}
+
+/// A persistent keep-alive connection. Not every test binary uses it.
+#[allow(dead_code)]
+pub struct KeepAlive {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+#[allow(dead_code)]
+impl KeepAlive {
+    pub fn connect(addr: SocketAddr) -> KeepAlive {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        KeepAlive {
+            writer: stream,
+            reader,
+        }
+    }
+
+    /// One keep-alive exchange; returns `(status, body)`.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let body = body.unwrap_or("");
+        let message = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer
+            .write_all(message.as_bytes())
+            .expect("write request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0_usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header");
+            let trimmed = header.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut buf = vec![0_u8; content_length];
+        self.reader.read_exact(&mut buf).expect("body");
+        (status, String::from_utf8(buf).expect("utf8 body"))
+    }
+
+    pub fn get(&mut self, path: &str) -> (u16, String) {
+        self.send("GET", path, None)
+    }
 }

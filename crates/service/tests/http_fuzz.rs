@@ -1,0 +1,329 @@
+//! Fuzz/property suite for the hardened HTTP parser (`dcs_service::http`).
+//!
+//! Drives `read_request` with adversarial in-memory streams: random
+//! garbage, torn reads at every byte boundary, pipelined requests,
+//! pathological `Content-Length` values, invalid UTF-8. The parser must
+//! never panic, must answer malformed input with typed 4xx rejects, and
+//! must parse identically regardless of how the bytes are torn across
+//! reads — the property that rules out keep-alive desync.
+
+use std::io::{BufRead, ErrorKind, Read};
+use std::time::Duration;
+
+use dcs_service::http::{read_request, ReadOutcome};
+use proptest::prelude::*;
+
+const BUDGET: Duration = Duration::from_secs(60);
+
+/// In-memory stream that serves at most `chunk` bytes per fill and
+/// returns a `WouldBlock` "tick" between fills, mimicking a socket
+/// with a short read timeout firing mid-request.
+struct Feed {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    tick: bool,
+    pending_tick: bool,
+}
+
+impl Feed {
+    fn new(data: impl Into<Vec<u8>>, chunk: usize, tick: bool) -> Feed {
+        Feed {
+            data: data.into(),
+            pos: 0,
+            chunk: chunk.max(1),
+            tick,
+            pending_tick: false,
+        }
+    }
+
+    /// The whole stream in one read, no ticks — the reference parse.
+    fn whole(data: impl Into<Vec<u8>>) -> Feed {
+        Feed::new(data, usize::MAX, false)
+    }
+}
+
+impl Read for Feed {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for Feed {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.tick && self.pending_tick && self.pos < self.data.len() {
+            self.pending_tick = false;
+            return Err(std::io::Error::new(ErrorKind::WouldBlock, "tick"));
+        }
+        self.pending_tick = true;
+        let end = self.data.len().min(self.pos.saturating_add(self.chunk));
+        Ok(&self.data[self.pos..end])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.data.len());
+    }
+}
+
+/// Reads one request, looping on `Idle` the way the connection worker
+/// does (a timeout tick between requests is keep-alive patience, not an
+/// outcome).
+fn parse(feed: &mut Feed) -> ReadOutcome {
+    loop {
+        match read_request(feed, BUDGET, &mut || false) {
+            ReadOutcome::Idle => {}
+            other => return other,
+        }
+    }
+}
+
+/// Canonical comparable form of an outcome (messages excluded — only
+/// the typed surface matters for desync checks).
+fn signature(outcome: &ReadOutcome) -> String {
+    match outcome {
+        ReadOutcome::Ok(r) => format!("ok:{}:{}:{:?}:{}", r.method, r.path, r.body, r.close),
+        ReadOutcome::Closed => "closed".to_string(),
+        ReadOutcome::Idle => "idle".to_string(),
+        ReadOutcome::Reject { status, kind, .. } => format!("reject:{status}:{kind}"),
+    }
+}
+
+#[test]
+fn well_formed_request_parses() {
+    let wire = b"POST /step HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world".to_vec();
+    match parse(&mut Feed::whole(wire)) {
+        ReadOutcome::Ok(req) => {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/step");
+            assert_eq!(req.body, b"hello world");
+            assert!(!req.close);
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_reads_parse_identically_at_every_boundary() {
+    let wire = b"POST /step HTTP/1.1\r\ncontent-length: 11\r\nConnection: close\r\n\r\nhello world";
+    let reference = signature(&parse(&mut Feed::whole(wire.to_vec())));
+    for chunk in 1..=wire.len() {
+        let torn = signature(&parse(&mut Feed::new(wire.to_vec(), chunk, true)));
+        assert_eq!(torn, reference, "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn pipelined_requests_stay_in_sync() {
+    let mut wire = Vec::new();
+    for (path, body) in [("/a", "x"), ("/bb", "yy and more"), ("/ccc", "")] {
+        wire.extend_from_slice(
+            format!(
+                "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+    let mut feed = Feed::new(wire, 3, true);
+    for (path, body) in [("/a", "x"), ("/bb", "yy and more"), ("/ccc", "")] {
+        match parse(&mut feed) {
+            ReadOutcome::Ok(req) => {
+                assert_eq!(req.path, path);
+                assert_eq!(req.body, body.as_bytes());
+            }
+            other => panic!("expected {path}, got {other:?}"),
+        }
+    }
+    assert!(matches!(parse(&mut feed), ReadOutcome::Closed));
+}
+
+#[test]
+fn pathological_content_lengths_are_typed() {
+    let cases: &[(&str, u16, &str)] = &[
+        ("-1", 400, "bad_request"),
+        ("+5", 400, "bad_request"),
+        ("18446744073709551616", 400, "bad_request"),
+        ("0x10", 400, "bad_request"),
+        ("1 2", 400, "bad_request"),
+        ("", 400, "bad_request"),
+        ("65537", 413, "payload_too_large"),
+        ("999999999", 413, "payload_too_large"),
+    ];
+    for &(value, want_status, want_kind) in cases {
+        let wire = format!("POST /step HTTP/1.1\r\ncontent-length: {value}\r\n\r\n").into_bytes();
+        match parse(&mut Feed::whole(wire)) {
+            ReadOutcome::Reject { status, kind, .. } => {
+                assert_eq!((status, kind), (want_status, want_kind), "value {value:?}");
+            }
+            other => panic!("content-length {value:?}: expected reject, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_head_rejects_431() {
+    // One giant request line.
+    let mut wire = b"GET /".to_vec();
+    wire.extend(std::iter::repeat_n(b'a', 9 * 1024));
+    wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+    match parse(&mut Feed::whole(wire)) {
+        ReadOutcome::Reject { status, kind, .. } => {
+            assert_eq!((status, kind), (431, "headers_too_large"));
+        }
+        other => panic!("expected 431, got {other:?}"),
+    }
+
+    // Reasonable request line, bloated headers.
+    let mut wire = b"GET /status HTTP/1.1\r\n".to_vec();
+    for i in 0..200 {
+        wire.extend_from_slice(format!("x-pad-{i}: {}\r\n", "b".repeat(64)).as_bytes());
+    }
+    wire.extend_from_slice(b"\r\n");
+    match parse(&mut Feed::new(wire, 7, true)) {
+        ReadOutcome::Reject { status, kind, .. } => {
+            assert_eq!((status, kind), (431, "headers_too_large"));
+        }
+        other => panic!("expected 431, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_utf8_rejects_400() {
+    for wire in [
+        b"G\xffT /status HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /status HTTP/1.1\r\nx-bin: \xfe\xff\r\n\r\n".to_vec(),
+    ] {
+        match parse(&mut Feed::whole(wire)) {
+            ReadOutcome::Reject { status, kind, .. } => {
+                assert_eq!((status, kind), (400, "bad_request"));
+            }
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unsupported_framing_rejects_400() {
+    let cases: &[&[u8]] = &[
+        b"GET /status HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        b"GET /status HTTP/2\r\n\r\n",
+        b"GET /status HTTP/1.1 extra\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /status HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    ];
+    for wire in cases {
+        match parse(&mut Feed::whole(wire.to_vec())) {
+            ReadOutcome::Reject { status, kind, .. } => {
+                assert_eq!((status, kind), (400, "bad_request"), "{wire:?}");
+            }
+            other => panic!("{wire:?}: expected 400, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_requests_reject_400() {
+    let cases: &[&[u8]] = &[
+        b"POST /step HTTP/1.1\r\ncontent-length: 5\r\n\r\nab", // body cut short
+        b"GET /status HTTP/1.1\r\nhost: x",                    // headers cut short
+        b"GET /status HTTP/1.1",                               // request line cut short
+    ];
+    for wire in cases {
+        match parse(&mut Feed::whole(wire.to_vec())) {
+            ReadOutcome::Reject { status, kind, .. } => {
+                assert_eq!((status, kind), (400, "bad_request"), "{wire:?}");
+            }
+            other => panic!("{wire:?}: expected 400, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_stream_is_closed() {
+    assert!(matches!(
+        parse(&mut Feed::whole(Vec::new())),
+        ReadOutcome::Closed
+    ));
+}
+
+#[test]
+fn stop_abandons_a_waiting_read() {
+    let mut feed = Feed::new(b"GET /status".to_vec(), 1, true);
+    let outcome = read_request(&mut feed, BUDGET, &mut || true);
+    assert!(matches!(outcome, ReadOutcome::Closed));
+}
+
+#[test]
+fn slow_request_overruns_budget_with_408() {
+    // Every byte arrives after a tick and the budget is zero: the guard
+    // must fire as soon as the first mid-request wait is observed.
+    let mut feed = Feed::new(b"GET /status HTTP/1.1\r\n\r\n".to_vec(), 1, true);
+    match read_request(&mut feed, Duration::ZERO, &mut || false) {
+        ReadOutcome::Reject { status, kind, .. } => {
+            assert_eq!((status, kind), (408, "request_timeout"));
+        }
+        other => panic!("expected 408, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes never panic the parser and never yield anything
+    /// but a typed 4xx, a clean close, or (for byte soup that happens
+    /// to be well-formed) a parsed request.
+    #[test]
+    fn random_bytes_yield_typed_outcomes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        match parse(&mut Feed::whole(bytes)) {
+            ReadOutcome::Ok(_) | ReadOutcome::Closed => {}
+            ReadOutcome::Idle => prop_assert!(false, "idle without a read timeout"),
+            ReadOutcome::Reject { status, .. } => {
+                prop_assert!(matches!(status, 400 | 413 | 431), "status {status}");
+            }
+        }
+    }
+
+    /// Tearing the same bytes across arbitrary read boundaries (with
+    /// timeout ticks between every fill) changes nothing about the
+    /// outcome — the resumable parser cannot desync.
+    #[test]
+    fn torn_reads_agree_with_whole_reads(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        chunk in 1_usize..32,
+    ) {
+        let reference = signature(&parse(&mut Feed::whole(bytes.clone())));
+        let torn = signature(&parse(&mut Feed::new(bytes, chunk, true)));
+        prop_assert_eq!(torn, reference);
+    }
+
+    /// Well-formed requests round-trip exactly under torn reads.
+    #[test]
+    fn valid_requests_roundtrip_under_torn_reads(
+        seg_bytes in proptest::collection::vec(b'a'..=b'z', 1..12),
+        body in proptest::collection::vec(any::<u8>(), 0..96),
+        chunk in 1_usize..24,
+    ) {
+        let seg = String::from_utf8(seg_bytes).expect("ascii segment");
+        let mut wire = format!(
+            "POST /{seg} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(&body);
+        match parse(&mut Feed::new(wire, chunk, true)) {
+            ReadOutcome::Ok(req) => {
+                prop_assert_eq!(req.method, "POST");
+                prop_assert_eq!(req.path, format!("/{seg}"));
+                prop_assert_eq!(req.body, body);
+                prop_assert!(req.close);
+            }
+            other => prop_assert!(false, "expected Ok, got {other:?}"),
+        }
+    }
+}

@@ -7,7 +7,7 @@ mod common;
 
 use std::time::Duration;
 
-use common::{request, scratch_dir, step};
+use common::{request, scratch_dir, step, KeepAlive};
 use dcs_faults::{ChaosEvent, ChaosKind, ChaosSchedule};
 use dcs_service::{
     ErrorBody, HealthBody, ReloadResponse, ServiceConfig, ServiceOptions, SprintService,
@@ -377,21 +377,81 @@ fn clean_restart_restores_checkpointed_state() {
 
 #[test]
 fn shutdown_endpoint_drains() {
-    let service = spawn(small_config(), ServiceOptions::default());
+    // Park decision 1 in the engine so the drain window stays open while
+    // the test probes draining behavior: the coordinator must wait for
+    // the in-flight request, and new connections must get typed refusals
+    // in the meantime.
+    let mut config = small_config();
+    config.deadline_ms = Some(5_000);
+    let options = ServiceOptions {
+        state_dir: None,
+        chaos: ChaosSchedule::delay_on(1, 0, 900),
+    };
+    let service = spawn(config, options);
     let addr = service.addr();
     let (status, _) = step(addr, 0.5);
     assert_eq!(status, 200);
 
+    let slow = std::thread::spawn(move || step(addr, 0.5));
+    std::thread::sleep(Duration::from_millis(200));
+
     let (status, body) = request(addr, "POST", "/shutdown", None);
     assert_eq!(status, 200, "{body}");
 
+    // While draining, new connections are refused with the typed status
+    // straight from the acceptor.
     let (status, body) = step(addr, 0.5);
     assert_eq!(status, 503, "{body}");
     assert_eq!(parse::<ErrorBody>(&body).error.kind, "draining");
 
-    let (status, body) = request(addr, "GET", "/healthz", None);
-    assert_eq!(status, 503);
-    assert_eq!(parse::<HealthBody>(&body).status, "draining");
+    // The in-flight decision still completes under the drain deadline.
+    let (status, body) = slow.join().expect("in-flight request");
+    assert_eq!(status, 200, "{body}");
 
     service.join();
+}
+
+#[test]
+fn connection_limit_rejects_typed() {
+    // 2 workers + a 1-deep pending queue = 3 concurrent connections;
+    // the 4th gets an immediate typed 503, never a silent drop.
+    let mut config = small_config();
+    config.workers = Some(2);
+    config.accept_queue = Some(1);
+    let service = spawn(config, ServiceOptions::default());
+    let addr = service.addr();
+
+    // Park both workers on live keep-alive connections, one at a time —
+    // the exchange proves the connection left the pending queue for a
+    // worker before the next one arrives.
+    let mut held_a = KeepAlive::connect(addr);
+    assert_eq!(held_a.get("/healthz").0, 200);
+    let mut held_b = KeepAlive::connect(addr);
+    assert_eq!(held_b.get("/healthz").0, 200);
+
+    // Fills the single pending-queue slot (accepted, not yet served).
+    let queued = KeepAlive::connect(addr);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Over capacity: typed rejection straight from the acceptor.
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(parse::<ErrorBody>(&body).error.kind, "overloaded");
+
+    // The reject is counted, not silent.
+    let (status, body) = held_a.get("/status");
+    assert_eq!(status, 200, "{body}");
+    let status_body: StatusBody = parse(&body);
+    assert!(status_body.counters.connections_rejected >= 1);
+    assert!(status_body.counters.connections_accepted >= 3);
+
+    // Freeing a worker unblocks the queued connection: it was never
+    // dropped, just waiting.
+    drop(held_a);
+    drop(held_b);
+    let mut queued = queued;
+    let (status, _) = queued.get("/healthz");
+    assert_eq!(status, 200);
+
+    service.shutdown();
 }

@@ -1,0 +1,268 @@
+//! Network-chaos soak: a [`RetryClient`] drives 1,000 decisions through
+//! the seeded fault-injecting [`ChaosProxy`] — resets, truncations,
+//! stalls, trickled bytes — and the suite asserts the three properties
+//! the hardened front line promises:
+//!
+//! 1. **Zero hangs.** Every call is deadline-bounded; the whole soak
+//!    finishes under a wall-clock cap.
+//! 2. **Typed errors only.** Every failure the client surfaces is a
+//!    typed transport/HTTP outcome, never an unparseable 5xx.
+//! 3. **Exactly-once control.** Post-soak hot state is bit-identical to
+//!    a clean run of the same demand stream: ambiguous retries were
+//!    replayed, never re-applied.
+
+mod common;
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use common::{request, step, KeepAlive};
+use dcs_service::{
+    ChaosProxy, ClientError, ErrorBody, RetryClient, RetryConfig, ServiceConfig, ServiceOptions,
+    SprintService, StatusBody, StepResponse,
+};
+
+const DECISIONS: u64 = 1_000;
+const SOAK_SEED: u64 = 42;
+/// Per-connection fault probability, in per-mille.
+const FAULT_PER_MILLE: u32 = 300;
+
+fn parse<T: serde::Deserialize>(body: &str) -> T {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad body {body:?}: {e}"))
+}
+
+fn soak_config() -> ServiceConfig {
+    let mut config = ServiceConfig::for_facility(2, 20);
+    // Generous decision deadline: chaos stalls (≤500ms) must show up as
+    // slow requests, not spurious engine overruns.
+    config.deadline_ms = Some(5_000);
+    config
+}
+
+/// The deterministic demand stream both runs replay: mostly nominal
+/// load with periodic sprint bursts.
+fn demand_at(i: u64) -> f64 {
+    if (i / 25) % 5 == 4 {
+        2.6
+    } else {
+        0.6 + 0.3 * ((i % 7) as f64) / 7.0
+    }
+}
+
+#[test]
+fn chaos_soak_is_bounded_typed_and_bit_identical() {
+    // --- Chaos run: client → proxy → service ---------------------------
+    let service = SprintService::spawn(soak_config(), ServiceOptions::default(), 0).expect("spawn");
+    let proxy = ChaosProxy::spawn(service.addr(), SOAK_SEED, FAULT_PER_MILLE).expect("proxy");
+    let mut client = RetryClient::with_config(
+        proxy.addr(),
+        RetryConfig {
+            deadline: Duration::from_secs(2),
+            // Rotate so fresh per-connection fault plans keep arriving
+            // instead of the soak settling on one lucky clean socket.
+            rotate_after: 8,
+            ..RetryConfig::default()
+        },
+    );
+
+    let started = Instant::now();
+    for i in 0..DECISIONS {
+        let demand = demand_at(i);
+        let mut tries = 0_u32;
+        loop {
+            match client.step(demand) {
+                Ok(response) => {
+                    assert!(!response.degraded, "decision {i} served degraded");
+                    // Exactly-once: every intended decision lands on its
+                    // own index, replayed or fresh, never skipped or
+                    // double-applied.
+                    assert_eq!(response.decision_index, Some(i), "decision {i}");
+                    break;
+                }
+                Err(ClientError::BreakerOpen { retry_in }) => {
+                    std::thread::sleep(retry_in.min(Duration::from_millis(200)));
+                }
+                Err(ClientError::Exhausted { .. }) => {
+                    // Transport-level chaos outlasted one retry budget;
+                    // the expect_index makes re-running the step safe.
+                }
+                Err(ClientError::Rejected {
+                    status,
+                    ref kind,
+                    ref message,
+                }) => {
+                    // A proxy-mangled request may surface as a typed 4xx;
+                    // anything untyped (or an unexpected 5xx) fails the
+                    // soak.
+                    assert!(
+                        matches!(kind.as_str(), "bad_request" | "request_timeout"),
+                        "decision {i}: untyped or unexpected error \
+                         {status} {kind}: {message}"
+                    );
+                }
+            }
+            tries += 1;
+            assert!(tries < 100, "decision {i} is not making progress");
+            assert!(
+                started.elapsed() < Duration::from_secs(120),
+                "soak wall-clock bound exceeded at decision {i}"
+            );
+        }
+    }
+    let soak_elapsed = started.elapsed();
+    assert!(
+        soak_elapsed < Duration::from_secs(120),
+        "soak took {soak_elapsed:?}"
+    );
+
+    let stats = client.stats();
+    let proxy_stats = proxy.stats();
+    let faults = proxy_stats.resets.load(Ordering::SeqCst)
+        + proxy_stats.truncations.load(Ordering::SeqCst)
+        + proxy_stats.stalls.load(Ordering::SeqCst)
+        + proxy_stats.trickles.load(Ordering::SeqCst);
+    assert!(
+        faults > 0,
+        "the soak injected no faults — seed/rate are not exercising chaos"
+    );
+    assert!(
+        stats.retries > 0,
+        "chaos never forced a retry — the soak is not adversarial"
+    );
+
+    let chaos_status = client.status().expect("post-soak status");
+    assert_eq!(chaos_status.decisions, DECISIONS);
+    proxy.stop();
+    service.shutdown();
+
+    // --- Clean run: same demand stream, no proxy ----------------------
+    let service = SprintService::spawn(soak_config(), ServiceOptions::default(), 0).expect("spawn");
+    let addr = service.addr();
+    for i in 0..DECISIONS {
+        let (status, body) = step(addr, demand_at(i));
+        assert_eq!(status, 200, "clean decision {i}: {body}");
+    }
+    let (status, body) = request(addr, "GET", "/status", None);
+    assert_eq!(status, 200);
+    let clean_status: StatusBody = parse(&body);
+    service.shutdown();
+
+    // --- Bit-identity: chaos never perturbed the plant -----------------
+    assert_eq!(clean_status.decisions, chaos_status.decisions);
+    assert_eq!(
+        clean_status.facility, chaos_status.facility,
+        "post-soak hot state diverged from the clean run"
+    );
+    assert_eq!(clean_status.sprint, chaos_status.sprint);
+    assert_eq!(clean_status.window, chaos_status.window);
+}
+
+#[test]
+fn ambiguous_retry_never_double_advances() {
+    let service = SprintService::spawn(soak_config(), ServiceOptions::default(), 0).expect("spawn");
+    let addr = service.addr();
+    let mut conn = KeepAlive::connect(addr);
+
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":0.7,"expect_index":0}"#));
+    assert_eq!(status, 200, "{body}");
+    let first: StepResponse = parse(&body);
+    assert_eq!(first.decision_index, Some(0));
+    assert!(!first.replayed);
+
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":2.6,"expect_index":1}"#));
+    assert_eq!(status, 200, "{body}");
+    let applied: StepResponse = parse(&body);
+    assert_eq!(applied.decision_index, Some(1));
+    assert!(!applied.replayed);
+
+    // The ambiguous case: the identical request again, as a client whose
+    // response was lost would send it. Served from the replay cache —
+    // same outcome, plant untouched.
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":2.6,"expect_index":1}"#));
+    assert_eq!(status, 200, "{body}");
+    let replayed: StepResponse = parse(&body);
+    assert_eq!(replayed.decision_index, Some(1));
+    assert!(replayed.replayed);
+    assert_eq!(
+        format!("{:?}", replayed.record),
+        format!("{:?}", applied.record),
+        "replay must reproduce the original outcome"
+    );
+
+    let (status, body) = conn.get("/status");
+    assert_eq!(status, 200);
+    let status_body: StatusBody = parse(&body);
+    assert_eq!(
+        status_body.decisions, 2,
+        "the retry must not advance the plant"
+    );
+    assert!(status_body.counters.replays_served >= 1);
+
+    // A *different* request claiming an already-taken index is a
+    // conflict, not a silent overwrite.
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":1.1,"expect_index":1}"#));
+    assert_eq!(status, 409, "{body}");
+    assert_eq!(parse::<ErrorBody>(&body).error.kind, "index_conflict");
+
+    // Claiming a future index is equally conflicted.
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":0.7,"expect_index":9}"#));
+    assert_eq!(status, 409, "{body}");
+    assert_eq!(parse::<ErrorBody>(&body).error.kind, "index_conflict");
+
+    // Untagged steps keep working (opt-in protocol).
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":0.7}"#));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(parse::<StepResponse>(&body).decision_index, Some(2));
+
+    service.shutdown();
+}
+
+#[test]
+fn evicted_replay_entries_answer_replay_gap() {
+    let mut config = soak_config();
+    config.replay_cache = Some(2);
+    let service = SprintService::spawn(config, ServiceOptions::default(), 0).expect("spawn");
+    let addr = service.addr();
+    let mut conn = KeepAlive::connect(addr);
+
+    for i in 0..5 {
+        let (status, body) = conn.send(
+            "POST",
+            "/step",
+            Some(&format!(r#"{{"demand":0.7,"expect_index":{i}}}"#)),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // Indexes 3 and 4 are still cached; 1 fell off the 2-deep cache, so
+    // its outcome is honestly unknowable: a typed replay_gap, never a
+    // guess.
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":0.7,"expect_index":4}"#));
+    assert_eq!(status, 200, "{body}");
+    assert!(parse::<StepResponse>(&body).replayed);
+
+    let (status, body) = conn.send("POST", "/step", Some(r#"{"demand":0.7,"expect_index":1}"#));
+    assert_eq!(status, 409, "{body}");
+    assert_eq!(parse::<ErrorBody>(&body).error.kind, "replay_gap");
+
+    service.shutdown();
+}
+
+#[test]
+fn fault_plans_are_seeded_and_deterministic() {
+    for conn_index in 0..64_u64 {
+        assert_eq!(
+            ChaosProxy::plan_for(SOAK_SEED, conn_index, FAULT_PER_MILLE),
+            ChaosProxy::plan_for(SOAK_SEED, conn_index, FAULT_PER_MILLE),
+        );
+    }
+    // Different seeds genuinely reshuffle the plans.
+    let differs =
+        (0..64_u64).any(|i| ChaosProxy::plan_for(1, i, 1000) != ChaosProxy::plan_for(2, i, 1000));
+    assert!(differs, "seeds do not influence fault plans");
+    // Rate zero means a clean proxy, whatever the seed.
+    for conn_index in 0..64_u64 {
+        let plan = ChaosProxy::plan_for(SOAK_SEED, conn_index, 0);
+        assert_eq!(plan.kind, dcs_service::FaultKind::None);
+    }
+}
